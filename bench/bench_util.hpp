@@ -1,0 +1,37 @@
+// Shared plumbing for the paper-reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "reliability/calibration.hpp"
+#include "reliability/estimator.hpp"
+#include "reliability/scenarios.hpp"
+
+namespace rfidsim::bench {
+
+/// Fixed seed for all benches: tables are bit-for-bit reproducible.
+inline constexpr std::uint64_t kSeed = 20070625;  // DSN 2007.
+
+/// The calibrated hardware profile every bench runs on.
+inline reliability::CalibrationProfile profile() {
+  return reliability::CalibrationProfile::paper2006();
+}
+
+/// Prints a header naming the paper artifact being regenerated.
+inline void banner(const char* artifact, const char* summary) {
+  std::printf("=== %s ===\n%s\n\n", artifact, summary);
+}
+
+/// "x% (y%-z%)" — estimate with a 95% Wilson interval, as the paper's
+/// small-n percentages deserve.
+inline std::string pct_ci(double estimate, std::size_t successes, std::size_t trials) {
+  const ProportionInterval ci = wilson_interval(successes, trials);
+  (void)estimate;
+  return percent(ci.estimate) + " [" + percent(ci.lower) + ", " + percent(ci.upper) + "]";
+}
+
+}  // namespace rfidsim::bench

@@ -1,0 +1,131 @@
+// Calibration report: prints the simulator's reliabilities for every
+// paper measurement next to the paper's values. Not itself a paper
+// figure — this is the harness used to tune CalibrationProfile::paper2006()
+// (see EXPERIMENTS.md), kept in-tree so the calibration is reproducible.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "reliability/estimator.hpp"
+#include "reliability/orientation.hpp"
+#include "reliability/scenarios.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::reliability;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20070625;  // DSN 2007 conference date.
+
+void report_read_range(const CalibrationProfile& cal) {
+  std::printf("--- Fig. 2: read range (paper: 20/20 at 1 m, gradual drop 2-9 m) ---\n");
+  TextTable t({"distance (m)", "mean tags read (of 20)"});
+  for (double d = 1.0; d <= 9.0; d += 1.0) {
+    const Scenario sc = make_read_range_scenario(d, cal);
+    const RepeatedRuns runs = run_repeated(sc, 40, kSeed + static_cast<int>(d));
+    const SampleSummary s = summarize(distinct_tags_per_run(runs));
+    t.add_row({fixed_str(d, 0), fixed_str(s.mean, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
+
+void report_intertag(const CalibrationProfile& cal) {
+  std::printf(
+      "\n--- Fig. 4: inter-tag spacing x orientation (paper: safe at 20-40 mm; "
+      "cases 1,5 worst) ---\n");
+  TextTable t({"spacing", "case1", "case2", "case3", "case4", "case5", "case6"});
+  for (double mm : {0.3, 4.0, 10.0, 20.0, 40.0}) {
+    std::vector<std::string> row{fixed_str(mm, 1) + " mm"};
+    for (const auto& orientation : kFigure3Orientations) {
+      const Scenario sc = make_intertag_scenario(mm * 1e-3, orientation, cal);
+      const RepeatedRuns runs = run_repeated(sc, 10, kSeed + orientation.case_number);
+      const SampleSummary s = summarize(distinct_tags_per_run(runs));
+      row.push_back(fixed_str(s.mean, 1));
+    }
+    t.add_row(row);
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
+
+void report_object_locations(const CalibrationProfile& cal) {
+  std::printf("\n--- Table 1: tag location on boxes (paper: F 87%%, Sn 83%%, Sf 63%%, T 29%%) ---\n");
+  TextTable t({"location", "simulated", "paper"});
+  const struct {
+    scene::BoxFace face;
+    const char* paper;
+  } rows[] = {
+      {scene::BoxFace::Front, "87%"},
+      {scene::BoxFace::SideNear, "83%"},
+      {scene::BoxFace::SideFar, "63%"},
+      {scene::BoxFace::Top, "29%"},
+  };
+  for (const auto& r : rows) {
+    ObjectScenarioOptions opt;
+    opt.tag_faces = {r.face};
+    const Scenario sc = make_object_tracking_scenario(opt, cal);
+    const double rel = measure_tag_reliability(sc, 12, kSeed);
+    t.add_row({std::string(scene::box_face_name(r.face)), percent(rel), r.paper});
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
+
+void report_human_locations(const CalibrationProfile& cal) {
+  std::printf("\n--- Table 2: tags on humans, 1 subject (paper: F/B 75%%, Sn 90%%, Sf 10%%) ---\n");
+  TextTable t({"location", "simulated", "paper"});
+  const struct {
+    scene::BodySpot spot;
+    const char* paper;
+  } rows[] = {
+      {scene::BodySpot::Front, "75%"},
+      {scene::BodySpot::SideNear, "90%"},
+      {scene::BodySpot::SideFar, "10%"},
+  };
+  for (const auto& r : rows) {
+    HumanScenarioOptions opt;
+    opt.tag_spots = {r.spot};
+    const Scenario sc = make_human_tracking_scenario(opt, cal);
+    const double rel = measure_tag_reliability(sc, 20, kSeed);
+    t.add_row({std::string(scene::body_spot_name(r.spot)), percent(rel), r.paper});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\n--- Table 2: two subjects (paper: closer avg 75%%, farther avg 38%%) ---\n");
+  TextTable t2({"location", "closer", "farther", "paper closer", "paper farther"});
+  const struct {
+    scene::BodySpot spot;
+    const char* p_close;
+    const char* p_far;
+  } rows2[] = {
+      {scene::BodySpot::Front, "90%", "50%"},
+      {scene::BodySpot::SideNear, "90%", "50%"},
+      {scene::BodySpot::SideFar, "30%", "0%"},
+  };
+  for (const auto& r : rows2) {
+    HumanScenarioOptions opt;
+    opt.subject_count = 2;
+    opt.tag_spots = {r.spot};
+    const Scenario sc = make_human_tracking_scenario(opt, cal);
+    const RepeatedRuns runs = run_repeated(sc, 20, kSeed);
+    const auto per_obj = per_object_reliability(sc, runs);
+    // Objects are registered in subject order: 1 = closer, 2 = farther.
+    double closer = 0.0;
+    double farther = 0.0;
+    for (const auto& [obj, ci] : per_obj) {
+      (obj.value == 1 ? closer : farther) = ci.estimate;
+    }
+    t2.add_row({std::string(scene::body_spot_name(r.spot)), percent(closer),
+                percent(farther), r.p_close, r.p_far});
+  }
+  std::fputs(t2.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  report_read_range(cal);
+  report_intertag(cal);
+  report_object_locations(cal);
+  report_human_locations(cal);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension: end-to-end shipment visibility through a multi-portal route.
+//
+// The paper's pharma-pilot citation [1] reports per-stage read rates from
+// under 10% to 100% across a shipping process; what the operator cares
+// about is the compounded, end-to-end number. This bench pushes shipments
+// through a four-checkpoint route and shows how per-case full-trace
+// visibility collapses multiplicatively with weak tagging, and what each
+// remedy recovers: better tag placement, a second tag, portal redundancy
+// at the weakest checkpoint, and back-end route cleaning.
+#include "bench_util.hpp"
+#include "reliability/facility.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::reliability;
+
+namespace {
+
+std::vector<FacilityCheckpoint> standard_route(std::size_t weak_checkpoint_antennas) {
+  FacilityCheckpoint inbound{"inbound dock", {}, 1.0};
+  inbound.portal.antenna_count = 2;
+  FacilityCheckpoint aisle{"aisle reader", {}, 2.0};  // Forklift speed, one antenna.
+  aisle.portal.antenna_count = weak_checkpoint_antennas;
+  FacilityCheckpoint staging{"staging", {}, 1.0};
+  FacilityCheckpoint outbound{"outbound dock", {}, 1.0};
+  outbound.portal.antenna_count = 2;
+  return {inbound, aisle, staging, outbound};
+}
+
+struct Numbers {
+  double full_trace = 0.0;
+  double cleaned_full_trace = 0.0;
+  double delivered = 0.0;
+};
+
+Numbers evaluate(const ShipmentSpec& shipment, std::size_t weak_antennas,
+                 const CalibrationProfile& cal, std::size_t shipments = 10) {
+  const FacilitySimulator facility(standard_route(weak_antennas), shipment, cal);
+  Numbers sum;
+  for (std::uint64_t seed = 0; seed < shipments; ++seed) {
+    const FacilityRun raw = facility.run_shipment(bench::kSeed + seed);
+    const FacilityRun cleaned = FacilitySimulator::clean_with_route_constraint(raw);
+    sum.full_trace += raw.full_trace_fraction;
+    sum.cleaned_full_trace += cleaned.full_trace_fraction;
+    sum.delivered += raw.delivered_fraction;
+  }
+  const double n = static_cast<double>(shipments);
+  return {sum.full_trace / n, sum.cleaned_full_trace / n, sum.delivered / n};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension - end-to-end facility visibility",
+                "Four checkpoints (2-antenna docks, a fast 1-antenna aisle, staging);\n"
+                "full trace = case seen at EVERY checkpoint. Reliability compounds.");
+  const CalibrationProfile cal = bench::profile();
+
+  TextTable t({"shipment tagging", "aisle antennas", "full trace (raw)",
+               "full trace (+route cleaning)", "delivered"});
+  {
+    ShipmentSpec s;
+    s.tag_faces = {scene::BoxFace::Top};  // The placement nobody should use.
+    const Numbers n = evaluate(s, 1, cal);
+    t.add_row({"1 tag, top", "1", percent(n.full_trace), percent(n.cleaned_full_trace),
+               percent(n.delivered)});
+  }
+  {
+    ShipmentSpec s;
+    s.tag_faces = {scene::BoxFace::Front};
+    const Numbers n = evaluate(s, 1, cal);
+    t.add_row({"1 tag, front", "1", percent(n.full_trace),
+               percent(n.cleaned_full_trace), percent(n.delivered)});
+  }
+  {
+    ShipmentSpec s;
+    s.tag_faces = {scene::BoxFace::Front};
+    const Numbers n = evaluate(s, 2, cal);
+    t.add_row({"1 tag, front", "2", percent(n.full_trace),
+               percent(n.cleaned_full_trace), percent(n.delivered)});
+  }
+  {
+    ShipmentSpec s;
+    s.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+    const Numbers n = evaluate(s, 1, cal);
+    t.add_row({"2 tags, front+side", "1", percent(n.full_trace),
+               percent(n.cleaned_full_trace), percent(n.delivered)});
+  }
+  {
+    ShipmentSpec s;
+    s.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+    const Numbers n = evaluate(s, 2, cal);
+    t.add_row({"2 tags, front+side", "2", percent(n.full_trace),
+               percent(n.cleaned_full_trace), percent(n.delivered)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReading: per-checkpoint reliabilities compound — ~90%% stages end at ~70%%\n"
+      "full traces, and a single bad placement (top) collapses to single digits,\n"
+      "the pharma pilot's experience. Tag redundancy fixes it at\n"
+      "the source; route cleaning recovers traces but only up to the final\n"
+      "checkpoint's own reliability (delivery cannot be inferred).\n");
+  return 0;
+}

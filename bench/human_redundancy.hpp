@@ -1,0 +1,109 @@
+// Shared measurement/composition helpers for the human-tracking redundancy
+// benches (Tables 4-5, Figures 6-7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reliability/analytical.hpp"
+
+namespace rfidsim::bench {
+
+using reliability::CalibrationProfile;
+using reliability::HumanScenarioOptions;
+using reliability::Scenario;
+
+/// Per-subject measured tracking reliability; `farther` is zero for
+/// one-subject runs.
+struct HumanResult {
+  double closer = 0.0;
+  double farther = 0.0;
+};
+
+/// Runs a human-tracking scenario and splits results by subject.
+inline HumanResult measure_human(const HumanScenarioOptions& opt,
+                                 const CalibrationProfile& cal,
+                                 std::size_t reps = 40) {
+  const Scenario sc = make_human_tracking_scenario(opt, cal);
+  const auto per_obj =
+      reliability::per_object_reliability(sc, reliability::run_repeated(sc, reps, kSeed));
+  HumanResult r;
+  for (const auto& [obj, ci] : per_obj) {
+    (obj.value == 1 ? r.closer : r.farther) = ci.estimate;
+  }
+  return r;
+}
+
+/// The §3 single-opportunity reliabilities this portal's R_C compositions
+/// are built from, measured once per (subject count).
+struct HumanSingles {
+  double front = 0.0;      ///< Front or back badge, 1 antenna.
+  double side_near = 0.0;  ///< Hip facing the (first) antenna.
+  double side_far = 0.0;   ///< Hip away from the (first) antenna.
+};
+
+inline HumanSingles measure_singles(std::size_t subjects, bool farther_subject,
+                                    const CalibrationProfile& cal,
+                                    std::size_t reps = 40) {
+  HumanSingles s;
+  auto one = [&](scene::BodySpot spot) {
+    HumanScenarioOptions opt;
+    opt.subject_count = subjects;
+    opt.tag_spots = {spot};
+    const HumanResult r = measure_human(opt, cal, reps);
+    return farther_subject ? r.farther : r.closer;
+  };
+  s.front = one(scene::BodySpot::Front);
+  s.side_near = one(scene::BodySpot::SideNear);
+  s.side_far = one(scene::BodySpot::SideFar);
+  return s;
+}
+
+/// R_C compositions per the paper's opportunity counting. With one antenna
+/// the opportunities are simply the per-spot reliabilities; the facing
+/// second antenna adds a mirrored opportunity per tag (front/back tags see
+/// `front` again; each side tag sees the other side's reliability).
+inline double rc_two_fb(const HumanSingles& s, std::size_t antennas) {
+  std::vector<double> ops{s.front, s.front};
+  if (antennas == 2) ops.insert(ops.end(), {s.front, s.front});
+  return reliability::expected_reliability(ops);
+}
+
+inline double rc_two_sides(const HumanSingles& s, std::size_t antennas) {
+  std::vector<double> ops{s.side_near, s.side_far};
+  if (antennas == 2) ops.insert(ops.end(), {s.side_far, s.side_near});
+  return reliability::expected_reliability(ops);
+}
+
+inline double rc_four(const HumanSingles& s, std::size_t antennas) {
+  std::vector<double> ops{s.front, s.front, s.side_near, s.side_far};
+  if (antennas == 2) ops.insert(ops.end(), {s.front, s.front, s.side_far, s.side_near});
+  return reliability::expected_reliability(ops);
+}
+
+inline double rc_one_fb(const HumanSingles& s, std::size_t antennas) {
+  std::vector<double> ops{s.front};
+  if (antennas == 2) ops.push_back(s.front);
+  return reliability::expected_reliability(ops);
+}
+
+inline double rc_one_side(const HumanSingles& s, std::size_t antennas) {
+  std::vector<double> ops{s.side_near};
+  if (antennas == 2) ops.push_back(s.side_far);
+  return reliability::expected_reliability(ops);
+}
+
+/// Tag-spot sets for the redundancy rows.
+inline std::vector<scene::BodySpot> spots_fb() {
+  return {scene::BodySpot::Front, scene::BodySpot::Back};
+}
+inline std::vector<scene::BodySpot> spots_sides() {
+  return {scene::BodySpot::SideNear, scene::BodySpot::SideFar};
+}
+inline std::vector<scene::BodySpot> spots_all() {
+  return {scene::BodySpot::Front, scene::BodySpot::Back, scene::BodySpot::SideNear,
+          scene::BodySpot::SideFar};
+}
+
+}  // namespace rfidsim::bench

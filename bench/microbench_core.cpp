@@ -1,0 +1,78 @@
+// Google-benchmark micro-benchmarks for the simulator's hot paths: the
+// per-round link evaluation and the Gen 2 inventory engine. These guard
+// against performance regressions that would make the Monte Carlo
+// experiment sweeps (hundreds of passes per table) painful.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gen2/inventory.hpp"
+#include "reliability/calibration.hpp"
+#include "reliability/estimator.hpp"
+#include "reliability/scenarios.hpp"
+#include "scene/path_evaluator.hpp"
+#include "system/portal.hpp"
+
+namespace {
+
+using namespace rfidsim;
+
+void BM_PathEvaluation(benchmark::State& state) {
+  const auto cal = reliability::CalibrationProfile::paper2006();
+  reliability::ObjectScenarioOptions opt;
+  opt.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+  const reliability::Scenario sc = reliability::make_object_tracking_scenario(opt, cal);
+  const scene::PathEvaluator evaluator(sc.scene, cal.evaluator);
+  const auto tags = sc.scene.all_tags();
+  double t = 0.0;
+  for (auto _ : state) {
+    for (const auto& tag : tags) {
+      benchmark::DoNotOptimize(evaluator.evaluate(0, tag, t));
+    }
+    t += 0.025;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tags.size()));
+}
+BENCHMARK(BM_PathEvaluation);
+
+void BM_InventoryRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gen2::InventoryConfig cfg;
+  gen2::InventoryEngine engine(cfg);
+  Rng rng(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    // Fresh, fully powered population each round (worst case: everyone
+    // contends).
+    std::vector<gen2::TagState> states(n);
+    std::vector<gen2::TagLink> links(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      states[i].set_powered(true, t, gen2::Session::S0);
+      links[i].powered = true;
+      links[i].rx_power = DbmPower(-55.0);
+    }
+    benchmark::DoNotOptimize(engine.run_round(states, links, t, rng));
+    t += 0.1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InventoryRound)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_FullPass(benchmark::State& state) {
+  const auto cal = reliability::CalibrationProfile::paper2006();
+  reliability::ObjectScenarioOptions opt;
+  const reliability::Scenario sc = reliability::make_object_tracking_scenario(opt, cal);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sys::PortalSimulator sim(sc.scene, sc.portal);
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(sim.run(rng));
+  }
+}
+BENCHMARK(BM_FullPass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

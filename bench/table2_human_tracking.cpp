@@ -1,0 +1,84 @@
+// Table 2: read reliability for tags on humans.
+//
+// Paper setup (§3): badge tags at waist level (belt/pocket, not touching
+// the body); subjects walk past the antenna at 1 m; two-person trials walk
+// abreast to maximize blocking; 20 repetitions per cell. Paper: one
+// subject front/back 75%, side (closer) 90%, side (farther) 10%, avg 63%;
+// two subjects avg 56% with the closer subject reading BETTER than a lone
+// one (reflections off the farther subject).
+#include "bench_util.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::reliability;
+
+namespace {
+
+struct Cell {
+  double closer = 0.0;
+  double farther = 0.0;
+};
+
+Cell measure_two_subject(scene::BodySpot spot, const CalibrationProfile& cal,
+                         std::size_t reps) {
+  HumanScenarioOptions opt;
+  opt.subject_count = 2;
+  opt.tag_spots = {spot};
+  const Scenario sc = make_human_tracking_scenario(opt, cal);
+  const auto per_obj = per_object_reliability(sc, run_repeated(sc, reps, bench::kSeed));
+  Cell cell;
+  for (const auto& [obj, ci] : per_obj) {
+    (obj.value == 1 ? cell.closer : cell.farther) = ci.estimate;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 - read reliability for tags on humans",
+                "Paper (1 subject): F/B 75%, side closer 90%, side farther 10%.\n"
+                "Paper (2 subjects): closer avg 75%, farther avg 38%.");
+  const CalibrationProfile cal = bench::profile();
+  const std::size_t reps = 40;
+
+  const struct {
+    scene::BodySpot spot;
+    const char* paper_one;
+    const char* paper_closer;
+    const char* paper_farther;
+  } rows[] = {
+      {scene::BodySpot::Front, "75%", "90%", "50%"},
+      {scene::BodySpot::SideNear, "90%", "90%", "50%"},
+      {scene::BodySpot::SideFar, "10%", "30%", "0%"},
+  };
+
+  TextTable t({"tag location", "1 subject (sim/paper)", "2 subj closer (sim/paper)",
+               "2 subj farther (sim/paper)"});
+  double one_sum = 0.0;
+  double closer_sum = 0.0;
+  double farther_sum = 0.0;
+  for (const auto& r : rows) {
+    HumanScenarioOptions solo;
+    solo.tag_spots = {r.spot};
+    const double one = measure_tracking_reliability(
+        make_human_tracking_scenario(solo, cal), reps, bench::kSeed);
+    const Cell two = measure_two_subject(r.spot, cal, reps);
+    one_sum += one;
+    closer_sum += two.closer;
+    farther_sum += two.farther;
+    t.add_row({std::string(scene::body_spot_name(r.spot)),
+               percent(one) + " / " + r.paper_one,
+               percent(two.closer) + " / " + r.paper_closer,
+               percent(two.farther) + " / " + r.paper_farther});
+  }
+  t.add_row({"average", percent(one_sum / 3.0) + " / 63%",
+             percent(closer_sum / 3.0) + " / 75%",
+             percent(farther_sum / 3.0) + " / 38%"});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nNote: the paper attributes the closer-of-two subject out-reading a lone\n"
+      "subject to reflections off the farther subject; the simulator reproduces\n"
+      "the effect via its behind-the-tag reflection bonus.\n");
+  return 0;
+}

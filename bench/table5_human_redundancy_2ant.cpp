@@ -1,0 +1,61 @@
+// Table 5: human tracking reliability with two antennas per portal.
+//
+// Paper setup (§4.2): the Table-2/4 rig with the facing antenna pair (2 m
+// apart) driven by one reader. Paper (one subject): 1 tag F/B R_M 80%/R_C
+// 94%; 1 side 90%/91%; 2 F/B 100%/99.6%; 2 sides 100%/99.2%; 4 tags
+// 100%/100%. Two-subject columns within a few points of those.
+#include "bench_util.hpp"
+#include "human_redundancy.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::bench;
+using namespace rfidsim::reliability;
+
+int main() {
+  banner("Table 5 - human tracking redundancy, 2 antennas",
+         "Paper (1 subject): 1 F/B 80%/94%; 1 side 90%/91%; 2 F/B 100%/99.6%;\n"
+         "2 sides 100%/99.2%; 4 tags 100%/100%.");
+  const CalibrationProfile cal = profile();
+
+  const HumanSingles one = measure_singles(1, false, cal);
+  const HumanSingles closer = measure_singles(2, false, cal);
+  const HumanSingles farther = measure_singles(2, true, cal);
+
+  struct Row {
+    const char* label;
+    std::vector<scene::BodySpot> spots;
+    double (*rc)(const HumanSingles&, std::size_t);
+    const char* paper_one;
+    const char* paper_two;
+  };
+  const Row rows[] = {
+      {"1 tag front/back", {scene::BodySpot::Front}, rc_one_fb, "80% / 94%",
+       "90% / 95%"},
+      {"1 tag side", {scene::BodySpot::SideNear}, rc_one_side, "90% / 91%",
+       "80% / 78%"},
+      {"2 tags front/back", spots_fb(), rc_two_fb, "100% / 99.6%", "100% / 99.8%"},
+      {"2 tags sides", spots_sides(), rc_two_sides, "100% / 99.2%", "95% / 97%"},
+      {"4 tags F/B/sides", spots_all(), rc_four, "100% / 100%", "100% / 99.9%"},
+  };
+
+  TextTable t({"tags per subject", "1 subj R_M", "1 subj R_C", "2 subj avg R_M",
+               "2 subj avg R_C", "paper 1 subj", "paper 2 subj"});
+  for (const Row& row : rows) {
+    HumanScenarioOptions solo;
+    solo.tag_spots = row.spots;
+    solo.portal.antenna_count = 2;
+    const double rm_one = measure_human(solo, cal).closer;
+
+    HumanScenarioOptions duo = solo;
+    duo.subject_count = 2;
+    const HumanResult rm_two = measure_human(duo, cal);
+
+    const double rc_one_v = row.rc(one, 2);
+    const double rc_two_avg = 0.5 * (row.rc(closer, 2) + row.rc(farther, 2));
+    t.add_row({row.label, percent(rm_one), percent(rc_one_v),
+               percent(0.5 * (rm_two.closer + rm_two.farther)), percent(rc_two_avg),
+               row.paper_one, row.paper_two});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

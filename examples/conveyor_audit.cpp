@@ -1,0 +1,89 @@
+// Conveyor-line audit: raw event streams into clean shipment records.
+//
+// A pharmaceutical-style line (the paper cites a pharma pilot with read
+// rates from under 10% to 100%): cases pass two sequential portals; the
+// back end must turn a lossy duplicate-ridden event stream into per-case
+// shipment records. Demonstrates the track:: toolkit end to end:
+//   * window smoothing to collapse duplicate reads into presence intervals,
+//   * per-portal detection sets,
+//   * route-constraint cleaning across the two portals,
+//   * accompany-constraint cleaning within the pallet,
+// and reports how many cases each stage recovers.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "reliability/calibration.hpp"
+#include "reliability/estimator.hpp"
+#include "reliability/scenarios.hpp"
+#include "track/cleaning.hpp"
+#include "track/tracking.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::reliability;
+
+int main() {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+
+  // A deliberately weak line: one tag per case, on the far side (the
+  // placement nobody chose on purpose — it just came off the applicator
+  // that way). Paper Table 1 says ~63% per case.
+  ObjectScenarioOptions opt;
+  opt.tag_faces = {scene::BoxFace::SideFar};
+  const Scenario sc = make_object_tracking_scenario(opt, cal);
+  const track::TrackingAnalyzer analyzer(sc.registry);
+  const std::size_t cases = sc.registry.object_count();
+
+  // Two sequential portals = two passes of the same cart.
+  const RepeatedRuns runs = run_repeated(sc, 2, /*seed=*/99);
+  const sys::EventLog& portal_a = runs.logs[0];
+  const sys::EventLog& portal_b = runs.logs[1];
+
+  // Stage 0: raw duplicates -> presence intervals.
+  const track::WindowSmoother smoother(/*window_s=*/0.5);
+  const auto presences = smoother.smooth(portal_a);
+  std::printf("portal A: %zu raw events -> %zu smoothed presence intervals\n",
+              portal_a.size(), presences.size());
+
+  // Stage 1: per-portal detections.
+  const auto report_a = analyzer.analyze(portal_a);
+  const auto report_b = analyzer.analyze(portal_b);
+  std::printf("portal A saw %zu/%zu cases; portal B saw %zu/%zu\n",
+              report_a.objects_identified.size(), cases,
+              report_b.objects_identified.size(), cases);
+
+  // Stage 2: route constraint — anything portal B saw must have passed A.
+  track::RouteObservations route;
+  route.checkpoint_count = 2;
+  route.detected = {report_a.objects_identified, report_b.objects_identified};
+  const auto routed = track::apply_route_constraint(route);
+  std::printf("route constraint recovered %zu missed detections at portal A\n",
+              routed.recovered);
+
+  // Stage 3: accompany constraint — the cases travel as one pallet.
+  const std::vector<std::vector<track::ObjectId>> pallet{
+      {sc.registry.objects().begin(), sc.registry.objects().end()}};
+  const auto accompanied = track::apply_accompany_constraint(
+      routed.corrected.detected[0], pallet, /*quorum=*/0.5);
+  std::printf("accompany constraint inferred %zu more\n", accompanied.recovered);
+
+  TextTable t({"stage", "cases accounted for at portal A"});
+  t.add_row({"raw reads", std::to_string(report_a.objects_identified.size()) + "/" +
+                              std::to_string(cases)});
+  t.add_row({"+ route constraint",
+             std::to_string(routed.corrected.detected[0].size()) + "/" +
+                 std::to_string(cases)});
+  t.add_row({"+ accompany constraint", std::to_string(accompanied.corrected.size()) +
+                                           "/" + std::to_string(cases)});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nThe cleaning stages account for every case, but only as *inference* — the\n"
+      "paper's physical fix (a second tag per case) keeps the evidence direct:\n");
+  ObjectScenarioOptions fixed = opt;
+  fixed.tag_faces = {scene::BoxFace::SideFar, scene::BoxFace::Front};
+  const double fixed_rel = measure_tracking_reliability(
+      make_object_tracking_scenario(fixed, cal), 24, /*seed=*/99);
+  std::printf("with a second (front) tag per case: %s raw read reliability\n",
+              percent(fixed_rel).c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Library-wide error types.
+//
+// rfidsim throws on programmer errors (invalid configuration, violated
+// preconditions) and never on expected simulation outcomes (a missed read
+// is a result, not an error).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rfidsim {
+
+/// Base class for all rfidsim exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a scenario, scheme, or model is configured inconsistently
+/// (e.g. a portal with zero antennas, a negative distance, an unknown
+/// tag id in a registry).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws ConfigError when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw ConfigError(message);
+}
+
+}  // namespace rfidsim

@@ -1,0 +1,57 @@
+// Rigid poses: a position plus an orthonormal orientation frame.
+//
+// Tags and antennas both need a full orientation, not just a facing
+// direction: a dipole tag's response depends on the direction of its dipole
+// *axis* and on which way its patch *faces*, independently.
+#pragma once
+
+#include <cmath>
+
+#include "common/vec3.hpp"
+
+namespace rfidsim {
+
+/// An orthonormal right-handed frame. `forward` is the boresight / facing
+/// direction, `up` completes the frame, `right = forward x up`.
+struct Frame {
+  Vec3 forward{0.0, 1.0, 0.0};
+  Vec3 up{0.0, 0.0, 1.0};
+
+  /// The third basis vector.
+  Vec3 right() const { return forward.cross(up); }
+
+  /// Re-orthonormalises the frame (Gram-Schmidt on `up` against `forward`).
+  /// Useful after composing rotations numerically.
+  void orthonormalize() {
+    forward = forward.normalized();
+    up = (up - forward * up.dot(forward)).normalized();
+  }
+
+  /// Frame rotated by `angle_rad` about the world axis `axis` (unit vector),
+  /// using Rodrigues' rotation formula.
+  Frame rotated(const Vec3& axis, double angle_rad) const {
+    const Vec3 k = axis.normalized();
+    const double c = std::cos(angle_rad);
+    const double s = std::sin(angle_rad);
+    auto rot = [&](const Vec3& v) {
+      return v * c + k.cross(v) * s + k * (k.dot(v) * (1.0 - c));
+    };
+    Frame f;
+    f.forward = rot(forward);
+    f.up = rot(up);
+    return f;
+  }
+};
+
+/// Position + orientation of a scene entity.
+struct Pose {
+  Vec3 position;
+  Frame frame;
+
+  /// Unit vector from this pose toward a point; zero vector if coincident.
+  Vec3 direction_to(const Vec3& point) const {
+    return (point - position).normalized();
+  }
+};
+
+}  // namespace rfidsim

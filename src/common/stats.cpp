@@ -1,0 +1,69 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfidsim {
+
+namespace {
+
+// Percentile of an already-sorted sample, linearly interpolated.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+SampleSummary summarize(std::vector<double> samples) {
+  SampleSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.lower_quartile = percentile_sorted(samples, 0.25);
+  s.median = percentile_sorted(samples, 0.50);
+  s.upper_quartile = percentile_sorted(samples, 0.75);
+
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  return s;
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  ProportionInterval ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  ci.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  ci.lower = std::min(std::max(0.0, (centre - margin) / denom), p);
+  ci.upper = std::max(std::min(1.0, (centre + margin) / denom), p);
+  return ci;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace rfidsim

@@ -1,0 +1,65 @@
+// Descriptive statistics used when reporting experiment results.
+//
+// The paper reports averages with upper/lower quartiles (Figs. 2 and 4) and
+// success proportions over small repetition counts (Tables 1-5), so the two
+// workhorses here are quartile summaries over samples and Wilson score
+// intervals over Bernoulli counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfidsim {
+
+/// Five-number-ish summary of a sample: mean, median, quartiles, extremes.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double lower_quartile = 0.0;  ///< 25th percentile.
+  double median = 0.0;
+  double upper_quartile = 0.0;  ///< 75th percentile.
+  double max = 0.0;
+};
+
+/// Computes a SampleSummary. Quartiles use linear interpolation between
+/// order statistics (the same convention as numpy's default). An empty
+/// sample yields an all-zero summary.
+SampleSummary summarize(std::vector<double> samples);
+
+/// A two-sided confidence interval for a proportion.
+struct ProportionInterval {
+  double estimate = 0.0;  ///< successes / trials (0 when trials == 0).
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion. Behaves sensibly for
+/// the small n (10-40 repetitions) used throughout the paper, unlike the
+/// normal approximation. `z` is the standard-normal quantile
+/// (1.96 ~ 95% confidence).
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z = 1.959963984540054);
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+  /// Mean of observations (0 when empty).
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator; 0 when fewer than two observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rfidsim

@@ -1,0 +1,44 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figure data
+// series; TextTable gives them a uniform, aligned, pipe-delimited output
+// format that is easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfidsim {
+
+/// A simple column-aligned text table builder.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are an error (throws std::invalid_argument).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, e.g.
+  ///   Tag location | Reliability
+  ///   -------------+------------
+  ///   Front        | 87%
+  std::string render() const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a probability as a percentage string, e.g. 0.873 -> "87%".
+/// `decimals` adds fractional digits ("87.3%").
+std::string percent(double probability, int decimals = 0);
+
+/// Formats a double with fixed decimals, e.g. fixed_str(3.14159, 2) -> "3.14".
+std::string fixed_str(double value, int decimals);
+
+}  // namespace rfidsim

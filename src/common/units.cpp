@@ -1,0 +1,9 @@
+#include "common/units.hpp"
+
+namespace rfidsim {
+
+DbmPower sum_incoherent(DbmPower a, DbmPower b) {
+  return DbmPower::from_milliwatts(a.milliwatts() + b.milliwatts());
+}
+
+}  // namespace rfidsim

@@ -1,0 +1,87 @@
+// Power and gain units for RF link-budget arithmetic.
+//
+// Mixing up dB (a ratio) and dBm (an absolute power) is the classic RF
+// modelling bug, so the two are distinct strong types: Decibel + Decibel is
+// a gain composition; DbmPower + Decibel is an amplified signal;
+// DbmPower + DbmPower does not compile.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace rfidsim {
+
+/// A dimensionless ratio expressed in decibels (antenna gain, loss, margin).
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  constexpr explicit Decibel(double db) : db_(db) {}
+
+  /// The raw decibel value.
+  constexpr double value() const { return db_; }
+  /// The linear ratio this gain represents (10^(dB/10)).
+  double linear() const { return std::pow(10.0, db_ / 10.0); }
+  /// Builds a Decibel from a linear power ratio (must be > 0).
+  static Decibel from_linear(double ratio) { return Decibel(10.0 * std::log10(ratio)); }
+
+  constexpr Decibel operator+(Decibel o) const { return Decibel(db_ + o.db_); }
+  constexpr Decibel operator-(Decibel o) const { return Decibel(db_ - o.db_); }
+  constexpr Decibel operator-() const { return Decibel(-db_); }
+  constexpr Decibel& operator+=(Decibel o) { db_ += o.db_; return *this; }
+  constexpr Decibel& operator-=(Decibel o) { db_ -= o.db_; return *this; }
+  constexpr Decibel operator*(double s) const { return Decibel(db_ * s); }
+  constexpr auto operator<=>(const Decibel&) const = default;
+
+ private:
+  double db_ = 0.0;
+};
+
+/// An absolute power level in dBm (decibels relative to one milliwatt).
+class DbmPower {
+ public:
+  constexpr DbmPower() = default;
+  constexpr explicit DbmPower(double dbm) : dbm_(dbm) {}
+
+  /// The raw dBm value.
+  constexpr double value() const { return dbm_; }
+  /// Power in milliwatts.
+  double milliwatts() const { return std::pow(10.0, dbm_ / 10.0); }
+  /// Power in watts.
+  double watts() const { return milliwatts() * 1e-3; }
+  /// Builds a power level from milliwatts (must be > 0).
+  static DbmPower from_milliwatts(double mw) { return DbmPower(10.0 * std::log10(mw)); }
+
+  /// Applying a gain/loss to a power yields a power.
+  constexpr DbmPower operator+(Decibel g) const { return DbmPower(dbm_ + g.value()); }
+  constexpr DbmPower operator-(Decibel g) const { return DbmPower(dbm_ - g.value()); }
+  constexpr DbmPower& operator+=(Decibel g) { dbm_ += g.value(); return *this; }
+  constexpr DbmPower& operator-=(Decibel g) { dbm_ -= g.value(); return *this; }
+  /// The ratio between two absolute powers is a gain.
+  constexpr Decibel operator-(DbmPower o) const { return Decibel(dbm_ - o.dbm_); }
+  constexpr auto operator<=>(const DbmPower&) const = default;
+
+ private:
+  double dbm_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Decibel d) { return os << d.value() << " dB"; }
+inline std::ostream& operator<<(std::ostream& os, DbmPower p) { return os << p.value() << " dBm"; }
+
+namespace literals {
+constexpr Decibel operator""_dB(long double v) { return Decibel(static_cast<double>(v)); }
+constexpr Decibel operator""_dB(unsigned long long v) { return Decibel(static_cast<double>(v)); }
+constexpr DbmPower operator""_dBm(long double v) { return DbmPower(static_cast<double>(v)); }
+constexpr DbmPower operator""_dBm(unsigned long long v) { return DbmPower(static_cast<double>(v)); }
+}  // namespace literals
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Wavelength [m] for a carrier frequency [Hz].
+constexpr double wavelength_m(double frequency_hz) { return kSpeedOfLight / frequency_hz; }
+
+/// Sums incoherent powers expressed in dBm (e.g. interference floors).
+DbmPower sum_incoherent(DbmPower a, DbmPower b);
+
+}  // namespace rfidsim

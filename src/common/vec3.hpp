@@ -1,0 +1,71 @@
+// 3-D vector math used throughout the geometry and RF models.
+//
+// Deliberately minimal: rfidsim needs dot/cross products, norms, and a few
+// constructors, not a full linear-algebra package. All operations are
+// constexpr-friendly and allocation-free.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace rfidsim {
+
+/// A 3-D vector (or point) in metres. The simulator's world frame is
+/// right-handed: +x along the direction of travel of moving objects,
+/// +y from the scene toward the reader antenna, +z up.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  /// Dot product.
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  /// Cross product (right-handed).
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  /// Squared Euclidean norm. Cheaper than norm() when comparing distances.
+  constexpr double norm2() const { return dot(*this); }
+  /// Euclidean norm (length).
+  double norm() const { return std::sqrt(norm2()); }
+  /// Unit vector in this direction. Returns the zero vector unchanged
+  /// (callers that care must check norm() first).
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+  /// Distance to another point.
+  double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Angle in radians between two (not necessarily unit) vectors.
+/// Returns 0 when either vector is zero.
+inline double angle_between(const Vec3& a, const Vec3& b) {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  c = c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c);
+  return std::acos(c);
+}
+
+}  // namespace rfidsim

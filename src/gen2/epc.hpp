@@ -1,0 +1,45 @@
+// EPC identifiers.
+//
+// Gen 2 tags carry a 96-bit Electronic Product Code. The simulator only
+// needs identity semantics plus a printable form, so the code is stored as
+// a 96-bit value in two words with helpers for rendering the conventional
+// hex form.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rfidsim::gen2 {
+
+/// A 96-bit EPC. `hi` holds the top 32 bits, `lo` the bottom 64.
+struct Epc {
+  std::uint32_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr auto operator<=>(const Epc&) const = default;
+
+  /// Builds an EPC from a simple serial number (company prefix zeroed).
+  static constexpr Epc from_serial(std::uint64_t serial) { return Epc{0, serial}; }
+
+  /// Renders as 24 hex digits, e.g. "0000000000000000000000FF".
+  std::string to_hex() const;
+};
+
+inline std::string Epc::to_hex() const {
+  static const char* digits = "0123456789ABCDEF";
+  std::string out(24, '0');
+  std::uint32_t h = hi;
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  std::uint64_t l = lo;
+  for (int i = 23; i >= 8; --i) {
+    out[static_cast<std::size_t>(i)] = digits[l & 0xF];
+    l >>= 4;
+  }
+  return out;
+}
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,44 @@
+#include "gen2/estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfidsim::gen2 {
+
+FrameObservation FrameObservation::from_round(const InventoryRoundResult& round) {
+  FrameObservation obs;
+  obs.frame_size = round.total_slots;
+  obs.empty = round.empty_slots;
+  obs.singleton = round.success_slots;
+  obs.collision = round.collision_slots;
+  return obs;
+}
+
+std::size_t estimate_lower_bound(const FrameObservation& obs) {
+  return obs.singleton + 2 * obs.collision;
+}
+
+double estimate_collision_factor(const FrameObservation& obs) {
+  // Vogt's simulation-derived expectation of ~2.3922 tags per collided
+  // slot when occupancy is near the throughput optimum.
+  return static_cast<double>(obs.singleton) + 2.3922 * static_cast<double>(obs.collision);
+}
+
+double estimate_from_empties(const FrameObservation& obs) {
+  if (obs.frame_size < 2 || obs.empty == 0 || obs.empty >= obs.frame_size) {
+    return estimate_collision_factor(obs);
+  }
+  const double n_slots = static_cast<double>(obs.frame_size);
+  const double p_empty = static_cast<double>(obs.empty) / n_slots;
+  // E[empty fraction] = (1 - 1/N)^n  =>  n = ln(p) / ln(1 - 1/N).
+  const double n = std::log(p_empty) / std::log(1.0 - 1.0 / n_slots);
+  return std::max(n, static_cast<double>(estimate_lower_bound(obs)));
+}
+
+int recommended_q(double estimated_population, int min_q, int max_q) {
+  const double n = std::max(estimated_population, 1.0);
+  const int q = static_cast<int>(std::lround(std::log2(n)));
+  return std::clamp(q, min_q, max_q);
+}
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,51 @@
+// Tag-population estimation from slotted-ALOHA statistics.
+//
+// The paper's related work ([18] Vogt, "Multiple object identification
+// with passive RFID tags"; [9] Kodialam & Nandagopal, "Fast and reliable
+// estimation schemes in RFID systems") estimates how many tags are present
+// from the pattern of empty/singleton/collided slots, without reading them
+// all — used by readers to pick a good frame size (Q) and by applications
+// to sanity-check pallet counts. The paper excludes protocol changes from
+// its scope but cites these as the complementary MAC-level approach; we
+// implement them as an extension over InventoryRoundResult's slot counts.
+#pragma once
+
+#include <cstddef>
+
+#include "gen2/inventory.hpp"
+
+namespace rfidsim::gen2 {
+
+/// Slot outcome counts of one (or several pooled) frames.
+struct FrameObservation {
+  std::size_t frame_size = 0;   ///< Total slots offered (N).
+  std::size_t empty = 0;        ///< Slots with no reply (N0).
+  std::size_t singleton = 0;    ///< Slots with exactly one reply (N1).
+  std::size_t collision = 0;    ///< Slots with >= 2 replies (Nk).
+
+  /// Builds an observation from an inventory round. Successful
+  /// singulations are singleton slots; capture-effect rescues still hide a
+  /// collision underneath, but the reader cannot tell — neither can we.
+  static FrameObservation from_round(const InventoryRoundResult& round);
+};
+
+/// Vogt's lower bound: every collision hides at least two tags, every
+/// singleton exactly one.
+std::size_t estimate_lower_bound(const FrameObservation& obs);
+
+/// Vogt's collision-factor estimate: a collided slot holds ~2.39 tags on
+/// average under Poisson occupancy, so n ~ N1 + 2.39 * Nk.
+double estimate_collision_factor(const FrameObservation& obs);
+
+/// Maximum-likelihood-style estimate from the empty-slot fraction: with n
+/// tags in N slots, E[N0]/N = (1 - 1/N)^n, inverted for n. Falls back to
+/// the collision-factor estimate when there are no empty slots (fully
+/// saturated frame) or the frame is degenerate.
+double estimate_from_empties(const FrameObservation& obs);
+
+/// The frame size (as a Q exponent) that maximizes throughput for an
+/// estimated population: slotted ALOHA peaks at frame size ~ n, so
+/// Q = round(log2(max(n, 1))) clamped to [min_q, max_q].
+int recommended_q(double estimated_population, int min_q = 0, int max_q = 15);
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,30 @@
+#include "gen2/interference.hpp"
+
+namespace rfidsim::gen2 {
+
+double ReaderInterference::command_jam_probability(
+    const ReaderRfState& self, const std::vector<ReaderRfState>& others) const {
+  double p_clear = 1.0;
+  for (const ReaderRfState& other : others) {
+    if (!other.transmitting) continue;
+    if (self.position.distance_to(other.position) > params_.interference_range_m) continue;
+    const bool coordinated = self.dense_reader_mode && other.dense_reader_mode &&
+                             self.channel != other.channel;
+    const double p_jam = coordinated || self.channel != other.channel
+                             ? params_.drm_jam_probability
+                             : params_.cochannel_jam_probability;
+    p_clear *= 1.0 - p_jam;
+  }
+  return 1.0 - p_clear;
+}
+
+std::vector<int> ReaderInterference::assign_channels(std::size_t count,
+                                                     bool dense_reader_mode) {
+  std::vector<int> channels(count, 0);
+  if (dense_reader_mode) {
+    for (std::size_t i = 0; i < count; ++i) channels[i] = static_cast<int>(i);
+  }
+  return channels;
+}
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,149 @@
+#include "gen2/inventory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rfidsim::gen2 {
+
+InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
+                                                const std::vector<TagLink>& links,
+                                                double t_s, Rng& rng) {
+  require(states.size() == links.size(),
+          "InventoryEngine: states and links must be parallel arrays");
+  if (qfp_ < 0.0) qfp_ = config_.q.initial_q;
+
+  InventoryRoundResult result;
+  result.duration_s += config_.timing.round_overhead_s;
+
+  auto clamp_q = [&](double q) {
+    return std::clamp(q, static_cast<double>(config_.q.min_q),
+                      static_cast<double>(config_.q.max_q));
+  };
+  qfp_ = clamp_q(qfp_);
+  int q = static_cast<int>(std::lround(qfp_));
+
+  // Query: every powered, flag-matching tag draws a slot. A jammed command
+  // is missed by all tags (they hear garbage and stay put). In dual-target
+  // mode the targeted flag alternates between rounds.
+  const InventoriedFlag target = config_.dual_target ? next_target_ : config_.target;
+  if (config_.dual_target) {
+    next_target_ =
+        next_target_ == InventoriedFlag::A ? InventoriedFlag::B : InventoriedFlag::A;
+  }
+  result.duration_s += config_.timing.query_s;
+  const bool query_heard = !rng.bernoulli(config_.command_jam_probability);
+  if (query_heard) {
+    for (auto& st : states) {
+      st.on_query(q, target, config_.session, t_s, rng);
+    }
+  }
+
+  std::size_t slots_remaining = static_cast<std::size_t>(1) << q;
+
+  std::vector<std::size_t> repliers;
+  while (slots_remaining > 0 && result.total_slots < config_.q.max_slots_per_round) {
+    ++result.total_slots;
+    --slots_remaining;
+
+    repliers.clear();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].powered() && states[i].replying()) repliers.push_back(i);
+    }
+
+    if (repliers.empty()) {
+      result.duration_s += config_.timing.empty_slot_s;
+      ++result.empty_slots;
+      qfp_ = clamp_q(qfp_ - config_.q.step_empty);
+    } else {
+      // Determine whether the slot is decodable: exactly one reply, or one
+      // reply that out-powers the rest by the capture threshold.
+      std::size_t winner = repliers.front();
+      bool decodable = repliers.size() == 1;
+      if (!decodable) {
+        double best = -1e18;
+        double second = -1e18;
+        for (std::size_t i : repliers) {
+          const double p = links[i].rx_power.value();
+          if (p > best) {
+            second = best;
+            best = p;
+            winner = i;
+          } else if (p > second) {
+            second = p;
+          }
+        }
+        decodable = best - second >= config_.capture_threshold_db;
+      }
+
+      bool singulated = false;
+      if (decodable) {
+        // RN16 decode, then ACK (a command, jammable), then EPC decode.
+        const TagLink& link = links[winner];
+        const bool rn16_ok = rng.bernoulli(link.reply_decode_probability);
+        const bool ack_ok = rn16_ok && !rng.bernoulli(config_.command_jam_probability);
+        const bool epc_ok = ack_ok && rng.bernoulli(link.reply_decode_probability);
+        if (epc_ok) {
+          states[winner].on_acknowledged(t_s);
+          result.singulated.push_back(winner);
+          result.duration_s += config_.timing.singulation_s;
+          ++result.success_slots;
+          singulated = true;
+        }
+      }
+
+      if (!singulated) {
+        result.duration_s += config_.timing.collided_slot_s;
+        ++result.collision_slots;
+        qfp_ = clamp_q(qfp_ + config_.q.step_collision);
+        // Losers (and a failed winner) redraw into the remaining frame.
+        const int q_now = static_cast<int>(std::lround(qfp_));
+        for (std::size_t i : repliers) states[i].on_reply_lost(q_now, rng);
+      }
+
+      // The slot for any remaining replier has been consumed either way.
+      for (std::size_t i : repliers) {
+        if (states[i].replying()) states[i].on_query_rep();
+      }
+    }
+
+    // Advance surviving tags to the next slot.
+    const bool rep_heard = !rng.bernoulli(config_.command_jam_probability);
+    if (rep_heard) {
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (states[i].powered() && states[i].state() == TagProtocolState::Arbitrate) {
+          states[i].on_query_rep();
+        }
+      }
+    }
+    result.duration_s += config_.timing.query_rep_s;
+
+    // Q adaptation mid-round.
+    if (config_.adjust_mid_round) {
+      const int q_new = static_cast<int>(std::lround(qfp_));
+      if (q_new != q) {
+        q = q_new;
+        result.duration_s += config_.timing.query_s;
+        const bool adj_heard = !rng.bernoulli(config_.command_jam_probability);
+        if (adj_heard) {
+          for (auto& st : states) st.on_query_adjust(q, rng);
+        }
+        slots_remaining = static_cast<std::size_t>(1) << q;
+      }
+    }
+
+    // Early exit once no tag is still contending (a real reader sees only
+    // empties from here; cutting them short just saves simulated time).
+    const bool any_active = std::any_of(states.begin(), states.end(), [](const TagState& s) {
+      return s.powered() && (s.state() == TagProtocolState::Arbitrate ||
+                             s.state() == TagProtocolState::Reply);
+    });
+    if (!any_active) break;
+  }
+
+  result.final_q = qfp_;
+  return result;
+}
+
+}  // namespace rfidsim::gen2

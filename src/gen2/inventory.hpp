@@ -1,0 +1,99 @@
+// Reader-side Gen 2 inventory: slotted-ALOHA rounds with the Q algorithm.
+//
+// One InventoryEngine::run_round executes a full Query...QueryRep frame
+// against a population of TagState machines:
+//   * each powered, flag-matching tag draws a slot in [0, 2^Q),
+//   * per slot the engine classifies empty / single / collided (with a
+//     capture-effect escape hatch for power-dominant tags),
+//   * single replies go through RN16 decode -> ACK -> EPC decode, each leg
+//     subject to the physical-layer success probability and to reader
+//     interference jamming,
+//   * Qfp floats up by step_collision and down by step_empty, optionally issuing
+//     mid-round QueryAdjust.
+// The result carries both the singulated tags and the time the round
+// consumed — time a moving tag does not get back.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gen2/session.hpp"
+#include "gen2/tag_state.hpp"
+#include "gen2/timing.hpp"
+
+namespace rfidsim::gen2 {
+
+/// Per-tag physical-link quality for the duration of one round.
+struct TagLink {
+  /// Tag is energized (forward link closed under this round's fading).
+  bool powered = false;
+  /// Probability the reader decodes one tag transmission (RN16 or EPC).
+  double reply_decode_probability = 1.0;
+  /// Backscatter power at the reader, for capture-effect comparisons.
+  DbmPower rx_power{-60.0};
+};
+
+/// Inventory-engine configuration.
+struct InventoryConfig {
+  QAlgorithmParams q{};
+  LinkTiming timing{};
+  Session session = Session::S0;
+  InventoriedFlag target = InventoriedFlag::A;
+  /// If one colliding reply out-powers all others by at least this much,
+  /// the reader captures it instead of losing the slot.
+  double capture_threshold_db = 6.0;
+  /// Probability a reader *command* is unintelligible to tags because
+  /// another reader is transmitting (see gen2::ReaderInterference).
+  double command_jam_probability = 0.0;
+  /// Issue QueryAdjust when round(Qfp) changes mid-round (true matches
+  /// modern readers; false adjusts only between rounds).
+  bool adjust_mid_round = true;
+  /// Dual-target inventory: alternate the Query's target flag (A, B, A,
+  /// ...) between rounds so already-read tags answer again. Standard
+  /// reader practice when the application wants RSSI tracked across a
+  /// whole pass (e.g. zone filtering) instead of one read per tag.
+  bool dual_target = false;
+};
+
+/// Outcome of one inventory round.
+struct InventoryRoundResult {
+  std::vector<std::size_t> singulated;  ///< Tag indices read this round.
+  std::size_t total_slots = 0;
+  std::size_t empty_slots = 0;
+  std::size_t collision_slots = 0;
+  std::size_t success_slots = 0;
+  double duration_s = 0.0;
+  double final_q = 0.0;
+};
+
+/// Executes inventory rounds over a tag population.
+class InventoryEngine {
+ public:
+  explicit InventoryEngine(InventoryConfig config) : config_(config) {}
+
+  /// Runs one full round starting at simulation time `t_s`.
+  ///
+  /// `states` and `links` are parallel arrays (one entry per tag); states
+  /// persist across rounds (inventoried flags, power). The caller is
+  /// responsible for setting each tag's power via TagState::set_powered
+  /// before the round (the engine does not evaluate RF).
+  InventoryRoundResult run_round(std::vector<TagState>& states,
+                                 const std::vector<TagLink>& links, double t_s,
+                                 Rng& rng);
+
+  const InventoryConfig& config() const { return config_; }
+  /// Current floating-point Q (persists across rounds, as real readers do).
+  double qfp() const { return qfp_; }
+  /// Resets Qfp to the configured initial value.
+  void reset_q() { qfp_ = config_.q.initial_q; }
+
+ private:
+  InventoryConfig config_;
+  double qfp_ = -1.0;  ///< Lazily initialized from config on first round.
+  /// Which flag the next round targets (dual-target mode toggles this).
+  InventoriedFlag next_target_ = InventoriedFlag::A;
+};
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,33 @@
+// Gen 2 sessions and inventoried-flag persistence.
+//
+// Each tag keeps one inventoried flag (A/B) per session S0-S3. A reader
+// inventories tags whose flag matches the Query's target and the tag then
+// toggles its flag, dropping out of subsequent rounds — which is what lets
+// a portal sweep a population instead of re-reading the loudest tag
+// forever. The flags decay back at session-specific persistence times;
+// S0 resets whenever the tag loses power.
+#pragma once
+
+namespace rfidsim::gen2 {
+
+/// The four Gen 2 sessions.
+enum class Session { S0, S1, S2, S3 };
+
+/// The two inventoried-flag values.
+enum class InventoriedFlag { A, B };
+
+/// Nominal persistence of the inventoried flag once the tag is
+/// de-energized, in seconds. (Spec: S0 none; S1 0.5-5 s regardless of
+/// power; S2/S3 > 2 s while de-energized.) Returns the value this
+/// simulator uses.
+constexpr double flag_persistence_s(Session s) {
+  switch (s) {
+    case Session::S0: return 0.0;
+    case Session::S1: return 1.0;
+    case Session::S2: return 4.0;
+    case Session::S3: return 4.0;
+  }
+  return 0.0;
+}
+
+}  // namespace rfidsim::gen2

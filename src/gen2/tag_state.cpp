@@ -1,0 +1,90 @@
+#include "gen2/tag_state.hpp"
+
+namespace rfidsim::gen2 {
+
+void TagState::set_powered(bool powered, double t_s, Session session) {
+  if (powered == powered_) return;
+  powered_ = powered;
+  if (powered) {
+    // Regaining power: if the flag's persistence expired while dark, it
+    // reverted to A. Resolve that now so subsequent queries see it.
+    if (flag_ == InventoriedFlag::B && flag_set_time_s_ >= 0.0) {
+      const double dark_since = power_loss_time_s_;
+      const double persistence = flag_persistence_s(session);
+      if (session == Session::S0 || t_s - dark_since > persistence) {
+        flag_ = InventoriedFlag::A;
+      }
+    }
+    state_ = TagProtocolState::Ready;
+  } else {
+    power_loss_time_s_ = t_s;
+    state_ = TagProtocolState::Unpowered;
+    slot_counter_ = 0;
+  }
+}
+
+void TagState::draw_slot(int q, Rng& rng) {
+  const std::uint32_t frame = q <= 0 ? 1u : (1u << q);
+  slot_counter_ = static_cast<std::uint32_t>(rng.uniform_int(0, frame - 1));
+  state_ = slot_counter_ == 0 ? TagProtocolState::Reply : TagProtocolState::Arbitrate;
+}
+
+void TagState::on_query(int q, InventoriedFlag target, Session session, double t_s,
+                        Rng& rng) {
+  if (!powered_) return;
+  if (flag(t_s, session) != target) {
+    state_ = TagProtocolState::Ready;
+    return;
+  }
+  draw_slot(q, rng);
+}
+
+void TagState::on_query_adjust(int q, Rng& rng) {
+  if (!powered_) return;
+  if (state_ != TagProtocolState::Arbitrate && state_ != TagProtocolState::Reply) return;
+  draw_slot(q, rng);
+}
+
+void TagState::on_query_rep() {
+  if (!powered_) return;
+  if (state_ == TagProtocolState::Arbitrate) {
+    if (slot_counter_ > 0) --slot_counter_;
+    if (slot_counter_ == 0) state_ = TagProtocolState::Reply;
+  } else if (state_ == TagProtocolState::Reply) {
+    // Spec: an unacknowledged replying tag that hears QueryRep returns to
+    // Arbitrate with slot 0x7FFF (effectively out of this round). We drop
+    // it to Ready, which has the same observable effect for inventory.
+    state_ = TagProtocolState::Ready;
+  }
+}
+
+void TagState::on_acknowledged(double t_s) {
+  if (!powered_ || state_ != TagProtocolState::Reply) return;
+  state_ = TagProtocolState::Acknowledged;
+  // Spec behaviour: singulation TOGGLES the inventoried flag (so a
+  // B-targeted round hands the tag back to A).
+  if (flag_ == InventoriedFlag::A) {
+    flag_ = InventoriedFlag::B;
+    flag_set_time_s_ = t_s;
+  } else {
+    flag_ = InventoriedFlag::A;
+  }
+}
+
+void TagState::on_reply_lost(int q, Rng& rng) {
+  if (!powered_ || state_ != TagProtocolState::Reply) return;
+  draw_slot(q, rng);
+}
+
+InventoriedFlag TagState::flag(double t_s, Session session) const {
+  if (flag_ == InventoriedFlag::A) return InventoriedFlag::A;
+  if (!powered_) {
+    const double persistence = flag_persistence_s(session);
+    if (session == Session::S0 || t_s - power_loss_time_s_ > persistence) {
+      return InventoriedFlag::A;
+    }
+  }
+  return InventoriedFlag::B;
+}
+
+}  // namespace rfidsim::gen2

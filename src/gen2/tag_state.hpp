@@ -1,0 +1,82 @@
+// Gen 2 tag-side protocol state machine.
+//
+// Implements the inventory-relevant subset of the EPC C1G2 tag states:
+// Ready -> Arbitrate -> Reply -> Acknowledged, with a per-session
+// inventoried flag. Power-sensitive behaviour matters: a tag that browns
+// out forgets its slot counter, and an S0 flag resets on power loss —
+// both visible in continuous-mode portal traces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "gen2/session.hpp"
+
+namespace rfidsim::gen2 {
+
+/// Protocol state of one tag during inventory.
+enum class TagProtocolState {
+  Unpowered,     ///< Below sensitivity; does not participate.
+  Ready,         ///< Powered, waiting for a Query.
+  Arbitrate,     ///< Holds a nonzero slot counter.
+  Reply,         ///< Slot counter hit zero; backscattering RN16.
+  Acknowledged,  ///< ACKed; has sent PC/EPC/CRC.
+};
+
+/// Tag-side state machine for the inventory rounds of one session.
+class TagState {
+ public:
+  TagState() = default;
+
+  /// Powers the tag on/off at simulation time `t_s`. Power loss drops the
+  /// tag out of any round in progress; an S0 inventoried flag resets
+  /// immediately and persistent sessions start their decay timer.
+  void set_powered(bool powered, double t_s, Session session);
+
+  /// True if the tag currently holds energy.
+  bool powered() const { return powered_; }
+
+  /// Handles a Query targeting flag `target`: a powered tag whose flag
+  /// matches draws a slot in [0, 2^q - 1] and enters Arbitrate (or Reply
+  /// if it drew zero). A mismatched tag stays silent.
+  void on_query(int q, InventoriedFlag target, Session session, double t_s, Rng& rng);
+
+  /// Handles a QueryAdjust: redraw the slot with the new q.
+  void on_query_adjust(int q, Rng& rng);
+
+  /// Handles a QueryRep (end of the current slot): decrements the slot
+  /// counter; a tag reaching zero enters Reply.
+  void on_query_rep();
+
+  /// True if the tag is currently replying (slot counter zero).
+  bool replying() const { return state_ == TagProtocolState::Reply; }
+
+  /// Handles a successful ACK of this tag's RN16: the tag transmits its
+  /// EPC, toggles its inventoried flag, and leaves the round.
+  void on_acknowledged(double t_s);
+
+  /// The reader failed to ACK (collision or decode loss): tag returns to
+  /// Arbitrate with a fresh slot draw at the current q.
+  void on_reply_lost(int q, Rng& rng);
+
+  /// Current inventoried flag at time `t_s`, accounting for persistence
+  /// decay while unpowered.
+  InventoriedFlag flag(double t_s, Session session) const;
+
+  TagProtocolState state() const { return state_; }
+  std::uint32_t slot_counter() const { return slot_counter_; }
+
+ private:
+  void draw_slot(int q, Rng& rng);
+
+  TagProtocolState state_ = TagProtocolState::Unpowered;
+  bool powered_ = false;
+  std::uint32_t slot_counter_ = 0;
+  InventoriedFlag flag_ = InventoriedFlag::A;
+  /// Time the flag was last set to B (for persistence decay).
+  double flag_set_time_s_ = -1e18;
+  /// Time power was lost (persistence decay reference while unpowered).
+  double power_loss_time_s_ = -1e18;
+};
+
+}  // namespace rfidsim::gen2

@@ -1,0 +1,104 @@
+#include "locate/landmarc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rfidsim::locate {
+
+std::unordered_map<scene::TagId, RssiSignature> build_signatures(
+    const sys::EventLog& log, std::size_t antenna_count, double missing_floor_dbm) {
+  require(antenna_count >= 1, "build_signatures: need at least one antenna");
+
+  struct Accumulator {
+    std::vector<double> sum;
+    std::vector<std::size_t> count;
+  };
+  std::unordered_map<scene::TagId, Accumulator> acc;
+  for (const sys::ReadEvent& ev : log) {
+    require(ev.antenna_index < antenna_count,
+            "build_signatures: event antenna index out of range");
+    Accumulator& a = acc[ev.tag];
+    if (a.sum.empty()) {
+      a.sum.assign(antenna_count, 0.0);
+      a.count.assign(antenna_count, 0);
+    }
+    a.sum[ev.antenna_index] += ev.rssi.value();
+    ++a.count[ev.antenna_index];
+  }
+
+  std::unordered_map<scene::TagId, RssiSignature> result;
+  for (const auto& [tag, a] : acc) {
+    RssiSignature sig;
+    sig.per_antenna_dbm.resize(antenna_count);
+    for (std::size_t i = 0; i < antenna_count; ++i) {
+      sig.per_antenna_dbm[i] =
+          a.count[i] > 0 ? a.sum[i] / static_cast<double>(a.count[i]) : missing_floor_dbm;
+    }
+    result.emplace(tag, std::move(sig));
+  }
+  return result;
+}
+
+double signal_distance(const RssiSignature& a, const RssiSignature& b) {
+  require(a.per_antenna_dbm.size() == b.per_antenna_dbm.size(),
+          "signal_distance: signature sizes differ");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.per_antenna_dbm.size(); ++i) {
+    const double d = a.per_antenna_dbm[i] - b.per_antenna_dbm[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+LandmarcLocator::LandmarcLocator(std::vector<ReferenceTag> references, std::size_t k)
+    : references_(std::move(references)), k_(k) {
+  require(!references_.empty(), "LandmarcLocator: need at least one reference tag");
+  require(k_ >= 1, "LandmarcLocator: k must be >= 1");
+}
+
+LocationEstimate LandmarcLocator::locate(
+    const RssiSignature& target,
+    const std::unordered_map<scene::TagId, RssiSignature>& reference_signatures) const {
+  struct Scored {
+    double distance;
+    const ReferenceTag* ref;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(references_.size());
+  for (const ReferenceTag& ref : references_) {
+    const auto it = reference_signatures.find(ref.id);
+    if (it == reference_signatures.end()) continue;  // Reference unheard this window.
+    scored.push_back({signal_distance(target, it->second), &ref});
+  }
+  require(!scored.empty(), "LandmarcLocator: no reference signatures available");
+
+  const std::size_t use = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(use),
+                    scored.end(),
+                    [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
+
+  LocationEstimate estimate;
+  // An exact signal match pins the answer to that reference.
+  if (scored.front().distance < 1e-9) {
+    estimate.position = scored.front().ref->position;
+    estimate.neighbours.push_back(scored.front().ref->id);
+    estimate.distances.push_back(scored.front().distance);
+    return estimate;
+  }
+
+  double weight_sum = 0.0;
+  Vec3 position{};
+  for (std::size_t i = 0; i < use; ++i) {
+    const double w = 1.0 / (scored[i].distance * scored[i].distance);
+    weight_sum += w;
+    position += scored[i].ref->position * w;
+    estimate.neighbours.push_back(scored[i].ref->id);
+    estimate.distances.push_back(scored[i].distance);
+  }
+  estimate.position = position / weight_sum;
+  return estimate;
+}
+
+}  // namespace rfidsim::locate

@@ -1,0 +1,79 @@
+// LANDMARC-style indoor localization with reference tags.
+//
+// The paper's reference [11] (Ni, Liu, Lau, Patil: "LANDMARC: Indoor
+// location sensing using active RFID") is its citation for tracking people
+// at better-than-portal granularity. The idea: sprinkle *reference tags*
+// at known positions; a tag is located by comparing its RSSI signature
+// across several antennas against the reference tags' signatures, and
+// averaging the positions of the k nearest references in signal space —
+// letting the references calibrate out the room's propagation quirks.
+// Implemented here over this simulator's event logs (LANDMARC used active
+// tags; pair it with rf::TagDesign::active_beacon()).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "scene/tag.hpp"
+#include "system/events.hpp"
+
+namespace rfidsim::locate {
+
+/// Mean RSSI per antenna for one tag; antennas never heard hold
+/// `missing_floor_dbm`.
+struct RssiSignature {
+  std::vector<double> per_antenna_dbm;
+};
+
+/// A reference tag: known identity at a known position.
+struct ReferenceTag {
+  scene::TagId id;
+  Vec3 position;
+};
+
+/// One localization answer.
+struct LocationEstimate {
+  Vec3 position;
+  /// The reference tags that voted, nearest (in signal space) first.
+  std::vector<scene::TagId> neighbours;
+  /// Signal-space distances of those neighbours (same order).
+  std::vector<double> distances;
+};
+
+/// Builds per-tag RSSI signatures from an event log: the mean RSSI of each
+/// tag's reads per antenna, with unheard antennas floored.
+std::unordered_map<scene::TagId, RssiSignature> build_signatures(
+    const sys::EventLog& log, std::size_t antenna_count,
+    double missing_floor_dbm = -90.0);
+
+/// The k-nearest-neighbour locator.
+class LandmarcLocator {
+ public:
+  /// `k` is the neighbour count (LANDMARC's paper found k=4 best for its
+  /// grid). Throws ConfigError if references are empty or k == 0.
+  LandmarcLocator(std::vector<ReferenceTag> references, std::size_t k = 4);
+
+  /// Locates one target signature against the references' observed
+  /// signatures. References missing from `reference_signatures` are
+  /// skipped; throws ConfigError if none remain. Position is the
+  /// 1/distance^2-weighted average of the k nearest references' known
+  /// positions (exact signal matches snap to that reference).
+  LocationEstimate locate(
+      const RssiSignature& target,
+      const std::unordered_map<scene::TagId, RssiSignature>& reference_signatures) const;
+
+  const std::vector<ReferenceTag>& references() const { return references_; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::vector<ReferenceTag> references_;
+  std::size_t k_;
+};
+
+/// Euclidean distance between signatures (LANDMARC's E_j metric). Sizes
+/// must match (ConfigError otherwise).
+double signal_distance(const RssiSignature& a, const RssiSignature& b);
+
+}  // namespace rfidsim::locate

@@ -1,0 +1,48 @@
+#include "reliability/analytical.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rfidsim::reliability {
+
+double expected_reliability(const std::vector<double>& opportunity_reliabilities) {
+  double miss = 1.0;
+  for (double p : opportunity_reliabilities) {
+    require(p >= 0.0 && p <= 1.0, "expected_reliability: probability out of [0, 1]");
+    miss *= 1.0 - p;
+  }
+  return opportunity_reliabilities.empty() ? 0.0 : 1.0 - miss;
+}
+
+double expected_reliability_identical(double p, std::size_t count) {
+  require(p >= 0.0 && p <= 1.0, "expected_reliability_identical: p out of [0, 1]");
+  if (count == 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(count));
+}
+
+std::size_t opportunities_for_target(double p, double target) {
+  if (target <= 0.0) return 0;
+  require(target < 1.0, "opportunities_for_target: target must be < 1");
+  require(p > 0.0 && p <= 1.0, "opportunities_for_target: p must be in (0, 1]");
+  if (p >= target) return 1;
+  if (p == 1.0) return 1;
+  // 1 - (1-p)^n >= target  <=>  n >= log(1-target) / log(1-p).
+  const double n = std::log(1.0 - target) / std::log(1.0 - p);
+  return static_cast<std::size_t>(std::ceil(n - 1e-12));
+}
+
+double marginal_gain(double r, double p_new) {
+  require(r >= 0.0 && r <= 1.0, "marginal_gain: r out of [0, 1]");
+  require(p_new >= 0.0 && p_new <= 1.0, "marginal_gain: p_new out of [0, 1]");
+  return (1.0 - (1.0 - r) * (1.0 - p_new)) - r;
+}
+
+double expected_reliability_grid(const std::vector<double>& reliabilities,
+                                 std::size_t tags, std::size_t antennas) {
+  require(reliabilities.size() == tags * antennas,
+          "expected_reliability_grid: size must equal tags * antennas");
+  return expected_reliability(reliabilities);
+}
+
+}  // namespace rfidsim::reliability

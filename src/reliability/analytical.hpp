@@ -1,0 +1,44 @@
+// The paper's analytical redundancy model (§4).
+//
+// "We define every combination of tag and antenna in the same area as a
+//  read opportunity. Assuming read opportunities are independent, if the
+//  reliabilities for read opportunities leading to an object identification
+//  are P_1, P_2, ..., P_n, the expected object tracking reliability R_C is:
+//      R_C = 1 - ((1 - P_1)(1 - P_2)...(1 - P_n))"
+//
+// This module implements that model plus the inverse questions a deployer
+// asks: how many opportunities of reliability p do I need to hit a target,
+// and what does one more tag/antenna buy me.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfidsim::reliability {
+
+/// R_C for a set of independent read opportunities. Each probability must
+/// be in [0, 1] (throws ConfigError otherwise). An empty set yields 0.
+double expected_reliability(const std::vector<double>& opportunity_reliabilities);
+
+/// R_C for `count` identical opportunities of reliability `p`:
+/// 1 - (1-p)^count.
+double expected_reliability_identical(double p, std::size_t count);
+
+/// Smallest number of identical opportunities of reliability `p` whose
+/// combined R_C reaches `target`. Returns 0 when target <= 0; throws
+/// ConfigError when p <= 0 or p >= 1 is insufficient to ever reach a
+/// target < 1... (p >= target with one opportunity returns 1; p == 0 with
+/// target > 0 is unreachable and throws).
+std::size_t opportunities_for_target(double p, double target);
+
+/// Marginal gain of adding one opportunity of reliability `p_new` to a
+/// system currently at reliability `r`: the new R_C minus r.
+double marginal_gain(double r, double p_new);
+
+/// The paper's read-opportunity grid: k tags and m antennas give k*m
+/// opportunities. Computes R_C for per-(tag, antenna) reliabilities laid
+/// out row-major as reliabilities[tag * antennas + antenna].
+double expected_reliability_grid(const std::vector<double>& reliabilities,
+                                 std::size_t tags, std::size_t antennas);
+
+}  // namespace rfidsim::reliability

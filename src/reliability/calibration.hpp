@@ -1,0 +1,72 @@
+// Calibration profiles: every tunable physics constant in one place.
+//
+// The paper measured one specific rig (Symbol Gen 2 dipole tags, Matrix
+// AR400 reader, one area antenna, 30 dBm). We cannot measure that rig, so
+// all constants that would otherwise be measured are collected here,
+// documented, and tuned once so the simulator lands near the paper's
+// numbers; the benches then regenerate every table and figure from the
+// same profile. See EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include "gen2/interference.hpp"
+#include "gen2/inventory.hpp"
+#include "rf/link_budget.hpp"
+#include "scene/path_evaluator.hpp"
+
+namespace rfidsim::reliability {
+
+/// One complete set of physics/protocol constants.
+struct CalibrationProfile {
+  rf::RadioParams radio{};
+  scene::EvaluatorParams evaluator{};
+  gen2::InventoryConfig inventory{};
+  gen2::InterferenceParams interference{};
+  /// Shadow fading sigma (dB) and spatial coherence (m); see PortalConfig.
+  double shadow_sigma_db = 4.0;
+  double shadow_coherence_m = 0.45;
+  double fast_sigma_db = 2.0;
+  /// Per-pass systematic tag variation (dB); see PortalConfig.
+  double pass_sigma_db = 5.5;
+  /// TDMA dwell per antenna for multi-antenna readers.
+  double antenna_dwell_s = 0.10;
+
+  /// The profile used by all paper-reproduction benches: 2006-era passive
+  /// UHF portal hardware per DESIGN.md's substitution table.
+  static CalibrationProfile paper2006();
+};
+
+inline CalibrationProfile CalibrationProfile::paper2006() {
+  CalibrationProfile cal;
+  // Matrix AR400: 30 dBm max conducted power (paper §3), short feed run.
+  cal.radio.tx_power = DbmPower(30.0);
+  cal.radio.cable_loss = Decibel(0.8);
+  // 2006-era EPC Gen 2 chip wake-up threshold.
+  cal.radio.tag_sensitivity = DbmPower(-15.5);
+  cal.radio.reader_sensitivity = DbmPower(-82.0);
+  cal.radio.backscatter_loss = Decibel(6.0);
+  cal.radio.frequency_hz = 915e6;
+  // Cluttered lab/warehouse: slightly super-quadratic distance decay.
+  cal.radio.path_loss_exponent = 2.3;
+
+  // Fig. 4 calibration: tags need 20-40 mm spacing depending on
+  // orientation.
+  cal.evaluator.coupling.contact_loss_db = 30.0;
+  cal.evaluator.coupling.decay_scale_m = 0.012;
+
+  // Strong nearby reflectors (the metal-laden cart, a second subject)
+  // measurably help blocked tags — the paper's "signal reflections off the
+  // farther subject".
+  cal.evaluator.reflection_bonus_db = 8.0;
+  // Adjacent-body near-field absorption (two-person tests).
+  cal.evaluator.proximity_loss_db = 4.5;
+  // Diffuse field strength of the lab (Table 1's far-side reads).
+  cal.evaluator.scatter_excess_db = 14.0;
+
+  // Paper's measured singulation throughput: ~0.02 s per tag end to end.
+  cal.inventory.timing = gen2::LinkTiming{};
+  cal.inventory.q.initial_q = 3.0;
+
+  return cal;
+}
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,138 @@
+#include "reliability/estimator.hpp"
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+
+#include "system/portal.hpp"
+#include "track/tracking.hpp"
+
+namespace rfidsim::reliability {
+
+RepeatedRuns run_repeated(const Scenario& scenario, std::size_t repetitions,
+                          std::uint64_t seed, bool single_round) {
+  RepeatedRuns runs;
+  runs.logs.reserve(repetitions);
+  const Rng root(seed);
+  sys::PortalSimulator sim(scenario.scene, scenario.portal);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    Rng rng = root.fork(rep);
+    runs.logs.push_back(single_round ? sim.run_single_round(scenario.portal.start_time_s, rng)
+                                     : sim.run(rng));
+  }
+  return runs;
+}
+
+RepeatedRuns run_repeated_parallel(const Scenario& scenario, std::size_t repetitions,
+                                   std::uint64_t seed, std::size_t threads,
+                                   bool single_round) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  threads = std::min(threads, std::max<std::size_t>(repetitions, 1));
+
+  RepeatedRuns runs;
+  runs.logs.resize(repetitions);
+  const Rng root(seed);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    // Each worker owns its simulator; PortalSimulator is not thread-safe
+    // but is cheap to construct.
+    sys::PortalSimulator sim(scenario.scene, scenario.portal);
+    for (std::size_t rep = next.fetch_add(1); rep < repetitions;
+         rep = next.fetch_add(1)) {
+      Rng rng = root.fork(rep);
+      runs.logs[rep] = single_round
+                           ? sim.run_single_round(scenario.portal.start_time_s, rng)
+                           : sim.run(rng);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return runs;
+}
+
+std::vector<double> distinct_tags_per_run(const RepeatedRuns& runs) {
+  std::vector<double> counts;
+  counts.reserve(runs.logs.size());
+  for (const sys::EventLog& log : runs.logs) {
+    std::unordered_set<scene::TagId> seen;
+    for (const sys::ReadEvent& ev : log) seen.insert(ev.tag);
+    counts.push_back(static_cast<double>(seen.size()));
+  }
+  return counts;
+}
+
+std::unordered_map<scene::TagId, ProportionInterval> per_tag_reliability(
+    const Scenario& scenario, const RepeatedRuns& runs) {
+  std::unordered_map<scene::TagId, std::size_t> successes;
+  for (const auto& address : scenario.scene.all_tags()) {
+    const scene::TagId id =
+        scenario.scene.entities[address.entity].tags()[address.tag].id;
+    successes.emplace(id, 0);
+  }
+  for (const sys::EventLog& log : runs.logs) {
+    std::unordered_set<scene::TagId> seen;
+    for (const sys::ReadEvent& ev : log) seen.insert(ev.tag);
+    for (const scene::TagId& id : seen) {
+      const auto it = successes.find(id);
+      if (it != successes.end()) ++it->second;
+    }
+  }
+  std::unordered_map<scene::TagId, ProportionInterval> result;
+  for (const auto& [id, count] : successes) {
+    result.emplace(id, wilson_interval(count, runs.logs.size()));
+  }
+  return result;
+}
+
+std::unordered_map<track::ObjectId, ProportionInterval> per_object_reliability(
+    const Scenario& scenario, const RepeatedRuns& runs) {
+  const track::TrackingAnalyzer analyzer(scenario.registry);
+  std::unordered_map<track::ObjectId, std::size_t> successes;
+  for (const track::ObjectId& obj : scenario.registry.objects()) successes.emplace(obj, 0);
+  for (const sys::EventLog& log : runs.logs) {
+    const track::PassReport report = analyzer.analyze(log);
+    for (const track::ObjectId& obj : report.objects_identified) {
+      const auto it = successes.find(obj);
+      if (it != successes.end()) ++it->second;
+    }
+  }
+  std::unordered_map<track::ObjectId, ProportionInterval> result;
+  for (const auto& [obj, count] : successes) {
+    result.emplace(obj, wilson_interval(count, runs.logs.size()));
+  }
+  return result;
+}
+
+double mean_tag_reliability(const Scenario& scenario, const RepeatedRuns& runs) {
+  const auto per_tag = per_tag_reliability(scenario, runs);
+  if (per_tag.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [id, ci] : per_tag) sum += ci.estimate;
+  return sum / static_cast<double>(per_tag.size());
+}
+
+double mean_object_reliability(const Scenario& scenario, const RepeatedRuns& runs) {
+  const auto per_object = per_object_reliability(scenario, runs);
+  if (per_object.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [obj, ci] : per_object) sum += ci.estimate;
+  return sum / static_cast<double>(per_object.size());
+}
+
+double measure_tag_reliability(const Scenario& scenario, std::size_t repetitions,
+                               std::uint64_t seed) {
+  return mean_tag_reliability(scenario, run_repeated(scenario, repetitions, seed));
+}
+
+double measure_tracking_reliability(const Scenario& scenario, std::size_t repetitions,
+                                    std::uint64_t seed) {
+  return mean_object_reliability(scenario, run_repeated(scenario, repetitions, seed));
+}
+
+}  // namespace rfidsim::reliability

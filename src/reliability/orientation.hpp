@@ -1,0 +1,37 @@
+// The six tag orientations of the paper's Figure 3.
+//
+// The tags ride on a box moving along +x past a reader antenna on the +y
+// side. An orientation fixes the dipole axis and the patch (face) normal.
+// Cases 1 and 5 point the dipole axis *at* the antenna when abeam — the
+// axial null — and the paper finds exactly those two "least reliable ...
+// perpendicular to the antenna".
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/vec3.hpp"
+
+namespace rfidsim::reliability {
+
+/// One of the six orientations swept in Fig. 3/4.
+struct TagOrientation {
+  int case_number;  ///< 1-6, as labelled in the paper's Figure 3.
+  Vec3 dipole_axis;
+  Vec3 patch_normal;
+  std::string_view description;
+};
+
+/// All six orientations, in figure order.
+inline constexpr std::array<TagOrientation, 6> kFigure3Orientations{{
+    {1, {0.0, 1.0, 0.0}, {1.0, 0.0, 0.0},
+     "axis toward antenna, face forward (perpendicular)"},
+    {2, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, "axis along travel, face to antenna"},
+    {3, {0.0, 0.0, 1.0}, {0.0, 1.0, 0.0}, "axis vertical, face to antenna"},
+    {4, {1.0, 0.0, 0.0}, {0.0, 0.0, 1.0}, "axis along travel, face up"},
+    {5, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0},
+     "axis toward antenna, face up (perpendicular)"},
+    {6, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}, "axis vertical, face forward"},
+}};
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,82 @@
+#include "reliability/planner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "reliability/analytical.hpp"
+
+namespace rfidsim::reliability {
+
+double predict_scheme_reliability(const RedundancyScheme& scheme,
+                                  const std::vector<double>& tag_position_reliabilities) {
+  require(scheme.tags_per_object >= 1, "predict_scheme_reliability: need >= 1 tag");
+  require(scheme.tags_per_object <= tag_position_reliabilities.size(),
+          "predict_scheme_reliability: more tags than candidate positions");
+  std::vector<double> opportunities;
+  opportunities.reserve(scheme.read_opportunities());
+  for (std::size_t t = 0; t < scheme.tags_per_object; ++t) {
+    for (std::size_t a = 0; a < scheme.antennas_per_portal; ++a) {
+      opportunities.push_back(tag_position_reliabilities[t]);
+    }
+  }
+  return expected_reliability(opportunities);
+}
+
+PlanResult plan_redundancy(const PlannerRequest& request) {
+  require(request.target_reliability > 0.0 && request.target_reliability < 1.0,
+          "plan_redundancy: target must be in (0, 1)");
+  require(!request.tag_position_reliabilities.empty(),
+          "plan_redundancy: need at least one tag position reliability");
+  for (double p : request.tag_position_reliabilities) {
+    require(p >= 0.0 && p <= 1.0, "plan_redundancy: reliability out of [0, 1]");
+  }
+  require(request.max_tags_per_object >= 1, "plan_redundancy: max_tags must be >= 1");
+  require(request.max_antennas_per_portal >= 1,
+          "plan_redundancy: max_antennas must be >= 1");
+
+  // Positions are consumed best-first regardless of input order.
+  std::vector<double> positions = request.tag_position_reliabilities;
+  std::sort(positions.begin(), positions.end(), std::greater<>());
+
+  const std::size_t max_tags =
+      std::min(request.max_tags_per_object, positions.size());
+  const std::size_t max_readers =
+      request.dense_reader_mode_available ? std::max<std::size_t>(request.max_readers_per_portal, 1)
+                                          : 1;
+
+  PlanResult result;
+  for (std::size_t tags = 1; tags <= max_tags; ++tags) {
+    for (std::size_t antennas = 1; antennas <= request.max_antennas_per_portal; ++antennas) {
+      for (std::size_t readers = 1; readers <= max_readers; ++readers) {
+        if (readers > antennas) continue;  // A reader needs its own antenna(s).
+        RedundancyScheme scheme{
+            .tags_per_object = tags,
+            .antennas_per_portal = antennas,
+            .readers_per_portal = readers,
+            .dense_reader_mode = request.dense_reader_mode_available && readers > 1,
+        };
+        PlannedScheme candidate;
+        candidate.scheme = scheme;
+        candidate.predicted_reliability = predict_scheme_reliability(scheme, positions);
+        candidate.cost = request.cost.total_cost(scheme);
+        result.candidates.push_back(candidate);
+      }
+    }
+  }
+
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const PlannedScheme& a, const PlannedScheme& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.predicted_reliability > b.predicted_reliability;
+            });
+
+  for (const PlannedScheme& candidate : result.candidates) {
+    if (candidate.predicted_reliability >= request.target_reliability) {
+      result.best = candidate;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,64 @@
+// Redundancy planner: choose the cheapest scheme that meets a reliability
+// target.
+//
+// The paper ends with "simple yet effective solutions to guarantee
+// reliability"; the planner operationalizes that guidance. Given measured
+// per-opportunity reliabilities (from the estimator, or from a site
+// survey), it searches the scheme space with the §4 analytical model and
+// returns the cheapest configuration whose predicted R_C meets the target
+// — with reader-level redundancy excluded unless dense-reader mode is
+// available, per the paper's negative result.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "reliability/schemes.hpp"
+
+namespace rfidsim::reliability {
+
+/// Planner inputs.
+struct PlannerRequest {
+  /// Required tracking reliability, in (0, 1).
+  double target_reliability = 0.99;
+  /// Read reliability of one (tag, antenna) opportunity for each candidate
+  /// tag position, best first. Position i is used by the i-th tag added.
+  /// Example from the paper's Table 1: {0.87, 0.83, 0.63, 0.29}.
+  std::vector<double> tag_position_reliabilities;
+  /// Upper bounds on the search.
+  std::size_t max_tags_per_object = 4;
+  std::size_t max_antennas_per_portal = 2;
+  /// Whether the installed readers support dense-reader mode. Without it
+  /// the planner never proposes multiple readers (paper §4: reader-level
+  /// redundancy severely reduces reliability without DRM).
+  bool dense_reader_mode_available = false;
+  std::size_t max_readers_per_portal = 1;
+  CostModel cost{};
+};
+
+/// One evaluated candidate.
+struct PlannedScheme {
+  RedundancyScheme scheme;
+  double predicted_reliability = 0.0;
+  double cost = 0.0;
+};
+
+/// Planner output: the chosen scheme plus every candidate evaluated
+/// (sorted by cost), for reporting.
+struct PlanResult {
+  std::optional<PlannedScheme> best;
+  std::vector<PlannedScheme> candidates;
+};
+
+/// Predicts R_C for a scheme against per-position reliabilities: each of
+/// the k tags contributes one opportunity per antenna. A second antenna's
+/// opportunity for the same tag is assumed to have the same per-opportunity
+/// reliability (the paper's facing-pair symmetry).
+double predict_scheme_reliability(const RedundancyScheme& scheme,
+                                  const std::vector<double>& tag_position_reliabilities);
+
+/// Runs the search. Throws ConfigError on invalid inputs (empty position
+/// list, target outside (0, 1)).
+PlanResult plan_redundancy(const PlannerRequest& request);
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,312 @@
+#include "reliability/scenarios.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rfidsim::reliability {
+
+namespace {
+
+using scene::BodySpot;
+using scene::BoxFace;
+using scene::Entity;
+using scene::Tag;
+using scene::TagId;
+using scene::TagMount;
+using rfidsim::Vec3;
+
+/// Boresight height shared by all portal antennas.
+constexpr double kAntennaHeightM = 1.0;
+
+/// Pose for an entity travelling along +x (the scenes' lane convention).
+Pose lane_pose(const Vec3& position) {
+  Pose p;
+  p.position = position;
+  p.frame.forward = {1.0, 0.0, 0.0};
+  p.frame.up = {0.0, 0.0, 1.0};
+  return p;
+}
+
+/// Places `count` portal antennas around a lane whose near edge is
+/// `near_edge_y` from the lane centreline. One antenna sits on the +y side
+/// at near_edge_y + lane_distance (the paper's single-antenna geometry).
+/// Two antennas form a facing pair 2 m apart ("two area antennas placed at
+/// a distance of 2 meters from each other", §4) with the lane centred
+/// between them.
+void add_portal_antennas(scene::Scene& s, std::size_t count, double near_edge_y,
+                         double lane_distance_m) {
+  require(count >= 1 && count <= 2, "scenario: antenna_count must be 1 or 2");
+  if (count == 1) {
+    const double y0 = near_edge_y + lane_distance_m;
+    s.antennas.push_back(
+        scene::Scene::make_antenna({0.0, y0, kAntennaHeightM}, {0.0, -1.0, 0.0}));
+    return;
+  }
+  require(near_edge_y < 1.0, "scenario: lane too wide for a 2 m portal");
+  s.antennas.push_back(
+      scene::Scene::make_antenna({0.0, 1.0, kAntennaHeightM}, {0.0, -1.0, 0.0}));
+  s.antennas.push_back(
+      scene::Scene::make_antenna({0.0, -1.0, kAntennaHeightM}, {0.0, 1.0, 0.0}));
+}
+
+}  // namespace
+
+sys::PortalConfig make_portal_config(const CalibrationProfile& cal,
+                                     const PortalOptions& options,
+                                     std::size_t scene_antenna_count,
+                                     double pass_duration_s) {
+  require(options.reader_count >= 1, "make_portal_config: need at least one reader");
+  require(scene_antenna_count >= 1, "make_portal_config: need at least one antenna");
+  require(options.reader_count <= scene_antenna_count,
+          "make_portal_config: more readers than antennas");
+
+  sys::PortalConfig portal;
+  portal.evaluator = cal.evaluator;
+  portal.shadow_sigma_db = cal.shadow_sigma_db;
+  portal.shadow_coherence_m = cal.shadow_coherence_m;
+  portal.fast_sigma_db = cal.fast_sigma_db;
+  portal.pass_sigma_db = cal.pass_sigma_db;
+  portal.interference = cal.interference;
+  portal.start_time_s = 0.0;
+  portal.end_time_s = pass_duration_s;
+
+  // Split antennas round-robin across readers; assign channels.
+  const auto channels =
+      gen2::ReaderInterference::assign_channels(options.reader_count,
+                                                options.dense_reader_mode);
+  for (std::size_t r = 0; r < options.reader_count; ++r) {
+    sys::ReaderConfig rc;
+    rc.radio = cal.radio;
+    rc.inventory = cal.inventory;
+    rc.antenna_dwell_s = cal.antenna_dwell_s;
+    rc.channel = channels[r];
+    rc.dense_reader_mode = options.dense_reader_mode;
+    for (std::size_t a = r; a < scene_antenna_count; a += options.reader_count) {
+      rc.antenna_indices.push_back(a);
+    }
+    portal.readers.push_back(std::move(rc));
+  }
+  return portal;
+}
+
+Scenario make_read_range_scenario(double distance_m, const CalibrationProfile& cal) {
+  require(distance_m > 0.0, "make_read_range_scenario: distance must be positive");
+  Scenario sc;
+  sc.description = "read range @ " + std::to_string(distance_m) + " m";
+
+  // 20 tags in a 5 x 4 plane grid, pitch 12.5 cm horizontally and 20 cm
+  // vertically (paper Fig. 1), all parallel to the antenna plane, mounted
+  // on an RF-transparent fixture.
+  Entity fixture("tag grid", std::monostate{}, rf::Material::Air,
+                 std::make_unique<scene::StaticTrajectory>(lane_pose({0.0, 0.0, 0.0})));
+  std::uint64_t next_id = 1;
+  const int cols = 5;
+  const int rows = 4;
+  const double dx = 0.125;
+  const double dz = 0.20;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      TagMount m;
+      m.local_position = {(c - (cols - 1) / 2.0) * dx, 0.0,
+                          kAntennaHeightM + (r - (rows - 1) / 2.0) * dz};
+      m.local_patch_normal = {0.0, 1.0, 0.0};  // Facing the antenna.
+      m.local_dipole_axis = {1.0, 0.0, 0.0};   // Horizontal.
+      m.backing_material = rf::Material::Foam;
+      m.backing_gap_m = 0.01;
+      fixture.add_tag(Tag{TagId{next_id++}, m});
+    }
+  }
+
+  sc.scene.entities.push_back(std::move(fixture));
+  sc.scene.antennas.push_back(scene::Scene::make_antenna(
+      {0.0, distance_m, kAntennaHeightM}, {0.0, -1.0, 0.0}));
+
+  // Registry: each tag is its own "object" so read and tracking fractions
+  // coincide.
+  for (std::uint64_t id = 1; id < next_id; ++id) {
+    const auto obj = sc.registry.add_object("tag " + std::to_string(id));
+    sc.registry.bind_tag(TagId{id}, obj);
+  }
+
+  PortalOptions options;  // Single antenna, single reader.
+  // "A single read was performed each time" (§3): one reader-initiated
+  // inventory cycle, a ~0.3 s window.
+  sc.portal = make_portal_config(cal, options, sc.scene.antennas.size(),
+                                 /*pass_duration_s=*/0.3);
+  // Bench-fixture mounting: far less pass-to-pass tag variation than tags
+  // applied to goods or worn by people.
+  sc.portal.pass_sigma_db = 1.5;
+  return sc;
+}
+
+Scenario make_intertag_scenario(double spacing_m, const TagOrientation& orientation,
+                                const CalibrationProfile& cal, rf::TagDesign design) {
+  require(spacing_m >= 0.0, "make_intertag_scenario: spacing must be >= 0");
+  Scenario sc;
+  sc.description = "inter-tag spacing " + std::to_string(spacing_m * 1000.0) +
+                   " mm, orientation case " + std::to_string(orientation.case_number);
+
+  // 10 parallel tags on a cardboard box riding a cart at 1 m/s; pass from
+  // x = -2.5 m to +2.5 m with the antenna abeam at x = 0.
+  const double speed = 1.0;
+  const double half_span = 2.5;
+  const Vec3 box_extents{0.5, 0.4, 0.4};
+  Entity box("tag box", scene::BoxBody{box_extents}, rf::Material::Cardboard,
+             std::make_unique<scene::LinearTrajectory>(
+                 lane_pose({-half_span, 0.0, kAntennaHeightM}), Vec3{speed, 0.0, 0.0}),
+             /*content_fill=*/0.9);
+
+  std::uint64_t next_id = 1;
+  const int count = 10;
+  for (int i = 0; i < count; ++i) {
+    TagMount m;
+    // Stacked along the travel axis, centred on the box face toward the
+    // antenna side.
+    m.local_position = {(i - (count - 1) / 2.0) * spacing_m, box_extents.y * 0.5, 0.0};
+    m.local_dipole_axis = orientation.dipole_axis;
+    m.local_patch_normal = orientation.patch_normal;
+    m.backing_material = rf::Material::Cardboard;
+    m.backing_gap_m = 0.005;
+    m.design = design;
+    box.add_tag(Tag{TagId{next_id++}, m});
+  }
+  sc.scene.entities.push_back(std::move(box));
+
+  sc.scene.antennas.push_back(scene::Scene::make_antenna(
+      {0.0, box_extents.y * 0.5 + 1.0, kAntennaHeightM}, {0.0, -1.0, 0.0}));
+
+  for (std::uint64_t id = 1; id < next_id; ++id) {
+    const auto obj = sc.registry.add_object("tag " + std::to_string(id));
+    sc.registry.bind_tag(TagId{id}, obj);
+  }
+
+  PortalOptions options;
+  sc.portal = make_portal_config(cal, options, sc.scene.antennas.size(),
+                                 2.0 * half_span / speed);
+  // Controlled mounting on the test box.
+  sc.portal.pass_sigma_db = 2.5;
+  return sc;
+}
+
+Scenario make_object_tracking_scenario(const ObjectScenarioOptions& options,
+                                       const CalibrationProfile& cal) {
+  require(!options.tag_faces.empty(),
+          "make_object_tracking_scenario: need at least one tag face");
+  Scenario sc;
+  sc.description = "object tracking, " + std::to_string(options.tag_faces.size()) +
+                   " tag(s)/box, " + std::to_string(options.portal.antenna_count) +
+                   " antenna(s), " + std::to_string(options.portal.reader_count) +
+                   " reader(s)";
+
+  // 12 identical boxes, "three rows of 2x2 boxes" on a cart (§3): 3 along
+  // the travel direction, 2 across the lane, 2 stacked. Each contains a
+  // network router: metal core that does not fill the carton.
+  const Vec3 box_extents{0.40, 0.40, 0.30};
+  const double gap = 0.02;                 // Boxes nearly touching on the cart.
+  const double cart_deck_z = 0.35;         // Tag heights near antenna height.
+  const double speed = options.speed_mps;
+  require(speed > 0.0, "make_object_tracking_scenario: speed must be positive");
+  const double half_span = 2.5;
+
+  std::uint64_t next_id = 1;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 2; ++col) {
+      for (int layer = 0; layer < 2; ++layer) {
+        const Vec3 centre{
+            -half_span + (row - 1) * (box_extents.x + gap),
+            (col == 0 ? 1.0 : -1.0) * (box_extents.y + gap) * 0.5,
+            cart_deck_z + box_extents.z * 0.5 + layer * (box_extents.z + gap)};
+        Entity box("box r" + std::to_string(row) + " c" + std::to_string(col) + " l" +
+                       std::to_string(layer),
+                   scene::BoxBody{box_extents}, rf::Material::Metal,
+                   std::make_unique<scene::LinearTrajectory>(lane_pose(centre),
+                                                             Vec3{speed, 0.0, 0.0}),
+                   /*content_fill=*/0.62);
+
+        const auto object = sc.registry.add_object(box.name());
+        for (const BoxFace face : options.tag_faces) {
+          // The router's metal is close beneath the top/bottom faces
+          // (manuals and the chassis) and further behind the vertical
+          // faces (corner foam).
+          const bool horizontal_face = face == BoxFace::Top || face == BoxFace::Bottom;
+          const double content_gap = horizontal_face ? 0.005 : 0.05;
+          TagMount m = scene::mount_on_box_face(face, box_extents, rf::Material::Metal,
+                                                content_gap);
+          m.design = options.tag_design;
+          const TagId id{next_id++};
+          box.add_tag(Tag{id, m});
+          sc.registry.bind_tag(id, object);
+        }
+        sc.scene.entities.push_back(std::move(box));
+      }
+    }
+  }
+
+  const double near_edge_y = box_extents.y + gap;  // Outer face of near column.
+  add_portal_antennas(sc.scene, options.portal.antenna_count, near_edge_y,
+                      options.lane_distance_m);
+
+  sc.portal = make_portal_config(cal, options.portal, sc.scene.antennas.size(),
+                                 2.0 * half_span / speed);
+  return sc;
+}
+
+Scenario make_human_tracking_scenario(const HumanScenarioOptions& options,
+                                      const CalibrationProfile& cal) {
+  require(options.subject_count >= 1 && options.subject_count <= 2,
+          "make_human_tracking_scenario: subject_count must be 1 or 2");
+  require(!options.tag_spots.empty(),
+          "make_human_tracking_scenario: need at least one tag spot");
+  Scenario sc;
+  sc.description = "human tracking, " + std::to_string(options.subject_count) +
+                   " subject(s), " + std::to_string(options.tag_spots.size()) +
+                   " tag(s)/subject, " + std::to_string(options.portal.antenna_count) +
+                   " antenna(s)";
+
+  const double speed = options.speed_mps;
+  require(speed > 0.0, "make_human_tracking_scenario: speed must be positive");
+  const double half_span = 2.5;
+  const scene::CylinderBody body{};  // Torso-scale defaults.
+
+  // Two subjects walk abreast, the pair centred on the lane; subject 0 is
+  // the one closer to antenna 0 (+y side).
+  const double abreast_offset = options.subject_count == 2 ? 0.30 : 0.0;
+
+  std::uint64_t next_id = 1;
+  for (std::size_t s = 0; s < options.subject_count; ++s) {
+    const double y = s == 0 ? abreast_offset : -abreast_offset;
+    Pose start = lane_pose({-half_span, y, body.height * 0.5});
+    Entity person("subject " + std::to_string(s + 1), body, rf::Material::HumanBody,
+                  std::make_unique<scene::WalkingTrajectory>(start,
+                                                             Vec3{speed, 0.0, 0.0}));
+    const auto object = sc.registry.add_object(person.name());
+    for (const BodySpot spot : options.tag_spots) {
+      const TagId id{next_id++};
+      TagMount m = scene::mount_on_person(spot, body);
+      m.design = options.tag_design;
+      person.add_tag(Tag{id, m});
+      sc.registry.bind_tag(id, object);
+    }
+    sc.scene.entities.push_back(std::move(person));
+  }
+
+  const double near_edge_y = abreast_offset + body.radius;
+  add_portal_antennas(sc.scene, options.portal.antenna_count, near_edge_y,
+                      options.lane_distance_m);
+
+  sc.portal = make_portal_config(cal, options.portal, sc.scene.antennas.size(),
+                                 2.0 * half_span / speed);
+  // Worn badges swing, flip, and pick up body contact: the largest
+  // pass-to-pass variation of all the scenarios, including occasional
+  // hard outages (badge pressed flat against the body).
+  sc.portal.pass_sigma_db = 6.0;
+  sc.portal.pass_outage_probability = 0.06;
+  // Body-scale shadowing decorrelates more slowly than cart clutter.
+  sc.portal.shadow_coherence_m = 0.8;
+  return sc;
+}
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,106 @@
+// Scenario builders: the paper's experimental setups as code.
+//
+// Each builder reconstructs one rig from §3/§4 of the paper — geometry,
+// materials, motion, antennas, readers — parameterized exactly along the
+// axes the paper sweeps. Benches and examples compose these with the
+// estimator to regenerate the tables and figures.
+//
+// Shared geometry conventions (see DESIGN.md):
+//   * entities travel along +x, the primary antenna is on the +y side,
+//   * a second antenna sits on the -y side, 2 m from the first, facing it
+//     across the lane ("two area antennas placed at a distance of 2 meters
+//     from each other and connected to the same reader", §4) — this is
+//     what makes the paper's Table 3/5 R_C columns come out right,
+//   * antenna boresight height 1 m.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reliability/calibration.hpp"
+#include "reliability/orientation.hpp"
+#include "scene/scene.hpp"
+#include "system/portal.hpp"
+#include "track/registry.hpp"
+
+namespace rfidsim::reliability {
+
+/// A complete runnable experiment: physical scene, portal installation,
+/// and the back end's tag-to-object knowledge.
+struct Scenario {
+  scene::Scene scene;
+  sys::PortalConfig portal;
+  track::ObjectRegistry registry;
+  std::string description;
+};
+
+/// Redundancy/portal options shared by the tracking scenarios.
+struct PortalOptions {
+  /// Antennas per portal (1 or 2; 2 = facing pair across the lane).
+  std::size_t antenna_count = 1;
+  /// Readers per portal. 1 reader drives all antennas via TDMA; with more
+  /// readers the antennas are split between them and the readers interfere
+  /// per gen2::ReaderInterference.
+  std::size_t reader_count = 1;
+  bool dense_reader_mode = false;
+};
+
+/// Fig. 2 — read range. 20 tags in a plane grid (12.5 cm x 20 cm pitch)
+/// facing a single antenna at `distance_m`; use with single-round runs
+/// ("a single read was performed each time", §3).
+Scenario make_read_range_scenario(double distance_m, const CalibrationProfile& cal);
+
+/// Fig. 4 — inter-tag distance x orientation. 10 parallel tags with the
+/// given spacing and Figure-3 orientation, mounted on a cardboard box,
+/// carted past a single antenna at 1 m/s, 1 m away. `design` swaps the tag
+/// architecture (extension benches).
+Scenario make_intertag_scenario(double spacing_m, const TagOrientation& orientation,
+                                const CalibrationProfile& cal,
+                                rf::TagDesign design = {});
+
+/// Options for the object-tracking scenarios (Tables 1, 3; Fig. 5).
+struct ObjectScenarioOptions {
+  /// Faces carrying a tag on every box (1 face = Table 1; 2 = Table 3).
+  std::vector<scene::BoxFace> tag_faces = {scene::BoxFace::Front};
+  /// Tag architecture applied to every tag (paper future work: dual-dipole
+  /// and active designs).
+  rf::TagDesign tag_design{};
+  PortalOptions portal{};
+  double speed_mps = 1.0;
+  /// Antenna distance from the near face of the near box column.
+  double lane_distance_m = 1.0;
+};
+
+/// Tables 1 & 3 — 12 identical router boxes, three rows of 2x2 on a cart.
+Scenario make_object_tracking_scenario(const ObjectScenarioOptions& options,
+                                       const CalibrationProfile& cal);
+
+/// Options for the human-tracking scenarios (Tables 2, 4, 5; Figs. 6, 7).
+struct HumanScenarioOptions {
+  /// 1 subject, or 2 walking abreast ("in parallel ... to maximize
+  /// blocking", §3) — subject 0 is the closer one.
+  std::size_t subject_count = 1;
+  /// Badge spots on every subject (1 spot = Table 2; 2/4 = Tables 4-5).
+  std::vector<scene::BodySpot> tag_spots = {scene::BodySpot::Front};
+  /// Tag architecture applied to every badge.
+  rf::TagDesign tag_design{};
+  PortalOptions portal{};
+  double speed_mps = 1.0;
+  /// Antenna distance from the closer subject's path.
+  double lane_distance_m = 1.0;
+};
+
+/// Tables 2, 4, 5 — people with badge tags walking past the portal.
+Scenario make_human_tracking_scenario(const HumanScenarioOptions& options,
+                                      const CalibrationProfile& cal);
+
+/// Builds the sys::PortalConfig for a scenario: reader/antenna split,
+/// interference, fading, and pass window [start, end]. Exposed so custom
+/// scenarios (examples, tests) can reuse the wiring.
+sys::PortalConfig make_portal_config(const CalibrationProfile& cal,
+                                     const PortalOptions& options,
+                                     std::size_t scene_antenna_count,
+                                     double pass_duration_s);
+
+}  // namespace rfidsim::reliability

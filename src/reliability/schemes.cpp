@@ -1,0 +1,37 @@
+#include "reliability/schemes.hpp"
+
+namespace rfidsim::reliability {
+
+std::string RedundancyScheme::label() const {
+  std::string out = std::to_string(antennas_per_portal) + " antenna" +
+                    (antennas_per_portal == 1 ? "" : "s") + ", " +
+                    std::to_string(tags_per_object) + " tag" +
+                    (tags_per_object == 1 ? "" : "s");
+  if (readers_per_portal > 1) {
+    out += ", " + std::to_string(readers_per_portal) + " readers";
+    out += dense_reader_mode ? " (DRM)" : " (no DRM)";
+  }
+  return out;
+}
+
+std::vector<RedundancyScheme> figure5_schemes() {
+  return {
+      {.tags_per_object = 1, .antennas_per_portal = 1},
+      {.tags_per_object = 1, .antennas_per_portal = 2},
+      {.tags_per_object = 2, .antennas_per_portal = 1},
+      {.tags_per_object = 2, .antennas_per_portal = 2},
+  };
+}
+
+std::vector<RedundancyScheme> figure6_schemes() {
+  return {
+      {.tags_per_object = 1, .antennas_per_portal = 1},
+      {.tags_per_object = 1, .antennas_per_portal = 2},
+      {.tags_per_object = 2, .antennas_per_portal = 1},
+      {.tags_per_object = 2, .antennas_per_portal = 2},
+      {.tags_per_object = 4, .antennas_per_portal = 1},
+      {.tags_per_object = 4, .antennas_per_portal = 2},
+  };
+}
+
+}  // namespace rfidsim::reliability

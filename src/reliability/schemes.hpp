@@ -1,0 +1,59 @@
+// Redundancy schemes: the paper's §4 taxonomy as a first-class type.
+//
+// Redundancy can be applied at three levels — tags per object, antennas
+// per portal, readers per portal — and the paper's central finding is the
+// ordering: tag-level redundancy helps most, antenna-level helps under
+// blocking, reader-level *hurts* without dense-reader mode. A
+// RedundancyScheme names one point in that space; helpers enumerate the
+// sweep the paper's Figures 5-7 walk through.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rfidsim::reliability {
+
+/// One redundancy configuration.
+struct RedundancyScheme {
+  std::size_t tags_per_object = 1;
+  std::size_t antennas_per_portal = 1;
+  std::size_t readers_per_portal = 1;
+  bool dense_reader_mode = false;
+
+  /// Total read opportunities per object (the analytical model's n):
+  /// every (tag, antenna) combination in the same area, per §4.
+  std::size_t read_opportunities() const {
+    return tags_per_object * antennas_per_portal;
+  }
+
+  /// Short display label, e.g. "2 antennas, 2 tags".
+  std::string label() const;
+};
+
+/// The four combinations of Fig. 5 / Fig. 6's x-axis: {1,2} antennas x
+/// {1,2} tags, single reader.
+std::vector<RedundancyScheme> figure5_schemes();
+
+/// The six combinations of Figs. 6-7 (human tracking): 1-2 antennas x
+/// 1, 2, 4 tags.
+std::vector<RedundancyScheme> figure6_schemes();
+
+/// Simple hardware cost model for the planner: tags are cheap and
+/// per-object, antennas and readers are per-portal infrastructure.
+struct CostModel {
+  double tag_cost = 0.05;         ///< Per tag (2006: "$0.05 per EPC Gen 2 tag").
+  double antenna_cost = 200.0;    ///< Per portal antenna.
+  double reader_cost = 1500.0;    ///< Per reader.
+  /// Objects expected through the portal over the amortization horizon;
+  /// tag cost scales with this, infrastructure does not.
+  double objects_per_horizon = 10000.0;
+
+  double total_cost(const RedundancyScheme& scheme) const {
+    return static_cast<double>(scheme.tags_per_object) * tag_cost * objects_per_horizon +
+           static_cast<double>(scheme.antennas_per_portal) * antenna_cost +
+           static_cast<double>(scheme.readers_per_portal) * reader_cost;
+  }
+};
+
+}  // namespace rfidsim::reliability

@@ -1,0 +1,59 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rfidsim::rf {
+
+Decibel ReaderAntennaPattern::gain(double off_boresight_rad) const {
+  const double theta = std::abs(off_boresight_rad);
+  if (theta >= std::numbers::pi / 2.0) {
+    return Decibel(params_.backlobe_floor_dbi);
+  }
+  // Fit a cos^n pattern so that gain drops 3 dB at half the beamwidth:
+  //   n = -3 / (20*log10(cos(bw/2)))  gives  10*log10(cos^n) = -3 dB there.
+  const double half_bw_rad = params_.beamwidth_deg * std::numbers::pi / 360.0;
+  const double cos_half = std::cos(half_bw_rad);
+  const double n = -3.0 / (10.0 * std::log10(std::max(cos_half, 1e-6)));
+  const double c = std::cos(theta);
+  const double rolloff_db = 10.0 * n * std::log10(std::max(c, 1e-6));
+  const double g = params_.boresight_gain_dbi + rolloff_db;
+  return Decibel(std::max(g, params_.backlobe_floor_dbi));
+}
+
+Decibel ReaderAntennaPattern::gain_toward(const Pose& pose, const Vec3& point) const {
+  const Vec3 dir = point - pose.position;
+  if (dir.norm2() == 0.0) return Decibel(params_.boresight_gain_dbi);
+  return gain(angle_between(pose.frame.forward, dir));
+}
+
+Decibel DipoleTagAntenna::gain(const Vec3& axis, const Vec3& direction) const {
+  const double theta = angle_between(axis, direction);
+  const double s = std::sin(theta);
+  const double pattern_db = 20.0 * std::log10(std::max(std::abs(s), 1e-6));
+  const double g = params_.peak_gain_dbi + pattern_db;
+  return Decibel(std::max(g, params_.peak_gain_dbi + params_.null_floor_db));
+}
+
+Decibel polarization_mismatch(bool reader_circular, const Vec3& reader_polarization,
+                              const Vec3& tag_axis, const Vec3& propagation_direction,
+                              double cross_polar_cap_db) {
+  if (reader_circular) {
+    // Circular-to-linear coupling is 3 dB independent of tag roll.
+    return Decibel(3.0);
+  }
+  // Project both polarization vectors onto the plane transverse to
+  // propagation, then take the angle between them.
+  const Vec3 k = propagation_direction.normalized();
+  const Vec3 e_r = (reader_polarization - k * reader_polarization.dot(k)).normalized();
+  const Vec3 e_t = (tag_axis - k * tag_axis.dot(k)).normalized();
+  if (e_r.norm2() == 0.0 || e_t.norm2() == 0.0) {
+    return Decibel(cross_polar_cap_db);
+  }
+  const double c = std::abs(e_r.dot(e_t));
+  const double loss_db = -20.0 * std::log10(std::max(c, 1e-6));
+  return Decibel(std::min(loss_db, cross_polar_cap_db));
+}
+
+}  // namespace rfidsim::rf

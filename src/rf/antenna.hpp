@@ -1,0 +1,88 @@
+// Antenna gain patterns and polarization for readers and tags.
+//
+// Two pattern families matter for the paper's experiments:
+//  * the reader's circularly-polarized area (patch) antenna, whose gain
+//    rolls off away from boresight, and
+//  * the tag's single dipole, whose sin^2 doughnut pattern makes tag
+//    orientation the dominant reliability factor (paper Figs. 3-4).
+#pragma once
+
+#include "common/pose.hpp"
+#include "common/units.hpp"
+#include "common/vec3.hpp"
+
+namespace rfidsim::rf {
+
+/// A circularly-polarized patch/area antenna, the kind shipped with portal
+/// readers such as the Matrix AR400 used in the paper.
+class ReaderAntennaPattern {
+ public:
+  struct Params {
+    double boresight_gain_dbi = 6.0;  ///< Peak gain on boresight.
+    /// Half-power beamwidth in degrees (typical area antennas: 60-70 deg).
+    double beamwidth_deg = 65.0;
+    double backlobe_floor_dbi = -14.0;  ///< Gain floor behind the antenna.
+    bool circular_polarization = true;
+    /// Circular polarization purity degrades off boresight: the axial
+    /// ratio grows, adding polarization loss beyond the ideal 3 dB. This
+    /// is the extra loss at 90 degrees off boresight; it scales
+    /// quadratically with angle.
+    double axial_ratio_loss_db_at_90deg = 8.0;
+  };
+
+  ReaderAntennaPattern() = default;
+  explicit ReaderAntennaPattern(Params p) : params_(p) {}
+
+  /// Gain toward a given direction, where `off_boresight_rad` is the angle
+  /// between the antenna's forward axis and the direction to the tag.
+  /// Uses a cos^n main lobe fit to the beamwidth, clamped at the backlobe
+  /// floor.
+  Decibel gain(double off_boresight_rad) const;
+
+  /// Convenience overload: gain from an antenna `pose` toward `point`.
+  Decibel gain_toward(const Pose& pose, const Vec3& point) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// A single-dipole tag antenna (Symbol-style 2.5 cm x 10 cm patch).
+class DipoleTagAntenna {
+ public:
+  struct Params {
+    double peak_gain_dbi = 2.15;  ///< Ideal half-wave dipole broadside gain.
+    /// Depth of the axial null. Real tags never reach a perfect null
+    /// because of scattering, so the pattern is floored here.
+    double null_floor_db = -25.0;
+  };
+
+  DipoleTagAntenna() = default;
+  explicit DipoleTagAntenna(Params p) : params_(p) {}
+
+  /// Gain toward `direction` for a tag whose dipole axis is `axis`.
+  /// The dipole power pattern is sin^2(theta) where theta is the angle
+  /// between axis and direction: broadside (theta=90 deg) is peak,
+  /// end-on (theta=0) is the null.
+  Decibel gain(const Vec3& axis, const Vec3& direction) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Polarization mismatch between reader and tag, returned as a POSITIVE
+/// loss in dB.
+///
+/// A circularly-polarized reader loses a constant 3 dB to any linear tag
+/// regardless of tag roll — which is why portals use circular antennas.
+/// A linearly-polarized reader loses -20*log10|cos(psi)| where psi is the
+/// angle between the polarization vectors (capped at `cross_polar_cap_db`,
+/// since cross-polar isolation is finite).
+Decibel polarization_mismatch(bool reader_circular, const Vec3& reader_polarization,
+                              const Vec3& tag_axis, const Vec3& propagation_direction,
+                              double cross_polar_cap_db = 20.0);
+
+}  // namespace rfidsim::rf

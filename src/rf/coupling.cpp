@@ -1,0 +1,34 @@
+#include "rf/coupling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rfidsim::rf {
+
+Decibel pairwise_coupling_loss(double spacing_m, const CouplingParams& params,
+                               double alignment) {
+  require(alignment >= 0.0 && alignment <= 1.0,
+          "pairwise_coupling_loss: alignment must be in [0, 1]");
+  const double s = std::max(spacing_m, 0.0);
+  const double loss = params.contact_loss_db * alignment * std::exp(-s / params.decay_scale_m);
+  return Decibel(loss < params.negligible_db ? 0.0 : loss);
+}
+
+Decibel total_coupling_loss(const std::vector<double>& neighbour_spacings_m,
+                            const CouplingParams& params) {
+  double total = 0.0;
+  for (double s : neighbour_spacings_m) {
+    total += pairwise_coupling_loss(s, params).value();
+  }
+  return Decibel(std::min(total, params.contact_loss_db * 1.5));
+}
+
+double minimum_safe_spacing_m(double tolerable_db, const CouplingParams& params) {
+  require(tolerable_db > 0.0, "minimum_safe_spacing_m: tolerable_db must be > 0");
+  if (tolerable_db >= params.contact_loss_db) return 0.0;
+  return params.decay_scale_m * std::log(params.contact_loss_db / tolerable_db);
+}
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,76 @@
+#include "rf/link_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfidsim::rf {
+
+Decibel LinkBudget::one_way_path_loss(const PathTerms& terms) const {
+  // Reference free-space loss at 1 m, then the configured distance
+  // exponent beyond it.
+  Decibel loss = free_space_path_loss(1.0, params_.frequency_hz) +
+                 Decibel(10.0 * params_.path_loss_exponent *
+                         std::log10(std::max(terms.distance_m, 0.01)));
+  loss += terms.polarization_loss;
+  loss += terms.material_loss;
+  loss += terms.coupling_loss;
+  loss += terms.blockage_loss;
+  loss -= terms.reflection_gain;
+  loss -= terms.multipath_gain;
+  return loss;
+}
+
+LinkResult LinkBudget::forward(const PathTerms& terms) const {
+  LinkResult r;
+  r.received = params_.tx_power - params_.cable_loss + terms.reader_gain + terms.tag_gain -
+               one_way_path_loss(terms);
+  r.margin = r.received - params_.tag_sensitivity;
+  r.closed = r.margin.value() > 0.0;
+  return r;
+}
+
+LinkResult LinkBudget::reverse(const PathTerms& terms, DbmPower power_at_tag) const {
+  LinkResult r;
+  r.received = power_at_tag - params_.backscatter_loss + terms.tag_gain + terms.reader_gain -
+               one_way_path_loss(terms) - params_.cable_loss;
+  r.margin = r.received - params_.reader_sensitivity;
+  r.closed = r.margin.value() > 0.0;
+  return r;
+}
+
+LinkResult LinkBudget::forward_active(const PathTerms& terms,
+                                      DbmPower rx_sensitivity) const {
+  LinkResult r = forward(terms);
+  r.margin = r.received - rx_sensitivity;
+  r.closed = r.margin.value() > 0.0;
+  return r;
+}
+
+LinkResult LinkBudget::reverse_active(const PathTerms& terms,
+                                      DbmPower tag_tx_power) const {
+  LinkResult r;
+  r.received = tag_tx_power + terms.tag_gain + terms.reader_gain -
+               one_way_path_loss(terms) - params_.cable_loss;
+  r.margin = r.received - params_.reader_sensitivity;
+  r.closed = r.margin.value() > 0.0;
+  return r;
+}
+
+Decibel LinkBudget::limiting_margin(const PathTerms& terms) const {
+  const LinkResult fwd = forward(terms);
+  const LinkResult rev = reverse(terms, fwd.received);
+  return std::min(fwd.margin, rev.margin);
+}
+
+double LinkBudget::attempt_success_probability(const PathTerms& terms,
+                                               const ShadowFading& fading) const {
+  return fading.exceed_probability(limiting_margin(terms));
+}
+
+bool LinkBudget::sample_attempt(const PathTerms& terms, const ShadowFading& fading,
+                                Rng& rng) const {
+  const Decibel x = fading.draw(rng);
+  return (limiting_margin(terms) + x).value() > 0.0;
+}
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,106 @@
+// The passive-RFID link budget: can the tag power up, and can the reader
+// decode the backscatter?
+//
+// A passive tag has no battery; the reader's carrier must deliver enough
+// power to wake the chip (forward link), and the tag's modulated reflection
+// must arrive above the reader's sensitivity (reverse link). For 2006-era
+// Gen 2 hardware — the paper's Symbol tags and Matrix AR400 reader — the
+// forward link is the binding constraint at portal ranges, which this model
+// reproduces.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "rf/propagation.hpp"
+
+namespace rfidsim::rf {
+
+/// Hardware constants of the reader/tag pair. Defaults approximate the
+/// paper's setup: 30 dBm (1 W) conducted power, a -11 dBm tag wake-up
+/// threshold typical of 2006-era EPC chips, and a -70 dBm reader
+/// sensitivity.
+struct RadioParams {
+  DbmPower tx_power{30.0};
+  Decibel cable_loss{0.8};            ///< Reader-to-antenna feed loss.
+  DbmPower tag_sensitivity{-11.0};    ///< Minimum power to power up the chip.
+  DbmPower reader_sensitivity{-70.0}; ///< Minimum backscatter power to decode.
+  Decibel backscatter_loss{6.0};      ///< Modulation + re-radiation loss at the tag.
+  double frequency_hz = 915e6;        ///< US UHF ISM band centre.
+  /// Path-loss exponent: 2.0 is free space; cluttered indoor spaces run
+  /// 2.2-2.6. Applied as FSPL(1 m) + 10*n*log10(d).
+  double path_loss_exponent = 2.0;
+};
+
+/// Geometry- and environment-dependent terms of one reader-antenna -> tag
+/// path, already evaluated by the scene layer. All losses are entered as
+/// positive dB values.
+struct PathTerms {
+  double distance_m = 1.0;
+  Decibel reader_gain{6.0};      ///< Reader antenna gain toward the tag.
+  Decibel tag_gain{2.15};        ///< Tag antenna gain toward the reader.
+  Decibel polarization_loss{3.0};
+  Decibel material_loss{0.0};    ///< Occlusion + backing/detuning losses.
+  Decibel coupling_loss{0.0};    ///< Tag-to-tag mutual coupling.
+  Decibel blockage_loss{0.0};    ///< Bodies/objects in the Fresnel zone.
+  Decibel reflection_gain{0.0};  ///< Constructive bounce off nearby reflectors.
+  Decibel multipath_gain{0.0};   ///< Two-ray ripple relative to free space.
+};
+
+/// Result of evaluating one direction of the link.
+struct LinkResult {
+  DbmPower received;   ///< Power arriving at the receiving end.
+  Decibel margin;      ///< received - sensitivity; positive means closed.
+  bool closed = false; ///< margin > 0.
+};
+
+/// Deterministic + probabilistic evaluation of the two-way link.
+class LinkBudget {
+ public:
+  LinkBudget() = default;
+  explicit LinkBudget(RadioParams params) : params_(params) {}
+
+  /// Mean (no-fading) power delivered to the tag chip.
+  LinkResult forward(const PathTerms& terms) const;
+
+  /// Mean (no-fading) backscatter power at the reader, given the power that
+  /// actually reached the tag (the reverse link re-traverses every path
+  /// loss except the tag's chip threshold).
+  LinkResult reverse(const PathTerms& terms, DbmPower power_at_tag) const;
+
+  /// Forward link for an active tag: the same received power, but judged
+  /// against the tag's *receiver* sensitivity instead of the passive
+  /// wake-up threshold (battery-assisted tags decode commands tens of dB
+  /// below the energy-harvesting floor).
+  LinkResult forward_active(const PathTerms& terms, DbmPower rx_sensitivity) const;
+
+  /// Reverse link for an active beacon: the tag transmits its reply at its
+  /// own power rather than reflecting the reader's carrier, so the path
+  /// loss is paid once, not twice.
+  LinkResult reverse_active(const PathTerms& terms, DbmPower tag_tx_power) const;
+
+  /// The link's limiting margin: min(forward margin, reverse margin after a
+  /// forward link that just closed). One number summarises "how much fading
+  /// head-room does this tag have".
+  Decibel limiting_margin(const PathTerms& terms) const;
+
+  /// Probability that a single interrogation attempt succeeds at the
+  /// physical layer under log-normal fading: Phi(limiting_margin / sigma).
+  /// Both directions share one shadowing realization (same path, same
+  /// obstacles) — the standard assumption for monostatic RFID.
+  double attempt_success_probability(const PathTerms& terms,
+                                     const ShadowFading& fading) const;
+
+  /// Samples one attempt: draws a fading realization and tests both links.
+  bool sample_attempt(const PathTerms& terms, const ShadowFading& fading, Rng& rng) const;
+
+  const RadioParams& params() const { return params_; }
+
+ private:
+  /// Sum of all geometry losses along one traversal of the path (positive
+  /// dB, subtracted from the budget).
+  Decibel one_way_path_loss(const PathTerms& terms) const;
+
+  RadioParams params_;
+};
+
+}  // namespace rfidsim::rf

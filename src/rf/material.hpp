@@ -1,0 +1,71 @@
+// Material effects on tag performance.
+//
+// The paper's Table 1 (tags on router boxes) is dominated by two material
+// mechanisms the authors call out explicitly in §2.1:
+//  * occlusion ("block the signal when the material is placed between the
+//    antenna and the tag") — modelled as a penetration loss per traversed
+//    thickness, and
+//  * detuning/grounding ("may act as a grounding plate if the tag is too
+//    close to the material") — modelled as a backing loss that grows as the
+//    tag-to-material gap shrinks below a fraction of the wavelength.
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace rfidsim::rf {
+
+/// Materials that appear in the paper's scenarios.
+enum class Material {
+  Air,        ///< No effect.
+  Cardboard,  ///< Packaging: mild absorption.
+  Foam,       ///< Packing foam: negligible.
+  Plastic,    ///< Router shells: mild.
+  Metal,      ///< Router casings: blocks and grounds.
+  Liquid,     ///< Water-rich contents: absorbs strongly, grounds moderately.
+  HumanBody,  ///< Mostly water: strong absorber, moderate grounding.
+};
+
+/// Human-readable material name (for tables and logs).
+std::string_view material_name(Material m);
+
+/// Loss for a signal penetrating `thickness_m` of the material. Metal is
+/// effectively opaque regardless of thickness; lossy dielectrics attenuate
+/// per centimetre.
+Decibel penetration_loss(Material m, double thickness_m);
+
+/// Amplitude reflection coefficient of the material at UHF (0 = transparent,
+/// 1 = perfect mirror). Drives both the image-cancellation model below and
+/// the scene's reflection bonus.
+double reflection_coefficient(Material m);
+
+/// Detuning/grounding loss for a tag mounted with an air gap of `gap_m`
+/// in front of a backing slab of material `m`. The loss decays roughly
+/// exponentially with gap on the scale of lambda/20 (~1.6 cm at 915 MHz):
+/// a tag flush on metal is unreadable; 2-3 cm of spacer largely recovers it.
+/// This is the isotropic (angle-averaged) term; the angle-resolved effect
+/// is image_factor_gain.
+Decibel backing_loss(Material m, double gap_m, double frequency_hz = 915e6);
+
+/// Ground-plane image factor for a dipole tag mounted `gap_m` in front of a
+/// backing slab, radiating at elevation `sin_alpha` above the tag plane
+/// (sin_alpha = 1: broadside, straight off the face; sin_alpha -> 0:
+/// grazing, along the face).
+///
+/// The backing reflects an out-of-phase image of the dipole; direct and
+/// image rays interfere with phase difference 2*k*gap*sin_alpha:
+///     F = |1 - Gamma * exp(-j * 2k * gap * sin_alpha)|
+/// For a tag close above metal this *cancels toward grazing directions* —
+/// the reason tags on top of the paper's router boxes read at 29% while
+/// front tags read at 87% — and can give up to +6 dB constructive gain
+/// broadside at quarter-wave spacing. Returned as a signed gain in dB,
+/// floored at `floor_db`.
+Decibel image_factor_gain(Material m, double gap_m, double sin_alpha,
+                          double frequency_hz = 915e6, double floor_db = -25.0);
+
+/// True if the material substantially reflects UHF (metal, and to a lesser
+/// degree water-rich bodies) — used by the scene's reflection bonus model.
+bool is_reflective(Material m);
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,50 @@
+#include "rf/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace rfidsim::rf {
+
+Decibel free_space_path_loss(double distance_m, double frequency_hz) {
+  const double d = std::max(distance_m, 0.01);
+  const double lambda = wavelength_m(frequency_hz);
+  return Decibel(20.0 * std::log10(4.0 * std::numbers::pi * d / lambda));
+}
+
+Decibel TwoRayGround::gain(double h_tx_m, double h_rx_m, double distance_m,
+                           double frequency_hz) const {
+  if (params_.reflection_coefficient <= 0.0) return Decibel(0.0);
+  const double d = std::max(distance_m, 0.01);
+  const double lambda = wavelength_m(frequency_hz);
+
+  // Path lengths of the direct ray and the ground-bounced ray.
+  const double dh = h_tx_m - h_rx_m;
+  const double sh = h_tx_m + h_rx_m;
+  const double direct = std::sqrt(d * d + dh * dh);
+  const double bounced = std::sqrt(d * d + sh * sh);
+
+  const double dphi = 2.0 * std::numbers::pi * (bounced - direct) / lambda;
+  // Ground bounce at grazing incidence flips phase (Gamma ~ -|Gamma|); the
+  // bounced ray is also slightly weaker by the path-length ratio.
+  const std::complex<double> gamma(-params_.reflection_coefficient, 0.0);
+  const std::complex<double> sum =
+      1.0 + gamma * (direct / bounced) * std::exp(std::complex<double>(0.0, dphi));
+  const double mag = std::abs(sum);
+  const double gain_db = 20.0 * std::log10(std::max(mag, 1e-6));
+  return Decibel(std::max(gain_db, params_.floor_db));
+}
+
+Decibel ShadowFading::draw(Rng& rng) const {
+  if (sigma_db_ <= 0.0) return Decibel(0.0);
+  return Decibel(rng.gaussian(0.0, sigma_db_));
+}
+
+double ShadowFading::exceed_probability(Decibel mean_margin) const {
+  if (sigma_db_ <= 0.0) return mean_margin.value() > 0.0 ? 1.0 : 0.0;
+  // P(N(0, sigma) > -margin) = Phi(margin / sigma).
+  return 0.5 * std::erfc(-mean_margin.value() / (sigma_db_ * std::numbers::sqrt2));
+}
+
+}  // namespace rfidsim::rf

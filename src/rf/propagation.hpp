@@ -1,0 +1,69 @@
+// Large-scale propagation models for the UHF RFID channel.
+//
+// Passive UHF RFID at ~915 MHz over portal-scale distances (1-10 m) is well
+// described by free-space path loss plus (a) a two-ray ground-reflection
+// ripple that creates the distance-dependent fade pattern readers see in
+// warehouses, and (b) log-normal shadow fading capturing everything the
+// deterministic terms miss (cart clutter, cable flex, people moving).
+// The paper's Figure 2 (gradual reliability decay from 2 m to 9 m) is the
+// macroscopic signature of exactly these effects.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rfidsim::rf {
+
+/// Free-space path loss (Friis) in dB for a separation `distance_m` at
+/// carrier `frequency_hz`. Distances below 1 cm are clamped to 1 cm to keep
+/// the near field from producing negative losses.
+Decibel free_space_path_loss(double distance_m, double frequency_hz);
+
+/// Two-ray ground-reflection model, expressed as a *gain relative to free
+/// space*: 20*log10|1 + Gamma * e^{j*dphi}| where dphi is the phase
+/// difference between the direct and ground-bounced path. Positive in
+/// constructive regions (up to ~+6 dB), negative in fades. Nulls are
+/// clamped to `floor_db` because real floors are rough scatterers, not
+/// mirrors.
+class TwoRayGround {
+ public:
+  struct Params {
+    double reflection_coefficient = 0.4;  ///< |Gamma| of the floor (0 disables).
+    double floor_db = -15.0;              ///< Deepest allowed fade.
+  };
+
+  TwoRayGround() = default;
+  explicit TwoRayGround(Params p) : params_(p) {}
+
+  /// Gain relative to free space for a TX at height `h_tx_m`, RX at height
+  /// `h_rx_m`, horizontal separation `distance_m`, carrier `frequency_hz`.
+  Decibel gain(double h_tx_m, double h_rx_m, double distance_m, double frequency_hz) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Log-normal shadow fading: zero-mean Gaussian in dB with a configurable
+/// standard deviation, drawn independently per interrogation attempt.
+class ShadowFading {
+ public:
+  /// `sigma_db` <= 0 disables fading (draws return 0 dB).
+  explicit ShadowFading(double sigma_db = 4.0) : sigma_db_(sigma_db) {}
+
+  /// One fading realization.
+  Decibel draw(Rng& rng) const;
+
+  /// Probability that a link with the given mean margin (dB) stays above
+  /// threshold under this fading, i.e. P(margin + X > 0) with
+  /// X ~ N(0, sigma^2). With fading disabled this is a step function.
+  double exceed_probability(Decibel mean_margin) const;
+
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double sigma_db_;
+};
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,34 @@
+#include "rf/tag_design.hpp"
+
+#include <algorithm>
+
+namespace rfidsim::rf {
+
+std::string_view tag_type_name(TagType type) {
+  switch (type) {
+    case TagType::PassiveSingleDipole: return "passive single-dipole";
+    case TagType::PassiveDualDipole: return "passive dual-dipole";
+    case TagType::ActiveBeacon: return "active beacon";
+  }
+  return "unknown";
+}
+
+Decibel tag_design_gain(const TagDesign& design, const DipoleTagAntenna& element,
+                        const Vec3& primary_axis, const Vec3& patch_normal,
+                        const Vec3& direction) {
+  const Decibel primary = element.gain(primary_axis, direction);
+  if (design.type == TagType::PassiveSingleDipole ||
+      design.type == TagType::ActiveBeacon) {
+    // Active beacons in this model use a single-dipole element too; their
+    // advantage is the link budget, not the pattern.
+    return primary;
+  }
+  // Dual dipole: the second element lies in the patch plane, orthogonal to
+  // the first; the chip responds on whichever couples better.
+  const Vec3 secondary_axis = patch_normal.cross(primary_axis).normalized();
+  if (secondary_axis.norm2() == 0.0) return primary;
+  const Decibel secondary = element.gain(secondary_axis, direction);
+  return std::max(primary, secondary);
+}
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,69 @@
+// Tag designs beyond the baseline single dipole.
+//
+// The paper's closing line: "Future extensions of this work involve
+// experimenting with active tags, and tag reliability for different tag
+// designs." This module implements both extensions:
+//  * PassiveSingleDipole — the Symbol-style baseline measured throughout
+//    the paper: one dipole, sin^2 pattern, axial null, chip wake-up
+//    threshold on the forward link.
+//  * PassiveDualDipole — two orthogonal dipoles on one chip (the standard
+//    industry fix for Fig. 4's orientation sensitivity): the tag responds
+//    on whichever dipole couples better, leaving a null only along the
+//    patch normal.
+//  * ActiveBeacon — a battery-powered tag: no forward-link wake-up
+//    constraint at all; it transmits its reply at its own (milliwatt-scale)
+//    power, so range is bounded by the reader's receive sensitivity, not
+//    by the power-up link. This is why the paper calls active tags "much
+//    stronger signal, much longer communication range".
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+#include "common/vec3.hpp"
+#include "rf/antenna.hpp"
+
+namespace rfidsim::rf {
+
+/// The supported tag architectures.
+enum class TagType {
+  PassiveSingleDipole,
+  PassiveDualDipole,
+  ActiveBeacon,
+};
+
+/// Human-readable tag-type name.
+std::string_view tag_type_name(TagType type);
+
+/// Design parameters of one tag model.
+struct TagDesign {
+  TagType type = TagType::PassiveSingleDipole;
+  /// Transmit power of an active beacon's reply (ignored for passive).
+  DbmPower active_tx_power{-10.0};
+  /// Active tags keep a real receiver for reader commands; its sensitivity
+  /// replaces the passive wake-up threshold on the forward link.
+  DbmPower active_rx_sensitivity{-85.0};
+
+  /// Factory helpers for the three standard designs.
+  static TagDesign single_dipole() { return TagDesign{}; }
+  static TagDesign dual_dipole() {
+    TagDesign d;
+    d.type = TagType::PassiveDualDipole;
+    return d;
+  }
+  static TagDesign active_beacon() {
+    TagDesign d;
+    d.type = TagType::ActiveBeacon;
+    return d;
+  }
+};
+
+/// Antenna gain of a tag of the given design toward `direction`, given the
+/// mounting geometry. `primary_axis` is the main dipole; a dual-dipole
+/// design adds the orthogonal dipole in the patch plane
+/// (patch_normal x primary_axis) and responds on the better of the two.
+Decibel tag_design_gain(const TagDesign& design, const DipoleTagAntenna& element,
+                        const Vec3& primary_axis, const Vec3& patch_normal,
+                        const Vec3& direction);
+
+}  // namespace rfidsim::rf

@@ -1,0 +1,212 @@
+#include "scene/entity.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace rfidsim::scene {
+
+Entity::Entity(std::string name, Body body, rf::Material body_material,
+               std::unique_ptr<Trajectory> trajectory, double content_fill)
+    : name_(std::move(name)),
+      body_(body),
+      body_material_(body_material),
+      content_fill_(content_fill),
+      trajectory_(std::move(trajectory)) {
+  require(trajectory_ != nullptr, "Entity: trajectory must not be null");
+  require(content_fill >= 0.0 && content_fill <= 1.0,
+          "Entity: content_fill must be in [0, 1]");
+}
+
+Entity::Entity(const Entity& other)
+    : name_(other.name_),
+      body_(other.body_),
+      body_material_(other.body_material_),
+      content_fill_(other.content_fill_),
+      trajectory_(other.trajectory_->clone()),
+      tags_(other.tags_) {}
+
+Entity& Entity::operator=(const Entity& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  body_ = other.body_;
+  body_material_ = other.body_material_;
+  content_fill_ = other.content_fill_;
+  trajectory_ = other.trajectory_->clone();
+  tags_ = other.tags_;
+  return *this;
+}
+
+std::size_t Entity::add_tag(Tag tag) {
+  tags_.push_back(tag);
+  return tags_.size() - 1;
+}
+
+Vec3 Entity::to_world_direction(const Vec3& local, const Pose& pose) const {
+  const Vec3 fwd = pose.frame.forward;  // local +x
+  const Vec3 up = pose.frame.up;        // local +z
+  const Vec3 right = fwd.cross(up);     // local +y... see note below.
+  // Entity local frame convention: +x travel, +y toward reader, +z up.
+  // With world forward = +x and up = +z, right() = forward x up = -y, so
+  // the local +y axis maps to -right.
+  return fwd * local.x - right * local.y + up * local.z;
+}
+
+Vec3 Entity::tag_position(std::size_t tag_index, double t_s) const {
+  require(tag_index < tags_.size(), "Entity::tag_position: tag index out of range");
+  const Pose pose = pose_at(t_s);
+  return pose.position + to_world_direction(tags_[tag_index].mount.local_position, pose);
+}
+
+Vec3 Entity::tag_dipole_axis(std::size_t tag_index, double t_s) const {
+  require(tag_index < tags_.size(), "Entity::tag_dipole_axis: tag index out of range");
+  const Pose pose = pose_at(t_s);
+  return to_world_direction(tags_[tag_index].mount.local_dipole_axis, pose).normalized();
+}
+
+Vec3 Entity::tag_patch_normal(std::size_t tag_index, double t_s) const {
+  require(tag_index < tags_.size(), "Entity::tag_patch_normal: tag index out of range");
+  const Pose pose = pose_at(t_s);
+  return to_world_direction(tags_[tag_index].mount.local_patch_normal, pose).normalized();
+}
+
+std::optional<double> Entity::body_chord(const Segment& seg, double t_s,
+                                         double skip_margin_m) const {
+  const Pose pose = pose_at(t_s);
+  if (const auto* box = std::get_if<BoxBody>(&body_)) {
+    Aabb aabb;
+    aabb.centre = pose.position;
+    aabb.extents = box->extents * content_fill_ - Vec3{1.0, 1.0, 1.0} * (2.0 * skip_margin_m);
+    if (aabb.extents.x <= 0.0 || aabb.extents.y <= 0.0 || aabb.extents.z <= 0.0) {
+      return std::nullopt;
+    }
+    return chord_length(seg, aabb);
+  }
+  if (const auto* cyl = std::get_if<CylinderBody>(&body_)) {
+    VerticalCylinder c;
+    c.centre = pose.position;
+    c.radius = std::max(cyl->radius * content_fill_ - skip_margin_m, 0.0);
+    c.height = std::max(cyl->height * content_fill_ - 2.0 * skip_margin_m, 0.0);
+    if (c.radius <= 0.0 || c.height <= 0.0) return std::nullopt;
+    return chord_length(seg, c);
+  }
+  return std::nullopt;
+}
+
+double Entity::body_radius() const {
+  if (const auto* box = std::get_if<BoxBody>(&body_)) {
+    return 0.5 * std::sqrt(box->extents.x * box->extents.x + box->extents.y * box->extents.y);
+  }
+  if (const auto* cyl = std::get_if<CylinderBody>(&body_)) {
+    return cyl->radius;
+  }
+  return 0.0;
+}
+
+std::string_view box_face_name(BoxFace face) {
+  switch (face) {
+    case BoxFace::Front: return "front";
+    case BoxFace::Back: return "back";
+    case BoxFace::Top: return "top";
+    case BoxFace::Bottom: return "bottom";
+    case BoxFace::SideNear: return "side (closer)";
+    case BoxFace::SideFar: return "side (farther)";
+  }
+  return "unknown";
+}
+
+TagMount mount_on_box_face(BoxFace face, const Vec3& box_extents,
+                           rf::Material content_material, double content_gap_m) {
+  TagMount m;
+  m.backing_material = content_material;
+  m.backing_gap_m = content_gap_m;
+  const double hx = box_extents.x * 0.5;
+  const double hy = box_extents.y * 0.5;
+  const double hz = box_extents.z * 0.5;
+  // The dipole axis lies flat on the face, horizontal where possible — the
+  // common way a label is applied. The reader antenna is on the +y side.
+  switch (face) {
+    case BoxFace::Front:  // Leading face (+x), visible obliquely to the reader.
+      m.local_position = {hx, 0.0, 0.0};
+      m.local_patch_normal = {1.0, 0.0, 0.0};
+      m.local_dipole_axis = {0.0, 1.0, 0.0};
+      break;
+    case BoxFace::Back:
+      m.local_position = {-hx, 0.0, 0.0};
+      m.local_patch_normal = {-1.0, 0.0, 0.0};
+      m.local_dipole_axis = {0.0, 1.0, 0.0};
+      break;
+    case BoxFace::Top:
+      m.local_position = {0.0, 0.0, hz};
+      m.local_patch_normal = {0.0, 0.0, 1.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+    case BoxFace::Bottom:
+      m.local_position = {0.0, 0.0, -hz};
+      m.local_patch_normal = {0.0, 0.0, -1.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+    case BoxFace::SideNear:  // Faces the reader (+y).
+      m.local_position = {0.0, hy, 0.0};
+      m.local_patch_normal = {0.0, 1.0, 0.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+    case BoxFace::SideFar:
+      m.local_position = {0.0, -hy, 0.0};
+      m.local_patch_normal = {0.0, -1.0, 0.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+  }
+  return m;
+}
+
+std::string_view body_spot_name(BodySpot spot) {
+  switch (spot) {
+    case BodySpot::Front: return "front";
+    case BodySpot::Back: return "back";
+    case BodySpot::SideNear: return "side (closer)";
+    case BodySpot::SideFar: return "side (farther)";
+  }
+  return "unknown";
+}
+
+TagMount mount_on_person(BodySpot spot, const CylinderBody& body) {
+  TagMount m;
+  m.backing_material = rf::Material::HumanBody;
+  // "tags should not touch the body ... hanging from the belt or pocket"
+  // (paper §3): a badge dangles ~1.5 cm off the body.
+  m.backing_gap_m = 0.015;
+  // Waist height relative to the body centre (centre is at height/2).
+  const double waist_z = -body.height * 0.5 + 1.0;
+  const double r = body.radius + m.backing_gap_m;
+  // A belt-hung badge swings and settles tilted; its time-average dipole
+  // axis sits diagonally in the card plane rather than cleanly vertical or
+  // horizontal.
+  const double diag = std::numbers::sqrt2 / 2.0;
+  switch (spot) {
+    case BodySpot::Front:  // Facing the walking direction (+x).
+      m.local_position = {r, 0.0, waist_z};
+      m.local_patch_normal = {1.0, 0.0, 0.0};
+      m.local_dipole_axis = {0.0, diag, diag};
+      break;
+    case BodySpot::Back:
+      m.local_position = {-r, 0.0, waist_z};
+      m.local_patch_normal = {-1.0, 0.0, 0.0};
+      m.local_dipole_axis = {0.0, diag, diag};
+      break;
+    case BodySpot::SideNear:  // Hip facing the reader (+y).
+      m.local_position = {0.0, r, waist_z};
+      m.local_patch_normal = {0.0, 1.0, 0.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+    case BodySpot::SideFar:
+      m.local_position = {0.0, -r, waist_z};
+      m.local_patch_normal = {0.0, -1.0, 0.0};
+      m.local_dipole_axis = {1.0, 0.0, 0.0};
+      break;
+  }
+  return m;
+}
+
+}  // namespace rfidsim::scene

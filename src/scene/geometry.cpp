@@ -1,0 +1,113 @@
+#include "scene/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfidsim::scene {
+
+bool Aabb::contains(const Vec3& p) const {
+  const Vec3 lo = min();
+  const Vec3 hi = max();
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+         p.z <= hi.z;
+}
+
+std::optional<double> chord_length(const Segment& seg, const Aabb& box) {
+  const Vec3 d = seg.to - seg.from;
+  const Vec3 lo = box.min();
+  const Vec3 hi = box.max();
+
+  double t_enter = 0.0;
+  double t_exit = 1.0;
+
+  const double dir[3] = {d.x, d.y, d.z};
+  const double org[3] = {seg.from.x, seg.from.y, seg.from.z};
+  const double bmin[3] = {lo.x, lo.y, lo.z};
+  const double bmax[3] = {hi.x, hi.y, hi.z};
+
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(dir[axis]) < 1e-12) {
+      // A segment lying exactly on a face plane grazes the box without
+      // traversing material: treat the boundary as outside.
+      if (org[axis] <= bmin[axis] || org[axis] >= bmax[axis]) return std::nullopt;
+      continue;
+    }
+    double t0 = (bmin[axis] - org[axis]) / dir[axis];
+    double t1 = (bmax[axis] - org[axis]) / dir[axis];
+    if (t0 > t1) std::swap(t0, t1);
+    t_enter = std::max(t_enter, t0);
+    t_exit = std::min(t_exit, t1);
+    if (t_enter > t_exit) return std::nullopt;
+  }
+  const double len = (t_exit - t_enter) * d.norm();
+  if (len <= 1e-9) return std::nullopt;
+  return len;
+}
+
+std::optional<double> chord_length(const Segment& seg, const VerticalCylinder& cyl) {
+  const Vec3 d = seg.to - seg.from;
+
+  // Intersect the 2-D projection (x, y) with the circle, then clip by the
+  // z slab of the cylinder.
+  const double ox = seg.from.x - cyl.centre.x;
+  const double oy = seg.from.y - cyl.centre.y;
+  const double dx = d.x;
+  const double dy = d.y;
+
+  double t_enter = 0.0;
+  double t_exit = 1.0;
+
+  const double a = dx * dx + dy * dy;
+  if (a < 1e-12) {
+    // Vertical segment: inside iff the projected point is within the circle.
+    if (ox * ox + oy * oy > cyl.radius * cyl.radius) return std::nullopt;
+  } else {
+    const double b = 2.0 * (ox * dx + oy * dy);
+    const double c = ox * ox + oy * oy - cyl.radius * cyl.radius;
+    const double disc = b * b - 4.0 * a * c;
+    if (disc < 0.0) return std::nullopt;
+    const double sq = std::sqrt(disc);
+    double t0 = (-b - sq) / (2.0 * a);
+    double t1 = (-b + sq) / (2.0 * a);
+    if (t0 > t1) std::swap(t0, t1);
+    t_enter = std::max(t_enter, t0);
+    t_exit = std::min(t_exit, t1);
+    if (t_enter > t_exit) return std::nullopt;
+  }
+
+  // Clip by the z extent.
+  const double z_lo = cyl.centre.z - cyl.height * 0.5;
+  const double z_hi = cyl.centre.z + cyl.height * 0.5;
+  if (std::abs(d.z) < 1e-12) {
+    if (seg.from.z < z_lo || seg.from.z > z_hi) return std::nullopt;
+  } else {
+    double t0 = (z_lo - seg.from.z) / d.z;
+    double t1 = (z_hi - seg.from.z) / d.z;
+    if (t0 > t1) std::swap(t0, t1);
+    t_enter = std::max(t_enter, t0);
+    t_exit = std::min(t_exit, t1);
+    if (t_enter > t_exit) return std::nullopt;
+  }
+
+  const double len = (t_exit - t_enter) * d.norm();
+  if (len <= 1e-9) return std::nullopt;
+  return len;
+}
+
+PointToSegment closest_point(const Segment& seg, const Vec3& p) {
+  const Vec3 d = seg.to - seg.from;
+  const double len2 = d.norm2();
+  PointToSegment result;
+  if (len2 < 1e-12) {
+    result.t = 0.0;
+    result.distance = p.distance_to(seg.from);
+    return result;
+  }
+  double t = (p - seg.from).dot(d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  result.t = t;
+  result.distance = p.distance_to(seg.from + d * t);
+  return result;
+}
+
+}  // namespace rfidsim::scene

@@ -1,0 +1,58 @@
+// Intersection primitives for occlusion tests.
+//
+// The scene needs exactly two shape queries: "how much of this axis-aligned
+// box does a ray traverse" (tagged cartons blocking their own far-side
+// tags) and "how much of this vertical cylinder does a ray traverse"
+// (human bodies blocking tags). Both return the chord length so the caller
+// can convert to a material penetration loss.
+#pragma once
+
+#include <optional>
+
+#include "common/vec3.hpp"
+
+namespace rfidsim::scene {
+
+/// An axis-aligned box given by its centre and full extents.
+struct Aabb {
+  Vec3 centre;
+  Vec3 extents;  ///< Full side lengths along x, y, z.
+
+  Vec3 min() const { return centre - extents * 0.5; }
+  Vec3 max() const { return centre + extents * 0.5; }
+  /// True if `p` lies inside or on the boundary.
+  bool contains(const Vec3& p) const;
+};
+
+/// A vertical (z-aligned) cylinder: centre of its axis segment, radius, and
+/// full height.
+struct VerticalCylinder {
+  Vec3 centre;
+  double radius = 0.3;
+  double height = 1.7;
+};
+
+/// A finite ray segment from `from` to `to`.
+struct Segment {
+  Vec3 from;
+  Vec3 to;
+};
+
+/// Length of the part of `seg` inside the box, or nullopt if they do not
+/// intersect. Uses the slab method; a segment starting inside the box
+/// counts the inside portion only.
+std::optional<double> chord_length(const Segment& seg, const Aabb& box);
+
+/// Length of the part of `seg` inside the cylinder, or nullopt if disjoint.
+std::optional<double> chord_length(const Segment& seg, const VerticalCylinder& cyl);
+
+/// Distance from point `p` to the infinite line through `seg`, and the
+/// normalized position of the closest point along the segment (clamped to
+/// [0,1]). Used for "is this reflector near the propagation path" tests.
+struct PointToSegment {
+  double distance = 0.0;
+  double t = 0.0;  ///< 0 at seg.from, 1 at seg.to.
+};
+PointToSegment closest_point(const Segment& seg, const Vec3& p);
+
+}  // namespace rfidsim::scene

@@ -1,0 +1,63 @@
+// Scene: everything physical in one experiment.
+//
+// A Scene is the passive description — entities with tags, and antenna
+// sites. Evaluating RF paths through it is PathEvaluator's job; driving the
+// Gen 2 protocol over it is the system layer's job.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/pose.hpp"
+#include "rf/antenna.hpp"
+#include "scene/entity.hpp"
+
+namespace rfidsim::scene {
+
+/// A fixed reader-antenna installation.
+struct AntennaSite {
+  Pose pose;  ///< Position and boresight direction.
+  rf::ReaderAntennaPattern pattern;
+};
+
+/// Addresses one tag in the scene: (entity index, tag index within entity).
+struct TagAddress {
+  std::size_t entity = 0;
+  std::size_t tag = 0;
+  constexpr auto operator<=>(const TagAddress&) const = default;
+};
+
+/// The physical contents of one experiment.
+struct Scene {
+  std::vector<Entity> entities;
+  std::vector<AntennaSite> antennas;
+
+  /// Enumerates every tag in the scene, in (entity, tag) order.
+  std::vector<TagAddress> all_tags() const {
+    std::vector<TagAddress> out;
+    for (std::size_t e = 0; e < entities.size(); ++e) {
+      for (std::size_t t = 0; t < entities[e].tags().size(); ++t) {
+        out.push_back({e, t});
+      }
+    }
+    return out;
+  }
+
+  /// Convenience: builds an antenna site at `position` whose boresight
+  /// points along `facing` (typically toward the lane of travel).
+  static AntennaSite make_antenna(const Vec3& position, const Vec3& facing,
+                                  rf::ReaderAntennaPattern pattern = {}) {
+    AntennaSite site;
+    site.pose.position = position;
+    site.pose.frame.forward = facing.normalized();
+    // Pick any consistent up vector not parallel to facing.
+    const Vec3 up_candidate =
+        std::abs(site.pose.frame.forward.z) > 0.9 ? Vec3{1.0, 0.0, 0.0} : Vec3{0.0, 0.0, 1.0};
+    site.pose.frame.up = up_candidate;
+    site.pose.frame.orthonormalize();
+    site.pattern = pattern;
+    return site;
+  }
+};
+
+}  // namespace rfidsim::scene

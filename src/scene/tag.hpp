@@ -1,0 +1,58 @@
+// Tag identity and mounting description.
+//
+// A tag's reliability depends on *how* it is mounted at least as much as on
+// where: the dipole axis orientation drives the antenna pattern and
+// polarization terms, and the backing material/gap drives the detuning loss
+// (a tag flush on a router's metal casing is nearly dead — paper Table 1,
+// "Top": 29%).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "common/vec3.hpp"
+#include "rf/material.hpp"
+#include "rf/tag_design.hpp"
+
+namespace rfidsim::scene {
+
+/// Strongly-typed tag identifier (stands in for the 96-bit EPC).
+struct TagId {
+  std::uint64_t value = 0;
+  constexpr auto operator<=>(const TagId&) const = default;
+};
+
+/// How a tag is mounted on its parent entity, in the entity's local frame
+/// (entity frame: +x = direction of travel, +y = toward the reader side,
+/// +z = up; origin at the entity's geometric centre).
+struct TagMount {
+  /// Tag centre relative to the entity origin, metres.
+  Vec3 local_position;
+  /// Direction of the dipole axis (unit vector in the local frame).
+  Vec3 local_dipole_axis{1.0, 0.0, 0.0};
+  /// Outward normal of the face the tag is stuck to.
+  Vec3 local_patch_normal{0.0, 1.0, 0.0};
+  /// What is directly behind the tag (inside the parent object/body).
+  rf::Material backing_material = rf::Material::Cardboard;
+  /// Air/spacer gap between tag and the backing material, metres.
+  double backing_gap_m = 0.02;
+  /// Tag architecture (single dipole by default; see rf::TagDesign for the
+  /// paper's future-work designs).
+  rf::TagDesign design{};
+};
+
+/// A physical tag: identity plus mounting.
+struct Tag {
+  TagId id;
+  TagMount mount;
+};
+
+}  // namespace rfidsim::scene
+
+template <>
+struct std::hash<rfidsim::scene::TagId> {
+  std::size_t operator()(const rfidsim::scene::TagId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,19 @@
+#include "scene/trajectory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rfidsim::scene {
+
+Pose WalkingTrajectory::pose_at(double t_s) const {
+  Pose p = start_;
+  p.position += velocity_ * t_s;
+  const double phase = 2.0 * std::numbers::pi * gait_.cadence_hz * t_s;
+  p.position.y += gait_.sway_amplitude_m * std::sin(phase);
+  // The body bobs at twice the sway frequency (once per step, sway once per
+  // stride).
+  p.position.z += gait_.bob_amplitude_m * std::abs(std::sin(phase));
+  return p;
+}
+
+}  // namespace rfidsim::scene

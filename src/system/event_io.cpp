@@ -1,0 +1,72 @@
+#include "system/event_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rfidsim::sys {
+
+namespace {
+constexpr const char* kHeader = "time_s,tag,reader,antenna,rssi_dbm";
+}
+
+void write_csv(std::ostream& out, const EventLog& log) {
+  out << kHeader << '\n';
+  out << std::fixed;
+  for (const ReadEvent& ev : log) {
+    out << std::setprecision(6) << ev.time_s << ',' << ev.tag.value << ','
+        << ev.reader_index << ',' << ev.antenna_index << ',' << std::setprecision(2)
+        << ev.rssi.value() << '\n';
+  }
+}
+
+std::string to_csv(const EventLog& log) {
+  std::ostringstream out;
+  write_csv(out, log);
+  return out.str();
+}
+
+EventLog read_csv(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)), "read_csv: empty input");
+  // Strip a potential trailing CR and compare the header.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  require(line == kHeader, "read_csv: unexpected header: " + line);
+
+  EventLog log;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    std::istringstream row(line);
+    std::string field;
+    ReadEvent ev;
+    try {
+      require(static_cast<bool>(std::getline(row, field, ',')), "missing time");
+      ev.time_s = std::stod(field);
+      require(static_cast<bool>(std::getline(row, field, ',')), "missing tag");
+      ev.tag.value = std::stoull(field);
+      require(static_cast<bool>(std::getline(row, field, ',')), "missing reader");
+      ev.reader_index = std::stoul(field);
+      require(static_cast<bool>(std::getline(row, field, ',')), "missing antenna");
+      ev.antenna_index = std::stoul(field);
+      require(static_cast<bool>(std::getline(row, field, ',')), "missing rssi");
+      ev.rssi = DbmPower(std::stod(field));
+    } catch (const std::exception& e) {
+      throw ConfigError("read_csv: bad row " + std::to_string(line_no) + ": " +
+                        e.what());
+    }
+    log.push_back(ev);
+  }
+  return log;
+}
+
+EventLog from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  return read_csv(in);
+}
+
+}  // namespace rfidsim::sys

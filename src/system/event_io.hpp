@@ -1,0 +1,32 @@
+// Event-log serialization.
+//
+// Real readers hand their buffered reads to middleware as flat records;
+// analysts live in CSV. These helpers round-trip sys::EventLog through the
+// obvious five-column format so simulated traces can be analysed outside
+// the simulator (and recorded traces replayed through the track:: tools).
+//
+//   time_s,tag,reader,antenna,rssi_dbm
+//   1.472000,1001,0,0,-61.7
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "system/events.hpp"
+
+namespace rfidsim::sys {
+
+/// Writes `log` as CSV (header + one row per event).
+void write_csv(std::ostream& out, const EventLog& log);
+
+/// Convenience: CSV as a string.
+std::string to_csv(const EventLog& log);
+
+/// Parses a CSV stream produced by write_csv (header required). Throws
+/// ConfigError on malformed rows; tolerates trailing whitespace/newlines.
+EventLog read_csv(std::istream& in);
+
+/// Convenience: parse from a string.
+EventLog from_csv(const std::string& csv);
+
+}  // namespace rfidsim::sys

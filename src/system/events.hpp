@@ -1,0 +1,29 @@
+// Read events: the reader-to-backend data stream.
+//
+// Real deployments see exactly this — a time-stamped stream of (tag EPC,
+// reader, antenna, RSSI) tuples, full of duplicates and holes. Everything
+// downstream (tracking logic, cleaning, reliability estimation) consumes
+// this stream, never the simulator's ground truth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "scene/tag.hpp"
+
+namespace rfidsim::sys {
+
+/// One successful tag singulation.
+struct ReadEvent {
+  scene::TagId tag;
+  double time_s = 0.0;
+  std::size_t reader_index = 0;
+  std::size_t antenna_index = 0;  ///< Index into the scene's antenna list.
+  DbmPower rssi{-60.0};
+};
+
+/// The chronological stream of reads from one simulation run.
+using EventLog = std::vector<ReadEvent>;
+
+}  // namespace rfidsim::sys

@@ -1,0 +1,208 @@
+#include "system/portal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "rf/link_budget.hpp"
+
+namespace rfidsim::sys {
+
+namespace {
+
+// Gaussian tail probability P(N(0, sigma) > -margin).
+double exceed_probability(double margin_db, double sigma_db) {
+  if (sigma_db <= 0.0) return margin_db > 0.0 ? 1.0 : 0.0;
+  return 0.5 * std::erfc(-margin_db / (sigma_db * std::numbers::sqrt2));
+}
+
+}  // namespace
+
+PortalSimulator::PortalSimulator(const scene::Scene& scene, PortalConfig config)
+    : scene_(scene),
+      config_(std::move(config)),
+      evaluator_(scene, config_.evaluator),
+      tags_(scene.all_tags()) {
+  require(!config_.readers.empty(), "PortalSimulator: portal needs at least one reader");
+  require(config_.end_time_s > config_.start_time_s,
+          "PortalSimulator: end time must be after start time");
+
+  // Compute static jam probabilities: in buffered continuous mode every
+  // reader's carrier is on for the whole pass.
+  std::vector<gen2::ReaderRfState> rf_states;
+  for (const ReaderConfig& rc : config_.readers) {
+    require(!rc.antenna_indices.empty(), "PortalSimulator: reader has no antennas");
+    for (std::size_t a : rc.antenna_indices) {
+      require(a < scene.antennas.size(), "PortalSimulator: antenna index out of range");
+    }
+    gen2::ReaderRfState st;
+    st.position = scene.antennas[rc.antenna_indices.front()].pose.position;
+    st.channel = rc.channel;
+    st.dense_reader_mode = rc.dense_reader_mode;
+    rf_states.push_back(st);
+  }
+
+  const gen2::ReaderInterference interference(config_.interference);
+  for (std::size_t r = 0; r < config_.readers.size(); ++r) {
+    const ReaderConfig& rc = config_.readers[r];
+    std::vector<gen2::ReaderRfState> others;
+    for (std::size_t o = 0; o < rf_states.size(); ++o) {
+      if (o != r) others.push_back(rf_states[o]);
+    }
+    gen2::InventoryConfig inv = rc.inventory;
+    inv.command_jam_probability =
+        std::clamp(inv.command_jam_probability +
+                       interference.command_jam_probability(rf_states[r], others),
+                   0.0, 1.0);
+
+    readers_.push_back(ReaderRuntime{
+        .config = rc,
+        .mux = AntennaMux(rc.antenna_indices, rc.antenna_dwell_s),
+        .engine = gen2::InventoryEngine(inv),
+        .tag_states = std::vector<gen2::TagState>(tags_.size()),
+        .clock_s = config_.start_time_s,
+        .jam_probability = inv.command_jam_probability,
+    });
+  }
+}
+
+double PortalSimulator::sample_shadow(std::size_t antenna, std::size_t tag_index,
+                                      const Vec3& position, Rng& rng) {
+  if (config_.shadow_sigma_db <= 0.0) return 0.0;
+  ShadowState& st = shadow_[antenna][tag_index];
+  if (!st.initialized) {
+    st.value_db = rng.gaussian(0.0, config_.shadow_sigma_db);
+    st.initialized = true;
+  } else if (config_.shadow_coherence_m <= 0.0) {
+    st.value_db = rng.gaussian(0.0, config_.shadow_sigma_db);
+  } else {
+    // Spatial decorrelation: a static tag keeps its realization; a moving
+    // one walks through the fade pattern.
+    const double moved = position.distance_to(st.last_position);
+    const double rho = std::exp(-moved / config_.shadow_coherence_m);
+    st.value_db = rho * st.value_db +
+                  std::sqrt(std::max(1.0 - rho * rho, 0.0)) *
+                      rng.gaussian(0.0, config_.shadow_sigma_db);
+  }
+  st.last_position = position;
+  return st.value_db;
+}
+
+void PortalSimulator::reset_pass_state(Rng& rng) {
+  shadow_.assign(scene_.antennas.size(), std::vector<ShadowState>(tags_.size()));
+  pass_offset_db_.assign(tags_.size(), 0.0);
+  for (double& offset : pass_offset_db_) {
+    if (config_.pass_sigma_db > 0.0) {
+      offset = rng.gaussian(0.0, config_.pass_sigma_db);
+    }
+    if (rng.bernoulli(config_.pass_outage_probability)) {
+      offset -= config_.pass_outage_db;
+    }
+  }
+}
+
+std::vector<gen2::TagLink> PortalSimulator::build_links(
+    const ReaderRuntime& rt, std::size_t antenna, double t_s, Rng& rng,
+    std::vector<gen2::TagState>& states) {
+  const rf::LinkBudget budget(rt.config.radio);
+  std::vector<gen2::TagLink> links(tags_.size());
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    const rf::PathTerms terms = evaluator_.evaluate(antenna, tags_[i], t_s);
+    const rf::TagDesign& design =
+        scene_.entities[tags_[i].entity].tags()[tags_[i].tag].mount.design;
+    const bool active = design.type == rf::TagType::ActiveBeacon;
+    const rf::LinkResult fwd =
+        active ? budget.forward_active(terms, design.active_rx_sensitivity)
+               : budget.forward(terms);
+    const rf::LinkResult rev = active
+                                   ? budget.reverse_active(terms, design.active_tx_power)
+                                   : budget.reverse(terms, fwd.received);
+
+    // One shadowing realization per (antenna, tag) path, correlated in
+    // space, plus the tag's per-pass systematic offset; both link
+    // directions see the same obstacles.
+    const Vec3 tag_position =
+        scene_.entities[tags_[i].entity].tag_position(tags_[i].tag, t_s);
+    const double shadow =
+        sample_shadow(antenna, i, tag_position, rng) + pass_offset_db_[i];
+    const bool powered = fwd.margin.value() + shadow > 0.0;
+    states[i].set_powered(powered, t_s, rt.config.inventory.session);
+
+    gen2::TagLink& link = links[i];
+    link.powered = powered;
+    link.rx_power = rev.received + Decibel(shadow);
+    link.reply_decode_probability =
+        exceed_probability(rev.margin.value() + shadow, config_.fast_sigma_db);
+  }
+  return links;
+}
+
+void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
+  ReaderRuntime& rt = readers_[r];
+  const double t = rt.clock_s;
+  const std::size_t antenna = rt.mux.active_at(t - config_.start_time_s);
+
+  auto links = build_links(rt, antenna, t, rng, rt.tag_states);
+  const gen2::InventoryRoundResult round = rt.engine.run_round(rt.tag_states, links, t, rng);
+
+  for (std::size_t idx : round.singulated) {
+    ReadEvent ev;
+    ev.tag = scene_.entities[tags_[idx].entity].tags()[tags_[idx].tag].id;
+    ev.time_s = t + round.duration_s;  // Reported at end of round, as real readers do.
+    ev.reader_index = r;
+    ev.antenna_index = antenna;
+    ev.rssi = links[idx].rx_power;
+    log.push_back(ev);
+  }
+
+  ++stats_.rounds;
+  stats_.total_slots += round.total_slots;
+  stats_.collision_slots += round.collision_slots;
+  stats_.success_slots += round.success_slots;
+  stats_.busy_time_s += round.duration_s;
+  rt.clock_s += round.duration_s;
+}
+
+EventLog PortalSimulator::run(Rng& rng) {
+  stats_ = PortalRunStats{};
+  reset_pass_state(rng);
+  for (auto& rt : readers_) {
+    rt.clock_s = config_.start_time_s;
+    rt.engine.reset_q();
+    std::fill(rt.tag_states.begin(), rt.tag_states.end(), gen2::TagState{});
+  }
+
+  EventLog log;
+  while (true) {
+    // Advance the reader whose clock is furthest behind (concurrent rounds).
+    std::size_t next = 0;
+    for (std::size_t r = 1; r < readers_.size(); ++r) {
+      if (readers_[r].clock_s < readers_[next].clock_s) next = r;
+    }
+    if (readers_[next].clock_s >= config_.end_time_s) break;
+    run_reader_round(next, log, rng);
+  }
+
+  std::sort(log.begin(), log.end(),
+            [](const ReadEvent& a, const ReadEvent& b) { return a.time_s < b.time_s; });
+  return log;
+}
+
+EventLog PortalSimulator::run_single_round(double t_s, Rng& rng) {
+  stats_ = PortalRunStats{};
+  reset_pass_state(rng);
+  EventLog log;
+  for (std::size_t r = 0; r < readers_.size(); ++r) {
+    readers_[r].clock_s = t_s;
+    readers_[r].engine.reset_q();
+    std::fill(readers_[r].tag_states.begin(), readers_[r].tag_states.end(),
+              gen2::TagState{});
+    run_reader_round(r, log, rng);
+  }
+  std::sort(log.begin(), log.end(),
+            [](const ReadEvent& a, const ReadEvent& b) { return a.time_s < b.time_s; });
+  return log;
+}
+
+}  // namespace rfidsim::sys

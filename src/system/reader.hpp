@@ -1,0 +1,57 @@
+// Reader device configuration.
+//
+// A reader drives 1-4 antennas through a time-division multiplexer —
+// "virtually all readers have built-in support for assigning two or more
+// antennas to a single zone" (paper §4) — and runs the Gen 2 inventory
+// engine on whichever antenna currently holds the RF switch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gen2/inventory.hpp"
+#include "rf/link_budget.hpp"
+
+namespace rfidsim::sys {
+
+/// Static configuration of one reader.
+struct ReaderConfig {
+  /// Scene antenna indices this reader drives (TDMA round-robin).
+  std::vector<std::size_t> antenna_indices;
+  rf::RadioParams radio{};
+  gen2::InventoryConfig inventory{};
+  /// RF channel this reader occupies (see gen2::ReaderInterference).
+  int channel = 0;
+  bool dense_reader_mode = false;
+  /// How long the mux stays on one antenna before switching. One inventory
+  /// round always completes on a single antenna; the dwell governs the
+  /// round-to-round alternation cadence.
+  double antenna_dwell_s = 0.10;
+};
+
+/// Round-robin antenna multiplexer: which antenna is active at time t.
+class AntennaMux {
+ public:
+  AntennaMux(std::vector<std::size_t> antenna_indices, double dwell_s)
+      : antennas_(std::move(antenna_indices)), dwell_s_(dwell_s) {
+    require(!antennas_.empty(), "AntennaMux: reader needs at least one antenna");
+    require(dwell_s_ > 0.0, "AntennaMux: dwell must be positive");
+  }
+
+  /// Scene antenna index active at time `t_s` (t < 0 maps to the first).
+  std::size_t active_at(double t_s) const {
+    if (antennas_.size() == 1 || t_s <= 0.0) return antennas_.front();
+    const auto step = static_cast<std::size_t>(t_s / dwell_s_);
+    return antennas_[step % antennas_.size()];
+  }
+
+  std::size_t antenna_count() const { return antennas_.size(); }
+  const std::vector<std::size_t>& antennas() const { return antennas_; }
+
+ private:
+  std::vector<std::size_t> antennas_;
+  double dwell_s_;
+};
+
+}  // namespace rfidsim::sys

@@ -1,0 +1,80 @@
+#include "track/adaptive_smoother.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+
+AdaptiveSmoother::AdaptiveSmoother(Params params) : params_(params) {
+  require(params_.epoch_s > 0.0, "AdaptiveSmoother: epoch must be positive");
+  require(params_.delta > 0.0 && params_.delta < 1.0,
+          "AdaptiveSmoother: delta must be in (0, 1)");
+  require(params_.min_window_s > 0.0 && params_.max_window_s >= params_.min_window_s,
+          "AdaptiveSmoother: window clamp must be ordered and positive");
+}
+
+double AdaptiveSmoother::window_for(const std::vector<double>& read_times_s) const {
+  if (read_times_s.size() < 2) return params_.max_window_s;
+  const auto [lo, hi] = std::minmax_element(read_times_s.begin(), read_times_s.end());
+  const double span = *hi - *lo;
+  const double epochs_total = std::max(span / params_.epoch_s, 1.0);
+
+  // Epoch-quantized read rate: distinct occupied epochs over total epochs.
+  std::size_t occupied = 0;
+  long long last_epoch = -1;
+  std::vector<double> sorted = read_times_s;
+  std::sort(sorted.begin(), sorted.end());
+  for (double t : sorted) {
+    const auto epoch = static_cast<long long>((t - *lo) / params_.epoch_s);
+    if (epoch != last_epoch) {
+      ++occupied;
+      last_epoch = epoch;
+    }
+  }
+  const double p = std::clamp(static_cast<double>(occupied) / (epochs_total + 1.0),
+                              1e-6, 1.0 - 1e-6);
+
+  // Never go below two epochs: a window shorter than the sampling grain
+  // splits even a perfectly steady stream on rounding noise.
+  const double w_epochs =
+      std::max(std::log(params_.delta) / std::log(1.0 - p), 2.0);
+  return std::clamp(w_epochs * params_.epoch_s, params_.min_window_s,
+                    params_.max_window_s);
+}
+
+std::unordered_map<scene::TagId, double> AdaptiveSmoother::window_sizes(
+    const sys::EventLog& log) const {
+  std::map<scene::TagId, std::vector<double>> times;
+  for (const sys::ReadEvent& ev : log) times[ev.tag].push_back(ev.time_s);
+  std::unordered_map<scene::TagId, double> windows;
+  for (const auto& [tag, ts] : times) windows[tag] = window_for(ts);
+  return windows;
+}
+
+std::vector<WindowSmoother::Presence> AdaptiveSmoother::smooth(
+    const sys::EventLog& log) const {
+  std::map<scene::TagId, std::vector<double>> times;
+  for (const sys::ReadEvent& ev : log) times[ev.tag].push_back(ev.time_s);
+
+  std::vector<WindowSmoother::Presence> result;
+  for (auto& [tag, ts] : times) {
+    const double window = window_for(ts);
+    std::sort(ts.begin(), ts.end());
+    WindowSmoother::Presence cur{tag, ts.front(), ts.front()};
+    for (double t : ts) {
+      if (t - cur.end_s <= window) {
+        cur.end_s = t;
+      } else {
+        result.push_back(cur);
+        cur = WindowSmoother::Presence{tag, t, t};
+      }
+    }
+    result.push_back(cur);
+  }
+  return result;
+}
+
+}  // namespace rfidsim::track

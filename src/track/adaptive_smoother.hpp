@@ -1,0 +1,59 @@
+// Adaptive sliding-window smoothing (SMURF-style).
+//
+// The paper cites Jeffery et al., "Adaptive cleaning for RFID data
+// streams" (VLDB'06, reference [15]): a fixed smoothing window either
+// leaves dropout gaps (too short) or blurs true departures (too long), and
+// the right size depends on each tag's observed read rate. This is the
+// statistical version of WindowSmoother: per tag, reads are modelled as
+// Bernoulli samples per epoch with rate p; the window is sized so that a
+// *present* tag produces at least one read per window with probability
+// 1 - delta:
+//     P(no read in w epochs | present) = (1 - p)^w <= delta
+//     =>  w >= ln(delta) / ln(1 - p).
+// Tags the portal reads often get tight windows (responsive to true
+// departures); marginal tags get wide ones (robust to dropouts).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "scene/tag.hpp"
+#include "system/events.hpp"
+#include "track/cleaning.hpp"
+
+namespace rfidsim::track {
+
+/// SMURF-style adaptive smoother.
+class AdaptiveSmoother {
+ public:
+  struct Params {
+    /// Epoch length: one reader interrogation opportunity (~ a round).
+    double epoch_s = 0.05;
+    /// Acceptable probability of declaring a present tag absent.
+    double delta = 0.05;
+    /// Window clamp, in seconds.
+    double min_window_s = 0.05;
+    double max_window_s = 5.0;
+  };
+
+  AdaptiveSmoother() = default;
+  explicit AdaptiveSmoother(Params params);
+
+  /// Per-tag window chosen for this log (diagnostic + testable): the
+  /// epoch-quantized read rate drives the formula above.
+  std::unordered_map<scene::TagId, double> window_sizes(const sys::EventLog& log) const;
+
+  /// Smooths the log: like WindowSmoother::smooth but with the per-tag
+  /// adaptive window.
+  std::vector<WindowSmoother::Presence> smooth(const sys::EventLog& log) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  /// Window (seconds) for a tag with reads at the given times.
+  double window_for(const std::vector<double>& read_times_s) const;
+
+  Params params_{};
+};
+
+}  // namespace rfidsim::track

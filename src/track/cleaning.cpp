@@ -1,0 +1,86 @@
+#include "track/cleaning.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+
+WindowSmoother::WindowSmoother(double window_s) : window_s_(window_s) {
+  require(window_s > 0.0, "WindowSmoother: window must be positive");
+}
+
+std::vector<WindowSmoother::Presence> WindowSmoother::smooth(
+    const sys::EventLog& log) const {
+  // Group read times per tag (log is chronological; keep per-tag order).
+  std::map<scene::TagId, std::vector<double>> times;
+  for (const sys::ReadEvent& ev : log) times[ev.tag].push_back(ev.time_s);
+
+  std::vector<Presence> result;
+  for (auto& [tag, ts] : times) {
+    std::sort(ts.begin(), ts.end());
+    Presence cur{tag, ts.front(), ts.front()};
+    for (double t : ts) {
+      if (t - cur.end_s <= window_s_) {
+        cur.end_s = t;
+      } else {
+        result.push_back(cur);
+        cur = Presence{tag, t, t};
+      }
+    }
+    result.push_back(cur);
+  }
+  return result;
+}
+
+bool WindowSmoother::present_at(const sys::EventLog& log, scene::TagId tag,
+                                double t_s) const {
+  for (const sys::ReadEvent& ev : log) {
+    if (ev.tag == tag && ev.time_s <= t_s && t_s - ev.time_s <= window_s_) return true;
+  }
+  return false;
+}
+
+RouteCleanResult apply_route_constraint(const RouteObservations& observed) {
+  require(observed.detected.size() == observed.checkpoint_count,
+          "apply_route_constraint: detected size must equal checkpoint_count");
+  RouteCleanResult result;
+  result.corrected = observed;
+
+  // Sweep back to front: anything seen at checkpoint k is inferred at every
+  // checkpoint before k.
+  std::unordered_set<ObjectId> seen_later;
+  for (std::size_t k = observed.checkpoint_count; k-- > 0;) {
+    for (const ObjectId& obj : seen_later) {
+      if (result.corrected.detected[k].insert(obj).second) ++result.recovered;
+    }
+    for (const ObjectId& obj : observed.detected[k]) seen_later.insert(obj);
+  }
+  return result;
+}
+
+AccompanyCleanResult apply_accompany_constraint(
+    const std::unordered_set<ObjectId>& detected,
+    const std::vector<std::vector<ObjectId>>& groups, double quorum) {
+  require(quorum > 0.0 && quorum <= 1.0,
+          "apply_accompany_constraint: quorum must be in (0, 1]");
+  AccompanyCleanResult result;
+  result.corrected = detected;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    std::size_t hits = 0;
+    for (const ObjectId& obj : group) {
+      if (detected.contains(obj)) ++hits;
+    }
+    const double fraction = static_cast<double>(hits) / static_cast<double>(group.size());
+    if (hits > 0 && fraction >= quorum) {
+      for (const ObjectId& obj : group) {
+        if (result.corrected.insert(obj).second) ++result.recovered;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rfidsim::track

@@ -1,0 +1,51 @@
+#include "track/manifest.hpp"
+
+#include <algorithm>
+
+namespace rfidsim::track {
+
+namespace {
+
+void sort_by_id(std::vector<ObjectId>& objects) {
+  std::sort(objects.begin(), objects.end(),
+            [](const ObjectId& a, const ObjectId& b) { return a.value < b.value; });
+}
+
+}  // namespace
+
+ManifestReport verify_manifest(const Manifest& manifest, const PassReport& pass) {
+  ManifestReport report;
+  for (const ObjectId& expected : manifest.expected) {
+    if (pass.objects_identified.contains(expected)) {
+      report.confirmed.push_back(expected);
+    } else {
+      report.missing.push_back(expected);
+    }
+  }
+  for (const ObjectId& seen : pass.objects_identified) {
+    if (!manifest.expected.contains(seen)) {
+      report.unexpected.push_back(seen);
+    }
+  }
+  sort_by_id(report.confirmed);
+  sort_by_id(report.missing);
+  sort_by_id(report.unexpected);
+  return report;
+}
+
+GateAction decide_gate(const AccessPolicy& policy, const PassReport& pass) {
+  if (pass.objects_identified.empty()) {
+    return policy.alarm_on_unidentified ? GateAction::Alarm : GateAction::Ignore;
+  }
+  bool any_authorized = false;
+  for (const ObjectId& obj : pass.objects_identified) {
+    if (policy.authorized.contains(obj)) {
+      any_authorized = true;
+    } else {
+      return GateAction::Alarm;  // An unauthorized presence dominates.
+    }
+  }
+  return any_authorized ? GateAction::Open : GateAction::Ignore;
+}
+
+}  // namespace rfidsim::track

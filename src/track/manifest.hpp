@@ -1,0 +1,61 @@
+// Back-end actions: manifest verification and gate decisions.
+//
+// Paper §2: "The back-end system implements the logic and actions for when
+// a tag is identified. The logic can be as simple as opening a door,
+// setting off an alarm, updating a database, or complicated, such as an
+// integrated management and monitoring for shipment tracking." This module
+// implements the two archetypes:
+//   * manifest verification — does the pass match the shipping notice?
+//     (the supply-chain action; its false-alarm rate is exactly where read
+//     reliability hurts), and
+//   * gate decisions — open/alarm/ignore per identified object (the
+//     access-control action of the human-tracking scenarios).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "track/registry.hpp"
+#include "track/tracking.hpp"
+
+namespace rfidsim::track {
+
+/// The advance shipping notice: which objects the pass SHOULD contain.
+struct Manifest {
+  std::unordered_set<ObjectId> expected;
+};
+
+/// Verification outcome for one pass.
+struct ManifestReport {
+  std::vector<ObjectId> confirmed;   ///< Expected and seen.
+  std::vector<ObjectId> missing;     ///< Expected, not seen (false alarm if
+                                     ///< actually on the truck — the cost of
+                                     ///< imperfect read reliability).
+  std::vector<ObjectId> unexpected;  ///< Seen, not on the manifest.
+
+  bool complete() const { return missing.empty(); }
+  bool clean() const { return missing.empty() && unexpected.empty(); }
+};
+
+/// Compares a pass against a manifest. Objects are sorted by id for
+/// deterministic reporting.
+ManifestReport verify_manifest(const Manifest& manifest, const PassReport& pass);
+
+/// Access-control policy for a gate.
+struct AccessPolicy {
+  std::unordered_set<ObjectId> authorized;
+  /// Whether an unidentified pass (no tags read at all) raises an alarm
+  /// (secure area) or is ignored (logging-only deployment).
+  bool alarm_on_unidentified = true;
+};
+
+/// The gate's possible actions, in increasing severity.
+enum class GateAction { Ignore, Open, Alarm };
+
+/// Decides the gate action for one pass: Open if at least one authorized
+/// object was identified and nothing unauthorized was; Alarm if any
+/// unauthorized object was identified (or nothing was identified and the
+/// policy says so); Ignore otherwise.
+GateAction decide_gate(const AccessPolicy& policy, const PassReport& pass);
+
+}  // namespace rfidsim::track

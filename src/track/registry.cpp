@@ -1,0 +1,39 @@
+#include "track/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+
+ObjectId ObjectRegistry::add_object(std::string name) {
+  const ObjectId id{next_id_++};
+  names_[id.value] = std::move(name);
+  object_tags_[id.value] = {};
+  order_.push_back(id);
+  return id;
+}
+
+void ObjectRegistry::bind_tag(scene::TagId tag, ObjectId object) {
+  require(names_.contains(object.value), "ObjectRegistry: unknown object id");
+  const auto [it, inserted] = tag_to_object_.emplace(tag, object);
+  require(inserted, "ObjectRegistry: tag is already bound to an object");
+  object_tags_[object.value].push_back(tag);
+}
+
+std::optional<ObjectId> ObjectRegistry::object_of(scene::TagId tag) const {
+  const auto it = tag_to_object_.find(tag);
+  if (it == tag_to_object_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<scene::TagId> ObjectRegistry::tags_of(ObjectId object) const {
+  const auto it = object_tags_.find(object.value);
+  return it == object_tags_.end() ? std::vector<scene::TagId>{} : it->second;
+}
+
+const std::string& ObjectRegistry::name_of(ObjectId object) const {
+  static const std::string unknown = "?";
+  const auto it = names_.find(object.value);
+  return it == names_.end() ? unknown : it->second;
+}
+
+}  // namespace rfidsim::track

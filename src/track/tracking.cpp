@@ -1,0 +1,42 @@
+#include "track/tracking.hpp"
+
+namespace rfidsim::track {
+
+PassReport TrackingAnalyzer::analyze(const sys::EventLog& log) const {
+  PassReport report;
+  for (const sys::ReadEvent& ev : log) {
+    report.tags_seen.insert(ev.tag);
+    ++report.reads_per_tag[ev.tag];
+    if (const auto object = registry_.object_of(ev.tag)) {
+      report.objects_identified.insert(*object);
+      const auto it = report.first_seen_s.find(*object);
+      if (it == report.first_seen_s.end() || ev.time_s < it->second) {
+        report.first_seen_s[*object] = ev.time_s;
+      }
+    }
+  }
+  return report;
+}
+
+bool TrackingAnalyzer::identified(const sys::EventLog& log, ObjectId object) const {
+  for (const sys::ReadEvent& ev : log) {
+    if (registry_.object_of(ev.tag) == object) return true;
+  }
+  return false;
+}
+
+double TrackingAnalyzer::tracking_fraction(const sys::EventLog& log) const {
+  if (registry_.object_count() == 0) return 0.0;
+  const PassReport report = analyze(log);
+  return static_cast<double>(report.objects_identified.size()) /
+         static_cast<double>(registry_.object_count());
+}
+
+double TrackingAnalyzer::read_fraction(const sys::EventLog& log) const {
+  if (registry_.tag_count() == 0) return 0.0;
+  const PassReport report = analyze(log);
+  return static_cast<double>(report.tags_seen.size()) /
+         static_cast<double>(registry_.tag_count());
+}
+
+}  // namespace rfidsim::track

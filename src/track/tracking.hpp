@@ -1,0 +1,55 @@
+// Tracking logic: from raw read events to object identifications.
+//
+// Implements the paper's two reliability notions over an event log:
+//  * read reliability  — was a given *tag* seen at all during the pass?
+//  * tracking reliability — was a given *object* identified, i.e. was at
+//    least one of its tags seen? (§2.1: the system-level definition.)
+// Plus the per-tag/per-object summaries the measurement sections report.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "scene/tag.hpp"
+#include "system/events.hpp"
+#include "track/registry.hpp"
+
+namespace rfidsim::track {
+
+/// Outcome of analysing one pass.
+struct PassReport {
+  /// Tags seen at least once.
+  std::unordered_set<scene::TagId> tags_seen;
+  /// Objects with >= 1 tag seen.
+  std::unordered_set<ObjectId> objects_identified;
+  /// Read count per tag (duplicates collapse here).
+  std::unordered_map<scene::TagId, std::size_t> reads_per_tag;
+  /// First read time per object (the portal's detection latency).
+  std::unordered_map<ObjectId, double> first_seen_s;
+};
+
+/// Analyses event logs against a registry.
+class TrackingAnalyzer {
+ public:
+  /// The analyzer references the registry; it must outlive the analyzer.
+  explicit TrackingAnalyzer(const ObjectRegistry& registry) : registry_(registry) {}
+
+  /// Digests one pass's event log.
+  PassReport analyze(const sys::EventLog& log) const;
+
+  /// True if `object` was identified in `log`.
+  bool identified(const sys::EventLog& log, ObjectId object) const;
+
+  /// Fraction of the registry's objects identified in `log`.
+  double tracking_fraction(const sys::EventLog& log) const;
+
+  /// Fraction of the registry's tags read at least once in `log`.
+  double read_fraction(const sys::EventLog& log) const;
+
+ private:
+  const ObjectRegistry& registry_;
+};
+
+}  // namespace rfidsim::track

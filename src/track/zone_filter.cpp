@@ -1,0 +1,73 @@
+#include "track/zone_filter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scene/tag.hpp"
+
+namespace rfidsim::track {
+
+ZoneFilterResult filter_zone(const sys::EventLog& log, const ZoneFilterParams& params) {
+  require(params.window_s > 0.0, "filter_zone: window must be positive");
+  require(params.min_reads >= 1, "filter_zone: min_reads must be >= 1");
+
+  struct PerTag {
+    double peak_rssi = -1e9;
+    std::vector<double> near_miss_times;  ///< Reads above the slack floor.
+  };
+  std::map<scene::TagId, PerTag> tags;
+  const double near_floor = params.min_peak_rssi_dbm - params.near_miss_slack_db;
+  for (const sys::ReadEvent& ev : log) {
+    PerTag& t = tags[ev.tag];
+    t.peak_rssi = std::max(t.peak_rssi, ev.rssi.value());
+    if (ev.rssi.value() >= near_floor) t.near_miss_times.push_back(ev.time_s);
+  }
+
+  auto in_zone = [&](const PerTag& t) {
+    if (t.peak_rssi >= params.min_peak_rssi_dbm) return true;
+    // Edge dweller: enough near-threshold reads packed into one window.
+    if (t.near_miss_times.size() < params.min_reads) return false;
+    std::vector<double> ts = t.near_miss_times;
+    std::sort(ts.begin(), ts.end());
+    for (std::size_t i = 0; i + params.min_reads - 1 < ts.size(); ++i) {
+      if (ts[i + params.min_reads - 1] - ts[i] <= params.window_s) return true;
+    }
+    return false;
+  };
+
+  ZoneFilterResult result;
+  for (const sys::ReadEvent& ev : log) {
+    (in_zone(tags.at(ev.tag)) ? result.in_zone : result.stray).push_back(ev);
+  }
+  return result;
+}
+
+std::unordered_set<scene::TagId> detect_background(
+    const std::vector<sys::EventLog>& passes, std::size_t min_passes) {
+  require(min_passes >= 1, "detect_background: min_passes must be >= 1");
+  std::map<scene::TagId, std::size_t> seen_in;
+  for (const sys::EventLog& log : passes) {
+    std::unordered_set<scene::TagId> this_pass;
+    for (const sys::ReadEvent& ev : log) this_pass.insert(ev.tag);
+    for (const scene::TagId& tag : this_pass) ++seen_in[tag];
+  }
+  std::unordered_set<scene::TagId> background;
+  for (const auto& [tag, count] : seen_in) {
+    if (count >= min_passes) background.insert(tag);
+  }
+  return background;
+}
+
+sys::EventLog remove_background(const sys::EventLog& log,
+                                const std::unordered_set<scene::TagId>& background) {
+  sys::EventLog out;
+  out.reserve(log.size());
+  for (const sys::ReadEvent& ev : log) {
+    if (!background.contains(ev.tag)) out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace rfidsim::track

@@ -1,0 +1,64 @@
+// False-positive (stray-read) filtering.
+//
+// Paper §2.1: "it is also possible to get false positive reads, where RFID
+// tags might be read from outside the region normally associated with the
+// antenna, leading to a misbelief that the object is near the antenna."
+// The paper dismisses them operationally ("increase the distance between
+// antennas and/or decrease the power output"); deployments that cannot
+// re-space their antennas filter instead.
+//
+// Per-read RSSI does NOT separate lanes: an in-zone tag is read throughout
+// its pass, including weak far-approach reads, while a stray only gets
+// read on upward fading spikes — the two per-read distributions overlap
+// almost completely (this repo's false-positive bench demonstrates it).
+// What does separate them is the per-tag *peak*: a tag that truly crossed
+// the zone always has a strong closest-approach read. ZoneFilter therefore
+// classifies whole tags, not reads.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "scene/tag.hpp"
+#include "system/events.hpp"
+
+namespace rfidsim::track {
+
+/// Filtering thresholds.
+struct ZoneFilterParams {
+  /// A tag whose strongest read reaches this RSSI passed through the zone.
+  double min_peak_rssi_dbm = -50.0;
+  /// Fallback for tags that dwell at the zone edge without a strong peak:
+  /// at least `min_reads` reads no weaker than
+  /// (min_peak_rssi_dbm - near_miss_slack_db) within one `window_s` span.
+  std::size_t min_reads = 3;
+  double near_miss_slack_db = 5.0;
+  double window_s = 1.0;
+};
+
+/// Result: the log split by per-tag classification.
+struct ZoneFilterResult {
+  sys::EventLog in_zone;  ///< All reads of tags judged in-zone.
+  sys::EventLog stray;    ///< All reads of tags judged outside.
+};
+
+/// Applies the per-tag classification described above.
+ZoneFilterResult filter_zone(const sys::EventLog& log, const ZoneFilterParams& params = {});
+
+/// Cross-pass background detection — the robust stray filter.
+///
+/// Within one pass, a parked pallet downrange is RF-indistinguishable from
+/// weak in-zone traffic (the false-positive bench demonstrates the RSSI
+/// overlap). Across passes it is trivial: legitimate traffic consists of
+/// fresh EPCs that appear once; parked inventory answers every pass.
+/// Returns the tags seen in at least `min_passes` of the given consecutive
+/// pass logs — the "background list" real middleware maintains.
+std::unordered_set<scene::TagId> detect_background(
+    const std::vector<sys::EventLog>& passes, std::size_t min_passes = 2);
+
+/// Drops all reads of the given background tags from a log.
+sys::EventLog remove_background(const sys::EventLog& log,
+                                const std::unordered_set<scene::TagId>& background);
+
+}  // namespace rfidsim::track

@@ -1,0 +1,79 @@
+#include "common/pose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace rfidsim {
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+TEST(FrameTest, DefaultFrameIsOrthonormal) {
+  const Frame f;
+  EXPECT_NEAR(f.forward.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(f.up.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(f.forward.dot(f.up), 0.0, 1e-12);
+}
+
+TEST(FrameTest, RightCompletesRightHandedTriad) {
+  Frame f;
+  f.forward = {1.0, 0.0, 0.0};
+  f.up = {0.0, 0.0, 1.0};
+  EXPECT_EQ(f.right(), (Vec3{0.0, -1.0, 0.0}));
+}
+
+TEST(FrameTest, OrthonormalizeFixesSkewedUp) {
+  Frame f;
+  f.forward = {2.0, 0.0, 0.0};
+  f.up = {0.5, 0.0, 1.0};  // Not orthogonal to forward.
+  f.orthonormalize();
+  EXPECT_NEAR(f.forward.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(f.up.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(f.forward.dot(f.up), 0.0, 1e-12);
+  EXPECT_NEAR(f.up.z, 1.0, 1e-12);  // The z component survives.
+}
+
+TEST(FrameTest, RotatedAboutZTurnsForward) {
+  Frame f;
+  f.forward = {1.0, 0.0, 0.0};
+  f.up = {0.0, 0.0, 1.0};
+  const Frame g = f.rotated({0.0, 0.0, 1.0}, kHalfPi);
+  EXPECT_NEAR(g.forward.x, 0.0, 1e-12);
+  EXPECT_NEAR(g.forward.y, 1.0, 1e-12);
+  EXPECT_NEAR(g.up.z, 1.0, 1e-12);  // Up unchanged by z rotation.
+}
+
+TEST(FrameTest, RotationPreservesOrthonormality) {
+  Frame f;
+  const Frame g = f.rotated(Vec3{1.0, 2.0, 3.0}.normalized(), 1.234);
+  EXPECT_NEAR(g.forward.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(g.up.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(g.forward.dot(g.up), 0.0, 1e-12);
+}
+
+TEST(FrameTest, FullTurnIsIdentity) {
+  Frame f;
+  f.forward = {0.0, 1.0, 0.0};
+  f.up = {0.0, 0.0, 1.0};
+  const Frame g = f.rotated({0.0, 0.0, 1.0}, 2.0 * std::numbers::pi);
+  EXPECT_NEAR(g.forward.x, f.forward.x, 1e-9);
+  EXPECT_NEAR(g.forward.y, f.forward.y, 1e-9);
+}
+
+TEST(PoseTest, DirectionToPoint) {
+  Pose p;
+  p.position = {1.0, 0.0, 0.0};
+  const Vec3 d = p.direction_to({1.0, 2.0, 0.0});
+  EXPECT_NEAR(d.y, 1.0, 1e-12);
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+}
+
+TEST(PoseTest, DirectionToSelfIsZero) {
+  Pose p;
+  p.position = {1.0, 2.0, 3.0};
+  EXPECT_EQ(p.direction_to(p.position), Vec3{});
+}
+
+}  // namespace
+}  // namespace rfidsim

@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rfidsim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntIsInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_int(0, 3));
+  }
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateIsRoughlyP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithExpectedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsDeterministicGivenSeedAndLabel) {
+  const Rng parent(99);
+  Rng c1 = parent.fork(5);
+  Rng c2 = parent.fork(5);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(c1.next_u64(), c2.next_u64());
+  }
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng p1(99);
+  Rng p2(99);
+  p2.next_u64();  // Consume from one parent only.
+  Rng c1 = p1.fork(3);
+  Rng c2 = p2.fork(3);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngTest, DifferentLabelsGiveDifferentChildren) {
+  const Rng parent(99);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(1);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngTest, SeedAccessorReturnsConstructorSeed) {
+  EXPECT_EQ(Rng(1234).seed(), 1234u);
+}
+
+}  // namespace
+}  // namespace rfidsim

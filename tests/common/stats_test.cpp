@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+namespace rfidsim {
+namespace {
+
+TEST(SummarizeTest, EmptySampleIsAllZero) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const SampleSummary s = summarize({4.2});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.2);
+  EXPECT_EQ(s.median, 4.2);
+  EXPECT_EQ(s.min, 4.2);
+  EXPECT_EQ(s.max, 4.2);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, KnownQuartiles) {
+  // numpy.percentile([1,2,3,4,5], [25,50,75]) = [2, 3, 4].
+  const SampleSummary s = summarize({5.0, 1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.lower_quartile, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.upper_quartile, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(SummarizeTest, InterpolatedQuartiles) {
+  // numpy.percentile([1,2,3,4], [25,50,75]) = [1.75, 2.5, 3.25].
+  const SampleSummary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.lower_quartile, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.upper_quartile, 3.25);
+}
+
+TEST(SummarizeTest, StddevMatchesDefinition) {
+  const SampleSummary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  // Sample stddev (n-1) of this classic set is ~2.138.
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+}
+
+TEST(WilsonTest, ZeroTrialsGivesZeroInterval) {
+  const ProportionInterval ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 0.0);
+}
+
+TEST(WilsonTest, KnownValue) {
+  // Wilson 95% for 8/10: estimate 0.8, interval ~ (0.49, 0.943).
+  const ProportionInterval ci = wilson_interval(8, 10);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.8);
+  EXPECT_NEAR(ci.lower, 0.49, 0.01);
+  EXPECT_NEAR(ci.upper, 0.943, 0.005);
+}
+
+TEST(WilsonTest, PerfectScoreHasUpperBoundOne) {
+  const ProportionInterval ci = wilson_interval(20, 20);
+  EXPECT_DOUBLE_EQ(ci.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+  EXPECT_GT(ci.lower, 0.8);  // Still informative at n=20.
+  EXPECT_LT(ci.lower, 1.0);  // But never degenerate.
+}
+
+TEST(WilsonTest, ZeroSuccessesHasLowerBoundZero) {
+  const ProportionInterval ci = wilson_interval(0, 20);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+}
+
+/// Property sweep: the Wilson interval always brackets the estimate and
+/// stays within [0, 1], for every (successes, trials) combination.
+class WilsonPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WilsonPropertyTest, IntervalBracketsEstimateWithinUnitRange) {
+  const auto [successes, trials] = GetParam();
+  if (successes > trials) GTEST_SKIP();
+  const ProportionInterval ci = wilson_interval(successes, trials);
+  EXPECT_GE(ci.estimate, ci.lower);
+  EXPECT_LE(ci.estimate, ci.upper);
+  EXPECT_GE(ci.lower, 0.0);
+  EXPECT_LE(ci.upper, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSmallN, WilsonPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 3, 7, 10, 12, 20, 40),
+                       ::testing::Values<std::size_t>(1, 10, 12, 20, 40)));
+
+TEST(WilsonTest, NarrowsWithMoreTrials) {
+  const ProportionInterval small = wilson_interval(5, 10);
+  const ProportionInterval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs{1.5, 2.5, 3.5, 10.0, -4.0};
+  RunningStats rs;
+  double sum = 0.0;
+  for (double x : xs) {
+    rs.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), ss / (static_cast<double>(xs.size()) - 1.0), 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(rs.variance()), 1e-12);
+}
+
+TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.mean(), 42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfidsim

@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfidsim {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name  | value"), std::string::npos);
+  EXPECT_NE(out.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(out.find("b     | 22"), std::string::npos);
+  EXPECT_NE(out.find("------+------"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTableTest, OverlongRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, WideCellStretchesColumn) {
+  TextTable t({"h"});
+  t.add_row({"very long cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("very long cell"), std::string::npos);
+  EXPECT_NE(out.find("h             "), std::string::npos);
+}
+
+TEST(PercentTest, FormatsWithoutDecimalsByDefault) {
+  EXPECT_EQ(percent(0.873), "87%");
+  EXPECT_EQ(percent(1.0), "100%");
+  EXPECT_EQ(percent(0.0), "0%");
+}
+
+TEST(PercentTest, RoundsCorrectly) {
+  EXPECT_EQ(percent(0.875), "88%");
+  EXPECT_EQ(percent(0.004), "0%");
+  EXPECT_EQ(percent(0.0051), "1%");
+}
+
+TEST(PercentTest, SupportsDecimals) {
+  EXPECT_EQ(percent(0.8734, 1), "87.3%");
+  EXPECT_EQ(percent(0.99951, 1), "100.0%");
+}
+
+TEST(FixedStrTest, FixedDecimals) {
+  EXPECT_EQ(fixed_str(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed_str(2.0, 0), "2");
+  EXPECT_EQ(fixed_str(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace rfidsim

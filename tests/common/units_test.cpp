@@ -1,0 +1,72 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim {
+namespace {
+
+using namespace rfidsim::literals;
+
+TEST(DecibelTest, LinearConversionRoundTrips) {
+  EXPECT_NEAR(Decibel(10.0).linear(), 10.0, 1e-12);
+  EXPECT_NEAR(Decibel(3.0).linear(), 1.9953, 1e-3);
+  EXPECT_NEAR(Decibel::from_linear(100.0).value(), 20.0, 1e-12);
+  EXPECT_NEAR(Decibel::from_linear(Decibel(7.3).linear()).value(), 7.3, 1e-12);
+}
+
+TEST(DecibelTest, Arithmetic) {
+  EXPECT_EQ((Decibel(3.0) + Decibel(4.0)).value(), 7.0);
+  EXPECT_EQ((Decibel(3.0) - Decibel(4.0)).value(), -1.0);
+  EXPECT_EQ((-Decibel(5.0)).value(), -5.0);
+  EXPECT_EQ((Decibel(4.0) * 0.5).value(), 2.0);
+  Decibel d(1.0);
+  d += Decibel(2.0);
+  d -= Decibel(0.5);
+  EXPECT_EQ(d.value(), 2.5);
+}
+
+TEST(DecibelTest, Comparisons) {
+  EXPECT_LT(Decibel(1.0), Decibel(2.0));
+  EXPECT_EQ(Decibel(1.0), Decibel(1.0));
+}
+
+TEST(DbmPowerTest, MilliwattConversion) {
+  EXPECT_NEAR(DbmPower(0.0).milliwatts(), 1.0, 1e-12);
+  EXPECT_NEAR(DbmPower(30.0).milliwatts(), 1000.0, 1e-9);
+  EXPECT_NEAR(DbmPower(30.0).watts(), 1.0, 1e-12);
+  EXPECT_NEAR(DbmPower::from_milliwatts(2.0).value(), 3.0103, 1e-4);
+}
+
+TEST(DbmPowerTest, GainApplication) {
+  const DbmPower p = DbmPower(10.0) + Decibel(5.0) - Decibel(3.0);
+  EXPECT_EQ(p.value(), 12.0);
+}
+
+TEST(DbmPowerTest, PowerDifferenceIsGain) {
+  const Decibel g = DbmPower(10.0) - DbmPower(4.0);
+  EXPECT_EQ(g.value(), 6.0);
+}
+
+TEST(UnitsLiteralsTest, LiteralsWork) {
+  EXPECT_EQ((3.5_dB).value(), 3.5);
+  EXPECT_EQ((30_dBm).value(), 30.0);
+  EXPECT_EQ((2_dB).value(), 2.0);
+  EXPECT_EQ(DbmPower(-11.5).value(), -11.5);
+}
+
+TEST(UnitsTest, WavelengthAt915MHz) {
+  EXPECT_NEAR(wavelength_m(915e6), 0.3276, 1e-3);
+}
+
+TEST(SumIncoherentTest, EqualPowersAddThreeDb) {
+  const DbmPower sum = sum_incoherent(DbmPower(10.0), DbmPower(10.0));
+  EXPECT_NEAR(sum.value(), 13.0103, 1e-3);
+}
+
+TEST(SumIncoherentTest, DominantPowerWins) {
+  const DbmPower sum = sum_incoherent(DbmPower(0.0), DbmPower(-40.0));
+  EXPECT_NEAR(sum.value(), 0.00043, 1e-3);
+}
+
+}  // namespace
+}  // namespace rfidsim

@@ -1,0 +1,104 @@
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rfidsim {
+namespace {
+
+TEST(Vec3Test, DefaultConstructsToZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3Test, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, (Vec3{3.0, 3.0, 3.0}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= Vec3{1.0, 1.0, 1.0};
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3.0, 6.0, 9.0}));
+}
+
+TEST(Vec3Test, DotProduct) {
+  EXPECT_DOUBLE_EQ((Vec3{1.0, 2.0, 3.0}.dot({4.0, -5.0, 6.0})), 12.0);
+  EXPECT_DOUBLE_EQ((Vec3{1.0, 0.0, 0.0}.dot({0.0, 1.0, 0.0})), 0.0);
+}
+
+TEST(Vec3Test, CrossProductIsRightHanded) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  const Vec3 z{0.0, 0.0, 1.0};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3Test, NormAndNorm2) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength) {
+  const Vec3 v = Vec3{1.0, 2.0, -2.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorStaysZero) {
+  const Vec3 v = Vec3{}.normalized();
+  EXPECT_EQ(v, Vec3{});
+}
+
+TEST(Vec3Test, DistanceTo) {
+  EXPECT_DOUBLE_EQ((Vec3{1.0, 1.0, 1.0}.distance_to({1.0, 1.0, 4.0})), 3.0);
+}
+
+TEST(AngleBetweenTest, OrthogonalVectorsAreHalfPi) {
+  EXPECT_NEAR(angle_between({1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}), std::numbers::pi / 2.0,
+              1e-12);
+}
+
+TEST(AngleBetweenTest, ParallelAndAntiparallel) {
+  EXPECT_NEAR(angle_between({2.0, 0.0, 0.0}, {5.0, 0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_between({1.0, 0.0, 0.0}, {-1.0, 0.0, 0.0}), std::numbers::pi, 1e-12);
+}
+
+TEST(AngleBetweenTest, IndependentOfMagnitude) {
+  const double a = angle_between({1.0, 1.0, 0.0}, {0.0, 1.0, 1.0});
+  const double b = angle_between({10.0, 10.0, 0.0}, {0.0, 0.1, 0.1});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(AngleBetweenTest, ZeroVectorReturnsZero) {
+  EXPECT_EQ(angle_between({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(AngleBetweenTest, NearlyParallelDoesNotProduceNan) {
+  // Rounding can push the cosine slightly above 1; acos must stay clamped.
+  const Vec3 a{1.0, 1e-9, 0.0};
+  const Vec3 b{1.0, 0.0, 0.0};
+  const double angle = angle_between(a, b);
+  EXPECT_FALSE(std::isnan(angle));
+  EXPECT_GE(angle, 0.0);
+}
+
+}  // namespace
+}  // namespace rfidsim

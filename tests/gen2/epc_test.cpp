@@ -1,0 +1,33 @@
+#include "gen2/epc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::gen2 {
+namespace {
+
+TEST(EpcTest, DefaultIsZero) {
+  const Epc e;
+  EXPECT_EQ(e.to_hex(), "000000000000000000000000");
+}
+
+TEST(EpcTest, FromSerial) {
+  const Epc e = Epc::from_serial(0xFF);
+  EXPECT_EQ(e.hi, 0u);
+  EXPECT_EQ(e.lo, 0xFFu);
+  EXPECT_EQ(e.to_hex(), "0000000000000000000000FF");
+}
+
+TEST(EpcTest, HexRendersAllNibbles) {
+  const Epc e{0x12345678, 0x9ABCDEF012345678ULL};
+  EXPECT_EQ(e.to_hex(), "123456789ABCDEF012345678");
+  EXPECT_EQ(e.to_hex().size(), 24u);
+}
+
+TEST(EpcTest, Ordering) {
+  EXPECT_LT(Epc::from_serial(1), Epc::from_serial(2));
+  EXPECT_LT((Epc{0, 0xFFFFFFFFFFFFFFFFULL}), (Epc{1, 0}));
+  EXPECT_EQ(Epc::from_serial(7), Epc::from_serial(7));
+}
+
+}  // namespace
+}  // namespace rfidsim::gen2

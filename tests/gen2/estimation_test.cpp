@@ -1,0 +1,107 @@
+#include "gen2/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rfidsim::gen2 {
+namespace {
+
+FrameObservation obs(std::size_t frame, std::size_t empty, std::size_t single,
+                     std::size_t collision) {
+  FrameObservation o;
+  o.frame_size = frame;
+  o.empty = empty;
+  o.singleton = single;
+  o.collision = collision;
+  return o;
+}
+
+TEST(EstimationTest, LowerBoundCountsCollisionsTwice) {
+  EXPECT_EQ(estimate_lower_bound(obs(16, 8, 5, 3)), 11u);
+  EXPECT_EQ(estimate_lower_bound(obs(16, 16, 0, 0)), 0u);
+}
+
+TEST(EstimationTest, CollisionFactorUsesVogtConstant) {
+  EXPECT_NEAR(estimate_collision_factor(obs(16, 8, 5, 3)), 5.0 + 2.3922 * 3.0, 1e-9);
+}
+
+TEST(EstimationTest, EmptyBasedEstimateInvertsOccupancy) {
+  // 100 tags in 128 slots: E[empty] = 128 * (1 - 1/128)^100 ~ 58.4.
+  const double n = estimate_from_empties(obs(128, 58, 0, 0));
+  EXPECT_NEAR(n, 100.0, 3.0);
+}
+
+TEST(EstimationTest, SaturatedFrameFallsBackToCollisionFactor) {
+  const FrameObservation saturated = obs(16, 0, 2, 14);
+  EXPECT_DOUBLE_EQ(estimate_from_empties(saturated),
+                   estimate_collision_factor(saturated));
+}
+
+TEST(EstimationTest, AllEmptyFrameFallsBack) {
+  const FrameObservation empty = obs(16, 16, 0, 0);
+  EXPECT_DOUBLE_EQ(estimate_from_empties(empty), estimate_collision_factor(empty));
+}
+
+TEST(EstimationTest, EstimateAtLeastLowerBound) {
+  const FrameObservation o = obs(64, 30, 20, 14);
+  EXPECT_GE(estimate_from_empties(o), static_cast<double>(estimate_lower_bound(o)));
+}
+
+TEST(EstimationTest, RecommendedQTracksPopulation) {
+  EXPECT_EQ(recommended_q(1.0), 0);
+  EXPECT_EQ(recommended_q(16.0), 4);
+  EXPECT_EQ(recommended_q(100.0), 7);
+  EXPECT_EQ(recommended_q(1e9), 15);   // Clamped.
+  EXPECT_EQ(recommended_q(0.0), 0);    // Degenerate.
+  EXPECT_EQ(recommended_q(100.0, 5, 6), 6);
+}
+
+TEST(EstimationTest, FromRoundMapsSlotCounts) {
+  InventoryRoundResult round;
+  round.total_slots = 32;
+  round.empty_slots = 20;
+  round.success_slots = 9;
+  round.collision_slots = 3;
+  const FrameObservation o = FrameObservation::from_round(round);
+  EXPECT_EQ(o.frame_size, 32u);
+  EXPECT_EQ(o.empty, 20u);
+  EXPECT_EQ(o.singleton, 9u);
+  EXPECT_EQ(o.collision, 3u);
+}
+
+/// Monte Carlo property: simulate balls-in-bins frames and check both
+/// estimators land near the true population across a sweep of loads.
+class EstimationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EstimationSweep, EstimatesTrackTruePopulation) {
+  const std::size_t true_n = GetParam();
+  const std::size_t frame = 256;
+  Rng rng(1234 + true_n);
+
+  double sum_empty_est = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> bins(frame, 0);
+    for (std::size_t i = 0; i < true_n; ++i) {
+      ++bins[static_cast<std::size_t>(rng.uniform_int(0, frame - 1))];
+    }
+    FrameObservation o;
+    o.frame_size = frame;
+    for (int b : bins) {
+      if (b == 0) ++o.empty;
+      else if (b == 1) ++o.singleton;
+      else ++o.collision;
+    }
+    sum_empty_est += estimate_from_empties(o);
+  }
+  const double mean_est = sum_empty_est / trials;
+  EXPECT_NEAR(mean_est, static_cast<double>(true_n),
+              0.15 * static_cast<double>(true_n) + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, EstimationSweep,
+                         ::testing::Values<std::size_t>(5, 20, 80, 200, 400));
+
+}  // namespace
+}  // namespace rfidsim::gen2

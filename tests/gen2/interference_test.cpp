@@ -1,0 +1,80 @@
+#include "gen2/interference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::gen2 {
+namespace {
+
+ReaderRfState reader_at(double x, int channel, bool drm = false,
+                        bool transmitting = true) {
+  ReaderRfState st;
+  st.position = {x, 0.0, 0.0};
+  st.channel = channel;
+  st.dense_reader_mode = drm;
+  st.transmitting = transmitting;
+  return st;
+}
+
+TEST(InterferenceTest, NoOthersNoJam) {
+  const ReaderInterference model;
+  EXPECT_EQ(model.command_jam_probability(reader_at(0.0, 0), {}), 0.0);
+}
+
+TEST(InterferenceTest, CochannelNeighbourJamsHard) {
+  const ReaderInterference model;
+  const double p = model.command_jam_probability(reader_at(0.0, 0), {reader_at(2.0, 0)});
+  EXPECT_DOUBLE_EQ(p, model.params().cochannel_jam_probability);
+}
+
+TEST(InterferenceTest, SilentReaderDoesNotJam) {
+  const ReaderInterference model;
+  const double p = model.command_jam_probability(
+      reader_at(0.0, 0), {reader_at(2.0, 0, false, /*transmitting=*/false)});
+  EXPECT_EQ(p, 0.0);
+}
+
+TEST(InterferenceTest, FarReaderDoesNotJam) {
+  const ReaderInterference model;
+  const double p = model.command_jam_probability(
+      reader_at(0.0, 0), {reader_at(100.0, 0)});
+  EXPECT_EQ(p, 0.0);
+}
+
+TEST(InterferenceTest, DrmOnDistinctChannelsIsNearlyClean) {
+  const ReaderInterference model;
+  const double p = model.command_jam_probability(reader_at(0.0, 0, true),
+                                                 {reader_at(2.0, 1, true)});
+  EXPECT_NEAR(p, model.params().drm_jam_probability, 1e-9);
+  EXPECT_LT(p, 0.1);
+}
+
+TEST(InterferenceTest, DistinctChannelsHelpEvenWithoutDrm) {
+  // Channel separation is the physical mechanism; DRM is how readers agree
+  // to maintain it.
+  const ReaderInterference model;
+  const double p = model.command_jam_probability(reader_at(0.0, 0),
+                                                 {reader_at(2.0, 3)});
+  EXPECT_NEAR(p, model.params().drm_jam_probability, 1e-9);
+}
+
+TEST(InterferenceTest, MultipleInterferersCompound) {
+  const ReaderInterference model;
+  const double one = model.command_jam_probability(reader_at(0.0, 0), {reader_at(2.0, 0)});
+  const double two = model.command_jam_probability(
+      reader_at(0.0, 0), {reader_at(2.0, 0), reader_at(-2.0, 0)});
+  EXPECT_GT(two, one);
+  EXPECT_NEAR(two, 1.0 - (1.0 - one) * (1.0 - one), 1e-12);
+}
+
+TEST(AssignChannelsTest, WithoutDrmAllShareChannelZero) {
+  const auto channels = ReaderInterference::assign_channels(3, false);
+  EXPECT_EQ(channels, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(AssignChannelsTest, WithDrmChannelsAreDistinct) {
+  const auto channels = ReaderInterference::assign_channels(3, true);
+  EXPECT_EQ(channels, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rfidsim::gen2

@@ -1,0 +1,272 @@
+#include "gen2/inventory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rfidsim::gen2 {
+namespace {
+
+/// Powers `n` tags with perfect links.
+struct Population {
+  std::vector<TagState> states;
+  std::vector<TagLink> links;
+
+  explicit Population(std::size_t n, double decode_probability = 1.0) {
+    states.resize(n);
+    links.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      states[i].set_powered(true, 0.0, Session::S0);
+      links[i].powered = true;
+      links[i].reply_decode_probability = decode_probability;
+      links[i].rx_power = DbmPower(-55.0);
+    }
+  }
+};
+
+InventoryConfig quiet_config() {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 2.0;
+  return cfg;
+}
+
+TEST(InventoryTest, MismatchedArraysThrow) {
+  InventoryEngine engine(quiet_config());
+  std::vector<TagState> states(2);
+  std::vector<TagLink> links(3);
+  Rng rng(1);
+  EXPECT_THROW(engine.run_round(states, links, 0.0, rng), ConfigError);
+}
+
+TEST(InventoryTest, SingleTagIsSingulated) {
+  InventoryEngine engine(quiet_config());
+  Population pop(1);
+  Rng rng(1);
+  const InventoryRoundResult r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  ASSERT_EQ(r.singulated.size(), 1u);
+  EXPECT_EQ(r.singulated[0], 0u);
+  EXPECT_EQ(r.success_slots, 1u);
+  EXPECT_GT(r.duration_s, 0.0);
+}
+
+TEST(InventoryTest, WholePopulationReadWithinFewRounds) {
+  InventoryEngine engine(quiet_config());
+  Population pop(20);
+  Rng rng(7);
+  std::vector<bool> seen(20, false);
+  for (int round = 0; round < 10; ++round) {
+    const auto r = engine.run_round(pop.states, pop.links, 0.1 * round, rng);
+    for (std::size_t i : r.singulated) seen[i] = true;
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 20);
+}
+
+TEST(InventoryTest, ReadTagsStaySilentInLaterRounds) {
+  InventoryEngine engine(quiet_config());
+  Population pop(5);
+  Rng rng(3);
+  std::size_t total = 0;
+  for (int round = 0; round < 8; ++round) {
+    total += engine.run_round(pop.states, pop.links, 0.05 * round, rng).singulated.size();
+  }
+  // Continuously powered S0 tags flip to B after a read and are not
+  // re-inventoried.
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(InventoryTest, UnpoweredTagsNeverRead) {
+  InventoryEngine engine(quiet_config());
+  Population pop(4);
+  pop.links[2].powered = false;
+  pop.states[2].set_powered(false, 0.0, Session::S0);
+  Rng rng(5);
+  std::vector<bool> seen(4, false);
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t i : engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated) {
+      seen[i] = true;
+    }
+  }
+  EXPECT_FALSE(seen[2]);
+  EXPECT_TRUE(seen[0] && seen[1] && seen[3]);
+}
+
+TEST(InventoryTest, CollisionsHappenWithManyTagsAndSmallQ) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 1.0;  // 2 slots for 10 tags: guaranteed contention.
+  cfg.adjust_mid_round = false;
+  InventoryEngine engine(cfg);
+  Population pop(10);
+  Rng rng(11);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  EXPECT_GT(r.collision_slots, 0u);
+}
+
+TEST(InventoryTest, QAdaptationResolvesContention) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 1.0;
+  cfg.adjust_mid_round = true;
+  InventoryEngine engine(cfg);
+  Population pop(16);
+  Rng rng(13);
+  std::vector<bool> seen(16, false);
+  for (int round = 0; round < 12; ++round) {
+    for (std::size_t i : engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated) {
+      seen[i] = true;
+    }
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 16);
+}
+
+TEST(InventoryTest, CaptureEffectDecodesDominantTag) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 0.0;  // Everyone in slot 0: always colliding.
+  cfg.q.max_slots_per_round = 4;
+  cfg.capture_threshold_db = 6.0;
+  InventoryEngine engine(cfg);
+  Population pop(3);
+  pop.links[1].rx_power = DbmPower(-40.0);  // 15 dB above the others.
+  Rng rng(17);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  ASSERT_GE(r.singulated.size(), 1u);
+  EXPECT_EQ(r.singulated[0], 1u);
+}
+
+TEST(InventoryTest, NoCaptureWhenPowersAreComparable) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 0.0;
+  cfg.q.max_slots_per_round = 1;
+  InventoryEngine engine(cfg);
+  Population pop(3);  // All equal rx power.
+  Rng rng(19);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  EXPECT_TRUE(r.singulated.empty());
+  EXPECT_EQ(r.collision_slots, 1u);
+}
+
+TEST(InventoryTest, FullJamReadsNothing) {
+  InventoryConfig cfg = quiet_config();
+  cfg.command_jam_probability = 1.0;
+  InventoryEngine engine(cfg);
+  Population pop(5);
+  Rng rng(23);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated.empty());
+  }
+}
+
+TEST(InventoryTest, PartialJamSlowsButDoesNotStopInventory) {
+  InventoryConfig cfg = quiet_config();
+  cfg.command_jam_probability = 0.5;
+  InventoryEngine engine(cfg);
+  Population pop(8);
+  Rng rng(29);
+  std::vector<bool> seen(8, false);
+  for (int round = 0; round < 30; ++round) {
+    for (std::size_t i : engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated) {
+      seen[i] = true;
+    }
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 8);
+}
+
+TEST(InventoryTest, LowDecodeProbabilityCausesMisses) {
+  InventoryConfig cfg = quiet_config();
+  InventoryEngine engine(cfg);
+  Population pop(1, /*decode_probability=*/0.0);
+  Rng rng(31);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  EXPECT_TRUE(r.singulated.empty());
+}
+
+TEST(InventoryTest, DurationAccumulatesPerSlotCosts) {
+  InventoryConfig cfg = quiet_config();
+  InventoryEngine engine(cfg);
+  Population pop(4);
+  Rng rng(37);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  const LinkTiming& t = cfg.timing;
+  // Lower bound: overhead + query + per-success singulation time.
+  const double lower =
+      t.round_overhead_s + t.query_s +
+      static_cast<double>(r.success_slots) * t.singulation_s;
+  EXPECT_GE(r.duration_s, lower);
+}
+
+TEST(InventoryTest, IdealInventoryTimeIsAboutTwentyMsPerTag) {
+  // The paper's end-to-end measurement: ~0.02 s per tag.
+  const LinkTiming timing;
+  const double per_tag_20 = timing.ideal_inventory_time_s(20) / 20.0;
+  EXPECT_GT(per_tag_20, 0.004);
+  EXPECT_LT(per_tag_20, 0.03);
+}
+
+TEST(InventoryTest, DeterministicGivenSeed) {
+  const InventoryConfig cfg = quiet_config();
+  auto run = [&cfg](std::uint64_t seed) {
+    InventoryEngine engine(cfg);
+    Population pop(10);
+    Rng rng(seed);
+    std::vector<std::size_t> order;
+    for (int round = 0; round < 5; ++round) {
+      const auto r = engine.run_round(pop.states, pop.links, 0.1 * round, rng);
+      order.insert(order.end(), r.singulated.begin(), r.singulated.end());
+    }
+    return order;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(InventoryTest, DualTargetReReadsTagsEveryRound) {
+  InventoryConfig cfg = quiet_config();
+  cfg.dual_target = true;
+  InventoryEngine engine(cfg);
+  Population pop(3);
+  Rng rng(53);
+  std::size_t total = 0;
+  for (int round = 0; round < 8; ++round) {
+    total += engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated.size();
+  }
+  // Alternating A/B targets keep toggled tags in play: far more than one
+  // read per tag.
+  EXPECT_GT(total, 3u * 4u);
+}
+
+TEST(InventoryTest, SingleTargetReadsEachTagOnce) {
+  InventoryEngine engine(quiet_config());
+  Population pop(3);
+  Rng rng(59);
+  std::size_t total = 0;
+  for (int round = 0; round < 8; ++round) {
+    total += engine.run_round(pop.states, pop.links, 0.1 * round, rng).singulated.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(InventoryTest, ResetQRestoresInitial) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 1.0;
+  InventoryEngine engine(cfg);
+  Population pop(16);
+  Rng rng(41);
+  engine.run_round(pop.states, pop.links, 0.0, rng);
+  engine.reset_q();
+  EXPECT_DOUBLE_EQ(engine.qfp(), 1.0);
+}
+
+TEST(InventoryTest, RunawayGuardBoundsSlots) {
+  InventoryConfig cfg;
+  cfg.q.initial_q = 15.0;  // Enormous frame.
+  cfg.q.max_slots_per_round = 64;
+  InventoryEngine engine(cfg);
+  Population pop(2);
+  Rng rng(43);
+  const auto r = engine.run_round(pop.states, pop.links, 0.0, rng);
+  EXPECT_LE(r.total_slots, 64u);
+}
+
+}  // namespace
+}  // namespace rfidsim::gen2

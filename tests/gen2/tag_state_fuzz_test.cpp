@@ -1,0 +1,69 @@
+// Randomized fuzzing of the tag-side protocol state machine: any sequence
+// of power transitions and reader commands must leave the tag in a legal
+// state, never crash, and obey the basic protocol invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gen2/tag_state.hpp"
+
+namespace rfidsim::gen2 {
+namespace {
+
+class TagStateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TagStateFuzz, RandomCommandSequencesKeepInvariants) {
+  Rng rng(GetParam());
+  TagState tag;
+  double t = 0.0;
+  const Session session = static_cast<Session>(rng.uniform_int(0, 3));
+
+  for (int step = 0; step < 2000; ++step) {
+    t += rng.uniform(0.0, 0.1);
+    const int q = static_cast<int>(rng.uniform_int(0, 8));
+    switch (rng.uniform_int(0, 6)) {
+      case 0:
+        tag.set_powered(rng.bernoulli(0.7), t, session);
+        break;
+      case 1:
+        tag.on_query(q, rng.bernoulli(0.5) ? InventoriedFlag::A : InventoriedFlag::B,
+                     session, t, rng);
+        break;
+      case 2:
+        tag.on_query_adjust(q, rng);
+        break;
+      case 3:
+        tag.on_query_rep();
+        break;
+      case 4:
+        tag.on_acknowledged(t);
+        break;
+      case 5:
+        tag.on_reply_lost(q, rng);
+        break;
+      default:
+        break;
+    }
+
+    // Invariants after every step:
+    // 1. Powered flag and state agree.
+    if (!tag.powered()) {
+      ASSERT_EQ(tag.state(), TagProtocolState::Unpowered);
+    } else {
+      ASSERT_NE(tag.state(), TagProtocolState::Unpowered);
+    }
+    // 2. A replying tag has a zero slot counter.
+    if (tag.replying()) {
+      ASSERT_EQ(tag.slot_counter(), 0u);
+    }
+    // 3. Slot counter stays within the largest frame ever offered.
+    ASSERT_LT(tag.slot_counter(), 1u << 9);
+    // 4. The flag query never crashes and returns a valid value.
+    const InventoriedFlag f = tag.flag(t, session);
+    ASSERT_TRUE(f == InventoriedFlag::A || f == InventoriedFlag::B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TagStateFuzz, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace rfidsim::gen2

@@ -1,0 +1,172 @@
+#include "gen2/tag_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rfidsim::gen2 {
+namespace {
+
+TEST(TagStateTest, StartsUnpowered) {
+  const TagState tag;
+  EXPECT_EQ(tag.state(), TagProtocolState::Unpowered);
+  EXPECT_FALSE(tag.powered());
+}
+
+TEST(TagStateTest, PowerOnEntersReady) {
+  TagState tag;
+  tag.set_powered(true, 0.0, Session::S0);
+  EXPECT_TRUE(tag.powered());
+  EXPECT_EQ(tag.state(), TagProtocolState::Ready);
+}
+
+TEST(TagStateTest, UnpoweredTagIgnoresQuery) {
+  TagState tag;
+  Rng rng(1);
+  tag.on_query(4, InventoriedFlag::A, Session::S0, 0.0, rng);
+  EXPECT_EQ(tag.state(), TagProtocolState::Unpowered);
+}
+
+TEST(TagStateTest, QueryWithQZeroRepliesImmediately) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S0);
+  tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
+  EXPECT_TRUE(tag.replying());
+  EXPECT_EQ(tag.slot_counter(), 0u);
+}
+
+TEST(TagStateTest, SlotCounterWithinFrame) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    TagState tag;
+    tag.set_powered(true, 0.0, Session::S0);
+    tag.on_query(3, InventoriedFlag::A, Session::S0, 0.0, rng);
+    EXPECT_LT(tag.slot_counter(), 8u);
+  }
+}
+
+TEST(TagStateTest, QueryRepCountsDownToReply) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S0);
+  // Force a draw until nonzero slot.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    tag.on_query(4, InventoriedFlag::A, Session::S0, 0.0, rng);
+    if (tag.slot_counter() > 0) break;
+  }
+  ASSERT_GT(tag.slot_counter(), 0u);
+  const std::uint32_t slots = tag.slot_counter();
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    EXPECT_FALSE(tag.replying());
+    tag.on_query_rep();
+  }
+  EXPECT_TRUE(tag.replying());
+}
+
+TEST(TagStateTest, AcknowledgeTogglesFlagAndLeavesRound) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S1);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_acknowledged(0.0);
+  EXPECT_EQ(tag.state(), TagProtocolState::Acknowledged);
+  EXPECT_EQ(tag.flag(0.1, Session::S1), InventoriedFlag::B);
+  // A subsequent A-targeted query is ignored.
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.1, rng);
+  EXPECT_FALSE(tag.replying());
+  // But a B-targeted query re-engages it.
+  tag.on_query(0, InventoriedFlag::B, Session::S1, 0.2, rng);
+  EXPECT_TRUE(tag.replying());
+}
+
+TEST(TagStateTest, AcknowledgeRequiresReplyState) {
+  TagState tag;
+  tag.set_powered(true, 0.0, Session::S0);
+  tag.on_acknowledged(0.0);  // Not replying: no-op.
+  EXPECT_EQ(tag.state(), TagProtocolState::Ready);
+}
+
+TEST(TagStateTest, ReplyLostRedraws) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S0);
+  tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_reply_lost(4, rng);
+  EXPECT_TRUE(tag.state() == TagProtocolState::Arbitrate ||
+              tag.state() == TagProtocolState::Reply);
+}
+
+TEST(TagStateTest, PowerLossDropsOutOfRound) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S0);
+  tag.on_query(4, InventoriedFlag::A, Session::S0, 0.0, rng);
+  tag.set_powered(false, 1.0, Session::S0);
+  EXPECT_EQ(tag.state(), TagProtocolState::Unpowered);
+  EXPECT_EQ(tag.slot_counter(), 0u);
+}
+
+TEST(TagStateTest, S0FlagResetsOnPowerLoss) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S0);
+  tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  EXPECT_EQ(tag.flag(0.1, Session::S0), InventoriedFlag::B);
+  tag.set_powered(false, 0.2, Session::S0);
+  // S0 persistence is zero: immediately back to A.
+  EXPECT_EQ(tag.flag(0.21, Session::S0), InventoriedFlag::A);
+  tag.set_powered(true, 0.3, Session::S0);
+  tag.on_query(0, InventoriedFlag::A, Session::S0, 0.3, rng);
+  EXPECT_TRUE(tag.replying());
+}
+
+TEST(TagStateTest, S1FlagPersistsThroughShortPowerLoss) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S1);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  tag.set_powered(false, 0.1, Session::S1);
+  // Within the 1 s persistence window: still B.
+  EXPECT_EQ(tag.flag(0.5, Session::S1), InventoriedFlag::B);
+  // Beyond it: decayed to A.
+  EXPECT_EQ(tag.flag(2.0, Session::S1), InventoriedFlag::A);
+}
+
+TEST(TagStateTest, S1FlagDecayResolvedAtRepower) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S1);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  tag.set_powered(false, 0.1, Session::S1);
+  tag.set_powered(true, 5.0, Session::S1);  // Long dark period.
+  EXPECT_EQ(tag.flag(5.0, Session::S1), InventoriedFlag::A);
+}
+
+TEST(TagStateTest, AcknowledgeTogglesFlagBothWays) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0, Session::S1);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  EXPECT_EQ(tag.flag(0.0, Session::S1), InventoriedFlag::B);
+  // A B-targeted singulation toggles back to A (dual-target inventory).
+  tag.on_query(0, InventoriedFlag::B, Session::S1, 0.1, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_acknowledged(0.1);
+  EXPECT_EQ(tag.flag(0.1, Session::S1), InventoriedFlag::A);
+}
+
+TEST(SessionTest, PersistenceConstants) {
+  EXPECT_EQ(flag_persistence_s(Session::S0), 0.0);
+  EXPECT_GT(flag_persistence_s(Session::S1), 0.0);
+  EXPECT_GE(flag_persistence_s(Session::S2), flag_persistence_s(Session::S1));
+}
+
+}  // namespace
+}  // namespace rfidsim::gen2

@@ -1,0 +1,140 @@
+#include "locate/landmarc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::locate {
+namespace {
+
+using scene::TagId;
+
+RssiSignature sig(std::vector<double> values) {
+  return RssiSignature{std::move(values)};
+}
+
+sys::ReadEvent event(std::uint64_t tag, std::size_t antenna, double rssi) {
+  sys::ReadEvent ev;
+  ev.tag = TagId{tag};
+  ev.antenna_index = antenna;
+  ev.rssi = DbmPower(rssi);
+  return ev;
+}
+
+TEST(SignatureTest, MeansPerAntenna) {
+  const sys::EventLog log{event(1, 0, -50.0), event(1, 0, -54.0), event(1, 1, -60.0)};
+  const auto sigs = build_signatures(log, 2);
+  ASSERT_TRUE(sigs.contains(TagId{1}));
+  EXPECT_DOUBLE_EQ(sigs.at(TagId{1}).per_antenna_dbm[0], -52.0);
+  EXPECT_DOUBLE_EQ(sigs.at(TagId{1}).per_antenna_dbm[1], -60.0);
+}
+
+TEST(SignatureTest, UnheardAntennaGetsFloor) {
+  const sys::EventLog log{event(1, 0, -50.0)};
+  const auto sigs = build_signatures(log, 3, -95.0);
+  EXPECT_DOUBLE_EQ(sigs.at(TagId{1}).per_antenna_dbm[1], -95.0);
+  EXPECT_DOUBLE_EQ(sigs.at(TagId{1}).per_antenna_dbm[2], -95.0);
+}
+
+TEST(SignatureTest, OutOfRangeAntennaThrows) {
+  const sys::EventLog log{event(1, 5, -50.0)};
+  EXPECT_THROW(build_signatures(log, 2), ConfigError);
+  EXPECT_THROW(build_signatures({}, 0), ConfigError);
+}
+
+TEST(SignalDistanceTest, EuclideanAndValidated) {
+  EXPECT_DOUBLE_EQ(signal_distance(sig({0.0, 0.0}), sig({3.0, 4.0})), 5.0);
+  EXPECT_DOUBLE_EQ(signal_distance(sig({-50.0}), sig({-50.0})), 0.0);
+  EXPECT_THROW(signal_distance(sig({1.0}), sig({1.0, 2.0})), ConfigError);
+}
+
+TEST(LocatorTest, InvalidConstructionThrows) {
+  EXPECT_THROW(LandmarcLocator({}, 4), ConfigError);
+  EXPECT_THROW(LandmarcLocator({{TagId{1}, {0, 0, 0}}}, 0), ConfigError);
+}
+
+TEST(LocatorTest, ExactMatchSnapsToReference) {
+  const LandmarcLocator locator({{TagId{1}, {1.0, 2.0, 0.0}}, {TagId{2}, {5.0, 5.0, 0.0}}},
+                                2);
+  std::unordered_map<TagId, RssiSignature> refs{
+      {TagId{1}, sig({-50.0, -60.0})},
+      {TagId{2}, sig({-70.0, -40.0})},
+  };
+  const LocationEstimate est = locator.locate(sig({-50.0, -60.0}), refs);
+  EXPECT_EQ(est.position, (Vec3{1.0, 2.0, 0.0}));
+  ASSERT_EQ(est.neighbours.size(), 1u);
+  EXPECT_EQ(est.neighbours[0], TagId{1});
+}
+
+TEST(LocatorTest, SymmetricNeighboursAverage) {
+  const LandmarcLocator locator(
+      {{TagId{1}, {0.0, 0.0, 0.0}}, {TagId{2}, {2.0, 0.0, 0.0}}}, 2);
+  std::unordered_map<TagId, RssiSignature> refs{
+      {TagId{1}, sig({-50.0})},
+      {TagId{2}, sig({-60.0})},
+  };
+  // Equidistant target in signal space: midpoint in position space.
+  const LocationEstimate est = locator.locate(sig({-55.0}), refs);
+  EXPECT_NEAR(est.position.x, 1.0, 1e-9);
+}
+
+TEST(LocatorTest, CloserReferenceWeighsMore) {
+  const LandmarcLocator locator(
+      {{TagId{1}, {0.0, 0.0, 0.0}}, {TagId{2}, {2.0, 0.0, 0.0}}}, 2);
+  std::unordered_map<TagId, RssiSignature> refs{
+      {TagId{1}, sig({-50.0})},
+      {TagId{2}, sig({-60.0})},
+  };
+  const LocationEstimate est = locator.locate(sig({-52.0}), refs);
+  EXPECT_LT(est.position.x, 1.0);  // Pulled toward reference 1.
+  EXPECT_GT(est.position.x, 0.0);
+}
+
+TEST(LocatorTest, KLimitsNeighbourCount) {
+  const LandmarcLocator locator({{TagId{1}, {0.0, 0.0, 0.0}},
+                                 {TagId{2}, {1.0, 0.0, 0.0}},
+                                 {TagId{3}, {9.0, 0.0, 0.0}}},
+                                2);
+  std::unordered_map<TagId, RssiSignature> refs{
+      {TagId{1}, sig({-50.0})},
+      {TagId{2}, sig({-51.0})},
+      {TagId{3}, sig({-80.0})},
+  };
+  const LocationEstimate est = locator.locate(sig({-50.4}), refs);
+  EXPECT_EQ(est.neighbours.size(), 2u);
+  // The distant reference 3 is not among the neighbours.
+  for (const TagId& id : est.neighbours) EXPECT_NE(id, TagId{3});
+  EXPECT_LT(est.position.x, 1.0);
+}
+
+TEST(LocatorTest, MissingReferencesAreSkipped) {
+  const LandmarcLocator locator(
+      {{TagId{1}, {0.0, 0.0, 0.0}}, {TagId{2}, {4.0, 0.0, 0.0}}}, 2);
+  std::unordered_map<TagId, RssiSignature> refs{{TagId{2}, sig({-60.0})}};
+  const LocationEstimate est = locator.locate(sig({-55.0}), refs);
+  EXPECT_EQ(est.position, (Vec3{4.0, 0.0, 0.0}));
+}
+
+TEST(LocatorTest, NoObservedReferencesThrows) {
+  const LandmarcLocator locator({{TagId{1}, {0.0, 0.0, 0.0}}}, 1);
+  EXPECT_THROW(locator.locate(sig({-55.0}), {}), ConfigError);
+}
+
+TEST(LocatorTest, NeighbourDistancesAreSorted) {
+  const LandmarcLocator locator({{TagId{1}, {0.0, 0.0, 0.0}},
+                                 {TagId{2}, {1.0, 0.0, 0.0}},
+                                 {TagId{3}, {2.0, 0.0, 0.0}}},
+                                3);
+  std::unordered_map<TagId, RssiSignature> refs{
+      {TagId{1}, sig({-50.0})},
+      {TagId{2}, sig({-58.0})},
+      {TagId{3}, sig({-66.0})},
+  };
+  const LocationEstimate est = locator.locate(sig({-53.0}), refs);
+  ASSERT_EQ(est.distances.size(), 3u);
+  EXPECT_LE(est.distances[0], est.distances[1]);
+  EXPECT_LE(est.distances[1], est.distances[2]);
+}
+
+}  // namespace
+}  // namespace rfidsim::locate

@@ -1,0 +1,136 @@
+#include "reliability/analytical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rfidsim::reliability {
+namespace {
+
+TEST(AnalyticalTest, EmptySetHasZeroReliability) {
+  EXPECT_EQ(expected_reliability({}), 0.0);
+}
+
+TEST(AnalyticalTest, SingleOpportunityIsItsOwnReliability) {
+  EXPECT_DOUBLE_EQ(expected_reliability({0.63}), 0.63);
+}
+
+TEST(AnalyticalTest, PaperTable3FrontExample) {
+  // Two antennas, one front tag at 87%: R_C = 1 - 0.13^2 = 0.9831 (the
+  // paper rounds to 98%).
+  EXPECT_NEAR(expected_reliability({0.87, 0.87}), 0.9831, 1e-4);
+}
+
+TEST(AnalyticalTest, PaperTable3SideExample) {
+  // Side tag: near 83% to one antenna, far-side-like 63% to the other:
+  // R_C = 1 - 0.17*0.37 = 0.9371 (the paper rounds to 94%).
+  EXPECT_NEAR(expected_reliability({0.83, 0.63}), 0.9371, 1e-4);
+}
+
+TEST(AnalyticalTest, OutOfRangeProbabilityThrows) {
+  EXPECT_THROW(expected_reliability({1.2}), ConfigError);
+  EXPECT_THROW(expected_reliability({-0.1}), ConfigError);
+}
+
+TEST(AnalyticalTest, CertainOpportunityDominates) {
+  EXPECT_DOUBLE_EQ(expected_reliability({0.1, 1.0, 0.2}), 1.0);
+}
+
+TEST(IdenticalTest, MatchesGeneralFormula) {
+  EXPECT_NEAR(expected_reliability_identical(0.63, 2),
+              expected_reliability({0.63, 0.63}), 1e-12);
+  EXPECT_NEAR(expected_reliability_identical(0.63, 4), 0.9813, 1e-3);
+}
+
+TEST(IdenticalTest, ZeroCountIsZero) {
+  EXPECT_EQ(expected_reliability_identical(0.9, 0), 0.0);
+}
+
+TEST(OpportunitiesForTargetTest, PaperScale) {
+  // At the paper's 63% average single-tag reliability, two tags predict
+  // ~86%, three ~95%, four ~98%: hitting 99% takes five.
+  EXPECT_EQ(opportunities_for_target(0.63, 0.99), 5u);
+  EXPECT_EQ(opportunities_for_target(0.63, 0.95), 4u);
+  EXPECT_EQ(opportunities_for_target(0.63, 0.60), 1u);
+}
+
+TEST(OpportunitiesForTargetTest, EdgeCases) {
+  EXPECT_EQ(opportunities_for_target(0.5, 0.0), 0u);
+  EXPECT_EQ(opportunities_for_target(0.5, -1.0), 0u);
+  EXPECT_EQ(opportunities_for_target(1.0, 0.999), 1u);
+  EXPECT_THROW(opportunities_for_target(0.0, 0.5), ConfigError);
+  EXPECT_THROW(opportunities_for_target(0.5, 1.0), ConfigError);
+}
+
+TEST(OpportunitiesForTargetTest, ResultActuallyMeetsTarget) {
+  for (double p : {0.1, 0.3, 0.63, 0.9}) {
+    for (double target : {0.5, 0.9, 0.99, 0.999}) {
+      const std::size_t n = opportunities_for_target(p, target);
+      EXPECT_GE(expected_reliability_identical(p, n), target - 1e-12);
+      if (n > 1) {
+        EXPECT_LT(expected_reliability_identical(p, n - 1), target);
+      }
+    }
+  }
+}
+
+TEST(MarginalGainTest, Values) {
+  EXPECT_NEAR(marginal_gain(0.8, 0.63), (1.0 - 0.2 * 0.37) - 0.8, 1e-12);
+  EXPECT_EQ(marginal_gain(1.0, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(marginal_gain(0.0, 0.9), 0.9);
+}
+
+TEST(MarginalGainTest, DiminishingReturns) {
+  // Each extra identical opportunity buys less than the previous one.
+  double r = 0.0;
+  double prev_gain = 1.0;
+  for (int i = 0; i < 6; ++i) {
+    const double gain = marginal_gain(r, 0.63);
+    EXPECT_LT(gain, prev_gain);
+    prev_gain = gain;
+    r += gain;
+  }
+}
+
+TEST(GridTest, SizeMismatchThrows) {
+  EXPECT_THROW(expected_reliability_grid({0.5, 0.5, 0.5}, 2, 2), ConfigError);
+}
+
+TEST(GridTest, MatchesFlatFormula) {
+  const std::vector<double> ps{0.87, 0.83, 0.87, 0.83};
+  EXPECT_DOUBLE_EQ(expected_reliability_grid(ps, 2, 2), expected_reliability(ps));
+}
+
+/// Property sweep: R_C is monotone in every opportunity and bounded by
+/// [max(P_i), 1].
+class AnalyticalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyticalPropertyTest, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> ps;
+  const int n = static_cast<int>(rng.uniform_int(1, 6));
+  double max_p = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ps.push_back(rng.uniform());
+    max_p = std::max(max_p, ps.back());
+  }
+  const double r = expected_reliability(ps);
+  EXPECT_GE(r, max_p - 1e-12);
+  EXPECT_LE(r, 1.0);
+  // Bumping any single opportunity never lowers R_C.
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> bumped = ps;
+    bumped[static_cast<std::size_t>(i)] =
+        std::min(1.0, bumped[static_cast<std::size_t>(i)] + 0.1);
+    EXPECT_GE(expected_reliability(bumped), r - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, AnalyticalPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rfidsim::reliability

@@ -1,0 +1,49 @@
+// Guards on the calibrated profile: EXPERIMENTS.md documents these values;
+// changing any of them invalidates every reproduced table, so a change
+// must be deliberate (and must come with a recalibration pass).
+#include "reliability/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::reliability {
+namespace {
+
+TEST(CalibrationTest, PaperHardwareAnchors) {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  // Stated in the paper: 30 dBm (1 W) max power, UHF Gen 2.
+  EXPECT_DOUBLE_EQ(cal.radio.tx_power.value(), 30.0);
+  EXPECT_DOUBLE_EQ(cal.radio.frequency_hz, 915e6);
+}
+
+TEST(CalibrationTest, CalibratedConstantsMatchExperimentsDoc) {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  EXPECT_DOUBLE_EQ(cal.radio.tag_sensitivity.value(), -15.5);
+  EXPECT_DOUBLE_EQ(cal.radio.path_loss_exponent, 2.3);
+  EXPECT_DOUBLE_EQ(cal.shadow_sigma_db, 4.0);
+  EXPECT_DOUBLE_EQ(cal.evaluator.coupling.contact_loss_db, 30.0);
+  EXPECT_DOUBLE_EQ(cal.evaluator.coupling.decay_scale_m, 0.012);
+  EXPECT_DOUBLE_EQ(cal.evaluator.scatter_excess_db, 14.0);
+  EXPECT_DOUBLE_EQ(cal.evaluator.reflection_bonus_db, 8.0);
+  EXPECT_DOUBLE_EQ(cal.evaluator.proximity_loss_db, 4.5);
+}
+
+TEST(CalibrationTest, TwentyMsPerTagTimingAnchor) {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  const double per_tag = cal.inventory.timing.ideal_inventory_time_s(20) / 20.0;
+  EXPECT_GT(per_tag, 0.004);
+  EXPECT_LT(per_tag, 0.03);
+}
+
+TEST(CalibrationTest, ForwardLinkIsTheBindingConstraint) {
+  // The defining regime of 2006-era passive UHF (DESIGN.md §4.1).
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  const rf::LinkBudget budget(cal.radio);
+  rf::PathTerms terms;
+  terms.distance_m = 3.0;
+  const rf::LinkResult fwd = budget.forward(terms);
+  const rf::LinkResult rev = budget.reverse(terms, fwd.received);
+  EXPECT_GT(rev.margin.value(), fwd.margin.value());
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

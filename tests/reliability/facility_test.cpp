@@ -1,0 +1,105 @@
+#include "reliability/facility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::reliability {
+namespace {
+
+const CalibrationProfile kCal = CalibrationProfile::paper2006();
+
+FacilityCheckpoint checkpoint(const char* name, std::size_t antennas = 1) {
+  FacilityCheckpoint cp;
+  cp.name = name;
+  cp.portal.antenna_count = antennas;
+  return cp;
+}
+
+TEST(FacilityTest, EmptyRouteThrows) {
+  EXPECT_THROW(FacilitySimulator({}, ShipmentSpec{}, kCal), ConfigError);
+}
+
+TEST(FacilityTest, EmptyTagFacesThrow) {
+  ShipmentSpec shipment;
+  shipment.tag_faces.clear();
+  EXPECT_THROW(FacilitySimulator({checkpoint("dock")}, shipment, kCal), ConfigError);
+}
+
+TEST(FacilityTest, RunProducesOneDetectionSetPerCheckpoint) {
+  const FacilitySimulator facility(
+      {checkpoint("inbound"), checkpoint("aisle"), checkpoint("outbound")},
+      ShipmentSpec{}, kCal);
+  const FacilityRun run = facility.run_shipment(1);
+  EXPECT_EQ(run.observations.checkpoint_count, 3u);
+  EXPECT_EQ(run.observations.detected.size(), 3u);
+  EXPECT_EQ(run.case_count, 12u);
+}
+
+TEST(FacilityTest, MetricsAreConsistent) {
+  const FacilitySimulator facility({checkpoint("a"), checkpoint("b")}, ShipmentSpec{},
+                                   kCal);
+  const FacilityRun run = facility.run_shipment(2);
+  EXPECT_GE(run.cell_coverage, run.full_trace_fraction);
+  EXPECT_GE(run.delivered_fraction, run.full_trace_fraction);
+  EXPECT_LE(run.full_trace_fraction, 1.0);
+  EXPECT_GE(run.full_trace_fraction, 0.0);
+}
+
+TEST(FacilityTest, DeterministicPerSeed) {
+  const FacilitySimulator facility({checkpoint("a"), checkpoint("b")}, ShipmentSpec{},
+                                   kCal);
+  const FacilityRun r1 = facility.run_shipment(7);
+  const FacilityRun r2 = facility.run_shipment(7);
+  EXPECT_EQ(r1.full_trace_fraction, r2.full_trace_fraction);
+  EXPECT_EQ(r1.cell_coverage, r2.cell_coverage);
+  const FacilityRun r3 = facility.run_shipment(8);
+  // Not a hard guarantee, but with 24 cells at <100% reliability two seeds
+  // almost surely differ.
+  EXPECT_TRUE(r1.cell_coverage != r3.cell_coverage ||
+              r1.delivered_fraction != r3.delivered_fraction ||
+              r1.full_trace_fraction == r3.full_trace_fraction);
+}
+
+TEST(FacilityTest, BetterTaggingImprovesFullTrace) {
+  ShipmentSpec weak;
+  weak.tag_faces = {scene::BoxFace::Top};
+  ShipmentSpec strong;
+  strong.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+  const std::vector<FacilityCheckpoint> route{checkpoint("a"), checkpoint("b"),
+                                              checkpoint("c")};
+  double weak_sum = 0.0;
+  double strong_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    weak_sum += FacilitySimulator(route, weak, kCal).run_shipment(seed).full_trace_fraction;
+    strong_sum +=
+        FacilitySimulator(route, strong, kCal).run_shipment(seed).full_trace_fraction;
+  }
+  EXPECT_GT(strong_sum, weak_sum);
+}
+
+TEST(FacilityTest, RouteConstraintNeverLowersMetrics) {
+  ShipmentSpec weak;
+  weak.tag_faces = {scene::BoxFace::SideFar};
+  const FacilitySimulator facility(
+      {checkpoint("a"), checkpoint("b"), checkpoint("c")}, weak, kCal);
+  const FacilityRun raw = facility.run_shipment(3);
+  const FacilityRun cleaned = FacilitySimulator::clean_with_route_constraint(raw);
+  EXPECT_GE(cleaned.cell_coverage, raw.cell_coverage);
+  EXPECT_GE(cleaned.full_trace_fraction, raw.full_trace_fraction);
+  // Delivery (final checkpoint) cannot be inferred by the route constraint.
+  EXPECT_EQ(cleaned.delivered_fraction, raw.delivered_fraction);
+}
+
+TEST(FacilityTest, RouteConstraintMakesFullTraceEqualDelivery) {
+  // After route cleaning, every case seen at the last checkpoint has a
+  // full (inferred) trace.
+  ShipmentSpec spec;
+  const FacilitySimulator facility({checkpoint("a"), checkpoint("b")}, spec, kCal);
+  const FacilityRun cleaned =
+      FacilitySimulator::clean_with_route_constraint(facility.run_shipment(11));
+  EXPECT_GE(cleaned.full_trace_fraction, cleaned.delivered_fraction - 1e-12);
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

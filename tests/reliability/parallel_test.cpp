@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "reliability/estimator.hpp"
+#include "reliability/scenarios.hpp"
+
+namespace rfidsim::reliability {
+namespace {
+
+const CalibrationProfile kCal = CalibrationProfile::paper2006();
+
+TEST(ParallelEstimatorTest, MatchesSerialResultsExactly) {
+  // The whole point of per-repetition RNG forking: thread scheduling must
+  // not change a single event.
+  ObjectScenarioOptions opt;
+  opt.tag_faces = {scene::BoxFace::Front};
+  const Scenario sc = make_object_tracking_scenario(opt, kCal);
+
+  const RepeatedRuns serial = run_repeated(sc, 8, 321);
+  const RepeatedRuns parallel = run_repeated_parallel(sc, 8, 321, 4);
+  ASSERT_EQ(serial.logs.size(), parallel.logs.size());
+  for (std::size_t rep = 0; rep < serial.logs.size(); ++rep) {
+    ASSERT_EQ(serial.logs[rep].size(), parallel.logs[rep].size()) << "rep " << rep;
+    for (std::size_t i = 0; i < serial.logs[rep].size(); ++i) {
+      EXPECT_EQ(serial.logs[rep][i].tag, parallel.logs[rep][i].tag);
+      EXPECT_EQ(serial.logs[rep][i].time_s, parallel.logs[rep][i].time_s);
+      EXPECT_EQ(serial.logs[rep][i].antenna_index, parallel.logs[rep][i].antenna_index);
+    }
+  }
+}
+
+TEST(ParallelEstimatorTest, SingleRoundModeMatchesToo) {
+  const Scenario sc = make_read_range_scenario(4.0, kCal);
+  const auto serial = distinct_tags_per_run(run_repeated(sc, 6, 11, true));
+  const auto parallel =
+      distinct_tags_per_run(run_repeated_parallel(sc, 6, 11, 3, true));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelEstimatorTest, MoreThreadsThanRepsIsFine) {
+  const Scenario sc = make_read_range_scenario(2.0, kCal);
+  const RepeatedRuns runs = run_repeated_parallel(sc, 2, 5, 16);
+  EXPECT_EQ(runs.logs.size(), 2u);
+}
+
+TEST(ParallelEstimatorTest, ZeroThreadsUsesHardwareConcurrency) {
+  const Scenario sc = make_read_range_scenario(2.0, kCal);
+  const RepeatedRuns runs = run_repeated_parallel(sc, 4, 5, 0);
+  EXPECT_EQ(runs.logs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

@@ -1,0 +1,131 @@
+#include "reliability/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "reliability/analytical.hpp"
+
+namespace rfidsim::reliability {
+namespace {
+
+PlannerRequest paper_request() {
+  PlannerRequest req;
+  // Paper Table 1 per-location reliabilities.
+  req.tag_position_reliabilities = {0.87, 0.83, 0.63, 0.29};
+  req.target_reliability = 0.99;
+  return req;
+}
+
+TEST(PredictTest, SingleTagSingleAntenna) {
+  const RedundancyScheme s{1, 1, 1, false};
+  EXPECT_DOUBLE_EQ(predict_scheme_reliability(s, {0.87}), 0.87);
+}
+
+TEST(PredictTest, TwoTagsUseBestPositionsFirst) {
+  const RedundancyScheme s{2, 1, 1, false};
+  EXPECT_NEAR(predict_scheme_reliability(s, {0.87, 0.83}),
+              expected_reliability({0.87, 0.83}), 1e-12);
+}
+
+TEST(PredictTest, AntennasMultiplyOpportunities) {
+  const RedundancyScheme s{1, 2, 1, false};
+  EXPECT_NEAR(predict_scheme_reliability(s, {0.87}),
+              expected_reliability({0.87, 0.87}), 1e-12);
+}
+
+TEST(PredictTest, MoreTagsThanPositionsThrows) {
+  const RedundancyScheme s{3, 1, 1, false};
+  EXPECT_THROW(predict_scheme_reliability(s, {0.87, 0.83}), ConfigError);
+}
+
+TEST(PlannerTest, InvalidInputsThrow) {
+  PlannerRequest req = paper_request();
+  req.target_reliability = 1.0;
+  EXPECT_THROW(plan_redundancy(req), ConfigError);
+  req = paper_request();
+  req.tag_position_reliabilities.clear();
+  EXPECT_THROW(plan_redundancy(req), ConfigError);
+  req = paper_request();
+  req.tag_position_reliabilities = {1.3};
+  EXPECT_THROW(plan_redundancy(req), ConfigError);
+}
+
+TEST(PlannerTest, FindsCheapestSchemeMeetingPaperTarget) {
+  PlannerRequest req = paper_request();
+  req.target_reliability = 0.98;  // 2 antennas x 0.87 -> 0.983.
+  const PlanResult result = plan_redundancy(req);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GE(result.best->predicted_reliability, 0.98);
+  // With tags at $0.05 * 10k objects vs a $200 antenna, the cheapest way
+  // to 99% from {0.87, 0.83} is one tag + second antenna ($200 extra)
+  // rather than a second tag ($500 extra).
+  EXPECT_EQ(result.best->scheme.antennas_per_portal, 2u);
+  EXPECT_EQ(result.best->scheme.tags_per_object, 1u);
+}
+
+TEST(PlannerTest, TagHeavySchemeWinsWhenInfrastructureIsExpensive) {
+  PlannerRequest req = paper_request();
+  req.cost.antenna_cost = 100000.0;
+  const PlanResult result = plan_redundancy(req);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.best->scheme.antennas_per_portal, 1u);
+  EXPECT_GE(result.best->scheme.tags_per_object, 2u);
+}
+
+TEST(PlannerTest, UnreachableTargetYieldsNoBest) {
+  PlannerRequest req;
+  req.tag_position_reliabilities = {0.1};
+  req.max_tags_per_object = 1;
+  req.max_antennas_per_portal = 1;
+  req.target_reliability = 0.99;
+  const PlanResult result = plan_redundancy(req);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_FALSE(result.candidates.empty());
+}
+
+TEST(PlannerTest, CandidatesSortedByCost) {
+  const PlanResult result = plan_redundancy(paper_request());
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i - 1].cost, result.candidates[i].cost);
+  }
+}
+
+TEST(PlannerTest, NoMultiReaderWithoutDrm) {
+  PlannerRequest req = paper_request();
+  req.max_readers_per_portal = 2;
+  req.dense_reader_mode_available = false;
+  const PlanResult result = plan_redundancy(req);
+  for (const PlannedScheme& c : result.candidates) {
+    EXPECT_EQ(c.scheme.readers_per_portal, 1u);
+  }
+}
+
+TEST(PlannerTest, DrmUnlocksMultiReaderCandidates) {
+  PlannerRequest req = paper_request();
+  req.max_readers_per_portal = 2;
+  req.dense_reader_mode_available = true;
+  const PlanResult result = plan_redundancy(req);
+  bool saw_two_readers = false;
+  for (const PlannedScheme& c : result.candidates) {
+    if (c.scheme.readers_per_portal == 2) {
+      saw_two_readers = true;
+      EXPECT_TRUE(c.scheme.dense_reader_mode);
+      EXPECT_GE(c.scheme.antennas_per_portal, 2u);  // One antenna each.
+    }
+  }
+  EXPECT_TRUE(saw_two_readers);
+}
+
+TEST(PlannerTest, PositionsAreSortedBestFirstInternally) {
+  PlannerRequest req;
+  req.tag_position_reliabilities = {0.29, 0.87};  // Deliberately unsorted.
+  req.target_reliability = 0.85;
+  const PlanResult result = plan_redundancy(req);
+  ASSERT_TRUE(result.best.has_value());
+  // One tag at the best position (0.87) suffices.
+  EXPECT_EQ(result.best->scheme.tags_per_object, 1u);
+  EXPECT_EQ(result.best->scheme.antennas_per_portal, 1u);
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

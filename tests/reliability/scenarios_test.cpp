@@ -1,0 +1,183 @@
+#include "reliability/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::reliability {
+namespace {
+
+const CalibrationProfile kCal = CalibrationProfile::paper2006();
+
+TEST(ReadRangeScenarioTest, TwentyTagGridOneAntenna) {
+  const Scenario sc = make_read_range_scenario(3.0, kCal);
+  EXPECT_EQ(sc.scene.all_tags().size(), 20u);
+  EXPECT_EQ(sc.scene.antennas.size(), 1u);
+  EXPECT_EQ(sc.registry.object_count(), 20u);
+  EXPECT_EQ(sc.registry.tag_count(), 20u);
+  EXPECT_NEAR(sc.scene.antennas[0].pose.position.y, 3.0, 1e-12);
+}
+
+TEST(ReadRangeScenarioTest, InvalidDistanceThrows) {
+  EXPECT_THROW(make_read_range_scenario(0.0, kCal), ConfigError);
+  EXPECT_THROW(make_read_range_scenario(-1.0, kCal), ConfigError);
+}
+
+TEST(IntertagScenarioTest, TenTagsAtRequestedSpacing) {
+  const Scenario sc = make_intertag_scenario(0.02, kFigure3Orientations[1], kCal);
+  const auto tags = sc.scene.all_tags();
+  ASSERT_EQ(tags.size(), 10u);
+  const auto& entity = sc.scene.entities[0];
+  const double spacing =
+      entity.tag_position(1, 0.0).distance_to(entity.tag_position(0, 0.0));
+  EXPECT_NEAR(spacing, 0.02, 1e-12);
+}
+
+TEST(IntertagScenarioTest, OrientationIsApplied) {
+  const Scenario sc = make_intertag_scenario(0.02, kFigure3Orientations[0], kCal);
+  const auto& entity = sc.scene.entities[0];
+  // Case 1: dipole axis toward the antenna (+y).
+  EXPECT_NEAR(entity.tag_dipole_axis(0, 0.0).y, 1.0, 1e-12);
+}
+
+TEST(IntertagScenarioTest, NegativeSpacingThrows) {
+  EXPECT_THROW(make_intertag_scenario(-0.01, kFigure3Orientations[0], kCal),
+               ConfigError);
+}
+
+TEST(ObjectScenarioTest, TwelveBoxesWithRequestedFaces) {
+  ObjectScenarioOptions opt;
+  opt.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+  const Scenario sc = make_object_tracking_scenario(opt, kCal);
+  EXPECT_EQ(sc.scene.entities.size(), 12u);
+  EXPECT_EQ(sc.scene.all_tags().size(), 24u);
+  EXPECT_EQ(sc.registry.object_count(), 12u);
+  // Every box has both its tags bound to it.
+  for (const auto& obj : sc.registry.objects()) {
+    EXPECT_EQ(sc.registry.tags_of(obj).size(), 2u);
+  }
+}
+
+TEST(ObjectScenarioTest, EmptyFacesThrow) {
+  ObjectScenarioOptions opt;
+  opt.tag_faces.clear();
+  EXPECT_THROW(make_object_tracking_scenario(opt, kCal), ConfigError);
+}
+
+TEST(ObjectScenarioTest, TwoAntennasFormFacingPair) {
+  ObjectScenarioOptions opt;
+  opt.portal.antenna_count = 2;
+  const Scenario sc = make_object_tracking_scenario(opt, kCal);
+  ASSERT_EQ(sc.scene.antennas.size(), 2u);
+  const auto& a0 = sc.scene.antennas[0];
+  const auto& a1 = sc.scene.antennas[1];
+  EXPECT_NEAR(a0.pose.position.distance_to(a1.pose.position), 2.0, 1e-12);
+  // They face each other.
+  EXPECT_LT(a0.pose.frame.forward.dot(a1.pose.frame.forward), -0.99);
+}
+
+TEST(ObjectScenarioTest, TwoReadersSplitAntennas) {
+  ObjectScenarioOptions opt;
+  opt.portal.antenna_count = 2;
+  opt.portal.reader_count = 2;
+  const Scenario sc = make_object_tracking_scenario(opt, kCal);
+  ASSERT_EQ(sc.portal.readers.size(), 2u);
+  EXPECT_EQ(sc.portal.readers[0].antenna_indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(sc.portal.readers[1].antenna_indices, (std::vector<std::size_t>{1}));
+  // Without DRM both land on the same channel.
+  EXPECT_EQ(sc.portal.readers[0].channel, sc.portal.readers[1].channel);
+}
+
+TEST(ObjectScenarioTest, DrmAssignsDistinctChannels) {
+  ObjectScenarioOptions opt;
+  opt.portal.antenna_count = 2;
+  opt.portal.reader_count = 2;
+  opt.portal.dense_reader_mode = true;
+  const Scenario sc = make_object_tracking_scenario(opt, kCal);
+  EXPECT_NE(sc.portal.readers[0].channel, sc.portal.readers[1].channel);
+  EXPECT_TRUE(sc.portal.readers[0].dense_reader_mode);
+}
+
+TEST(ObjectScenarioTest, MoreReadersThanAntennasThrows) {
+  ObjectScenarioOptions opt;
+  opt.portal.antenna_count = 1;
+  opt.portal.reader_count = 2;
+  EXPECT_THROW(make_object_tracking_scenario(opt, kCal), ConfigError);
+}
+
+TEST(ObjectScenarioTest, SpeedScalesPassDuration) {
+  ObjectScenarioOptions slow;
+  slow.speed_mps = 0.5;
+  ObjectScenarioOptions fast;
+  fast.speed_mps = 2.0;
+  const Scenario s1 = make_object_tracking_scenario(slow, kCal);
+  const Scenario s2 = make_object_tracking_scenario(fast, kCal);
+  EXPECT_NEAR(s1.portal.end_time_s / s2.portal.end_time_s, 4.0, 1e-9);
+}
+
+TEST(HumanScenarioTest, SubjectsAndSpots) {
+  HumanScenarioOptions opt;
+  opt.subject_count = 2;
+  opt.tag_spots = {scene::BodySpot::Front, scene::BodySpot::Back};
+  const Scenario sc = make_human_tracking_scenario(opt, kCal);
+  EXPECT_EQ(sc.scene.entities.size(), 2u);
+  EXPECT_EQ(sc.scene.all_tags().size(), 4u);
+  EXPECT_EQ(sc.registry.object_count(), 2u);
+}
+
+TEST(HumanScenarioTest, CloserSubjectIsOnAntennaSide) {
+  HumanScenarioOptions opt;
+  opt.subject_count = 2;
+  const Scenario sc = make_human_tracking_scenario(opt, kCal);
+  const double antenna_y = sc.scene.antennas[0].pose.position.y;
+  const double y0 = sc.scene.entities[0].pose_at(0.0).position.y;
+  const double y1 = sc.scene.entities[1].pose_at(0.0).position.y;
+  EXPECT_GT(antenna_y, 0.0);
+  EXPECT_GT(y0, y1);  // Subject 0 is closer to the +y antenna.
+}
+
+TEST(HumanScenarioTest, InvalidCountsThrow) {
+  HumanScenarioOptions opt;
+  opt.subject_count = 3;
+  EXPECT_THROW(make_human_tracking_scenario(opt, kCal), ConfigError);
+  opt.subject_count = 1;
+  opt.tag_spots.clear();
+  EXPECT_THROW(make_human_tracking_scenario(opt, kCal), ConfigError);
+}
+
+TEST(HumanScenarioTest, BadgeTagsDoNotTouchTheBody) {
+  HumanScenarioOptions opt;
+  const Scenario sc = make_human_tracking_scenario(opt, kCal);
+  for (const auto& tag : sc.scene.entities[0].tags()) {
+    EXPECT_GT(tag.mount.backing_gap_m, 0.0);
+    EXPECT_EQ(tag.mount.backing_material, rf::Material::HumanBody);
+  }
+}
+
+TEST(PortalConfigTest, CalibrationPropagates) {
+  PortalOptions opt;
+  const sys::PortalConfig cfg = make_portal_config(kCal, opt, 1, 5.0);
+  EXPECT_EQ(cfg.readers.size(), 1u);
+  EXPECT_EQ(cfg.end_time_s, 5.0);
+  EXPECT_EQ(cfg.shadow_sigma_db, kCal.shadow_sigma_db);
+  EXPECT_EQ(cfg.readers[0].radio.tx_power.value(), kCal.radio.tx_power.value());
+}
+
+TEST(PortalConfigTest, ValidationErrors) {
+  PortalOptions opt;
+  opt.reader_count = 0;
+  EXPECT_THROW(make_portal_config(kCal, opt, 1, 5.0), ConfigError);
+  opt.reader_count = 2;
+  EXPECT_THROW(make_portal_config(kCal, opt, 1, 5.0), ConfigError);
+}
+
+TEST(ScenarioDescriptionsTest, AreNonEmpty) {
+  EXPECT_FALSE(make_read_range_scenario(1.0, kCal).description.empty());
+  EXPECT_FALSE(make_intertag_scenario(0.02, kFigure3Orientations[0], kCal)
+                   .description.empty());
+  EXPECT_FALSE(make_object_tracking_scenario({}, kCal).description.empty());
+  EXPECT_FALSE(make_human_tracking_scenario({}, kCal).description.empty());
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

@@ -1,0 +1,64 @@
+#include "reliability/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::reliability {
+namespace {
+
+TEST(SchemeTest, ReadOpportunitiesIsProduct) {
+  const RedundancyScheme s{.tags_per_object = 2, .antennas_per_portal = 2};
+  EXPECT_EQ(s.read_opportunities(), 4u);
+}
+
+TEST(SchemeTest, LabelsReadNaturally) {
+  EXPECT_EQ((RedundancyScheme{1, 1, 1, false}.label()), "1 antenna, 1 tag");
+  EXPECT_EQ((RedundancyScheme{2, 2, 1, false}.label()), "2 antennas, 2 tags");
+  EXPECT_EQ((RedundancyScheme{1, 2, 2, false}.label()),
+            "2 antennas, 1 tag, 2 readers (no DRM)");
+  EXPECT_EQ((RedundancyScheme{1, 2, 2, true}.label()),
+            "2 antennas, 1 tag, 2 readers (DRM)");
+}
+
+TEST(SchemeTest, Figure5SchemesMatchPaper) {
+  const auto schemes = figure5_schemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0].read_opportunities(), 1u);
+  EXPECT_EQ(schemes[3].read_opportunities(), 4u);
+  for (const auto& s : schemes) {
+    EXPECT_EQ(s.readers_per_portal, 1u);
+    EXPECT_LE(s.tags_per_object, 2u);
+    EXPECT_LE(s.antennas_per_portal, 2u);
+  }
+}
+
+TEST(SchemeTest, Figure6SchemesIncludeFourTags) {
+  const auto schemes = figure6_schemes();
+  ASSERT_EQ(schemes.size(), 6u);
+  bool has_four_tags = false;
+  for (const auto& s : schemes) {
+    if (s.tags_per_object == 4) has_four_tags = true;
+  }
+  EXPECT_TRUE(has_four_tags);
+}
+
+TEST(CostModelTest, TagsScaleWithVolume) {
+  CostModel cost;
+  cost.tag_cost = 0.05;
+  cost.objects_per_horizon = 10000.0;
+  cost.antenna_cost = 200.0;
+  cost.reader_cost = 1500.0;
+  const RedundancyScheme one_tag{1, 1, 1, false};
+  const RedundancyScheme two_tags{2, 1, 1, false};
+  EXPECT_NEAR(cost.total_cost(two_tags) - cost.total_cost(one_tag), 500.0, 1e-9);
+}
+
+TEST(CostModelTest, InfrastructureIsPerPortal) {
+  CostModel cost;
+  const RedundancyScheme base{1, 1, 1, false};
+  const RedundancyScheme extra_antenna{1, 2, 1, false};
+  EXPECT_NEAR(cost.total_cost(extra_antenna) - cost.total_cost(base),
+              cost.antenna_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfidsim::reliability

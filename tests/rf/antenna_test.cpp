@@ -1,0 +1,113 @@
+#include "rf/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace rfidsim::rf {
+namespace {
+
+constexpr double kDeg = std::numbers::pi / 180.0;
+
+TEST(ReaderAntennaTest, BoresightGainIsPeak) {
+  const ReaderAntennaPattern antenna;
+  EXPECT_DOUBLE_EQ(antenna.gain(0.0).value(), antenna.params().boresight_gain_dbi);
+}
+
+TEST(ReaderAntennaTest, ThreeDbDownAtHalfBeamwidth) {
+  ReaderAntennaPattern::Params p;
+  p.boresight_gain_dbi = 6.0;
+  p.beamwidth_deg = 65.0;
+  const ReaderAntennaPattern antenna(p);
+  EXPECT_NEAR(antenna.gain(32.5 * kDeg).value(), 3.0, 0.05);
+}
+
+TEST(ReaderAntennaTest, GainIsMonotoneOffBoresight) {
+  const ReaderAntennaPattern antenna;
+  double prev = antenna.gain(0.0).value();
+  for (double deg = 5.0; deg <= 120.0; deg += 5.0) {
+    const double g = antenna.gain(deg * kDeg).value();
+    EXPECT_LE(g, prev + 1e-9) << "at " << deg << " deg";
+    prev = g;
+  }
+}
+
+TEST(ReaderAntennaTest, BacklobeFloor) {
+  const ReaderAntennaPattern antenna;
+  EXPECT_EQ(antenna.gain(std::numbers::pi).value(), antenna.params().backlobe_floor_dbi);
+  EXPECT_EQ(antenna.gain(100.0 * kDeg).value(), antenna.params().backlobe_floor_dbi);
+}
+
+TEST(ReaderAntennaTest, NegativeAngleIsSymmetric) {
+  const ReaderAntennaPattern antenna;
+  EXPECT_EQ(antenna.gain(-0.4).value(), antenna.gain(0.4).value());
+}
+
+TEST(ReaderAntennaTest, GainTowardUsesBoresightAngle) {
+  const ReaderAntennaPattern antenna;
+  Pose pose;
+  pose.position = {0.0, 0.0, 0.0};
+  pose.frame.forward = {0.0, 1.0, 0.0};
+  // Point on boresight.
+  EXPECT_DOUBLE_EQ(antenna.gain_toward(pose, {0.0, 3.0, 0.0}).value(),
+                   antenna.params().boresight_gain_dbi);
+  // Point abeam: 90 degrees off.
+  EXPECT_EQ(antenna.gain_toward(pose, {3.0, 0.0, 0.0}).value(),
+            antenna.params().backlobe_floor_dbi);
+}
+
+TEST(DipoleTest, BroadsideIsPeakGain) {
+  const DipoleTagAntenna dipole;
+  // Axis z, direction x: broadside.
+  EXPECT_NEAR(dipole.gain({0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}).value(), 2.15, 1e-9);
+}
+
+TEST(DipoleTest, AxialNullIsFloored) {
+  const DipoleTagAntenna dipole;
+  const double g = dipole.gain({1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}).value();
+  EXPECT_NEAR(g, 2.15 - 25.0, 1e-9);
+}
+
+TEST(DipoleTest, PatternFollowsSinSquared) {
+  const DipoleTagAntenna dipole;
+  // 30 degrees from axis: sin^2 = 0.25 -> -6.02 dB from peak.
+  const Vec3 axis{1.0, 0.0, 0.0};
+  const Vec3 dir{std::cos(30.0 * kDeg), std::sin(30.0 * kDeg), 0.0};
+  EXPECT_NEAR(dipole.gain(axis, dir).value(), 2.15 - 6.02, 0.01);
+}
+
+TEST(DipoleTest, SymmetricFrontBack) {
+  const DipoleTagAntenna dipole;
+  const Vec3 axis{0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dipole.gain(axis, {0.0, 1.0, 0.5}).value(),
+                   dipole.gain(axis, {0.0, -1.0, -0.5}).value());
+}
+
+TEST(PolarizationTest, CircularReaderCostsThreeDb) {
+  const Decibel loss = polarization_mismatch(true, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0},
+                                             {0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(loss.value(), 3.0);
+}
+
+TEST(PolarizationTest, AlignedLinearHasNoLoss) {
+  // Reader polarization z, tag axis z, propagation x.
+  const Decibel loss = polarization_mismatch(false, {0.0, 0.0, 1.0}, {0.0, 0.0, 1.0},
+                                             {1.0, 0.0, 0.0});
+  EXPECT_NEAR(loss.value(), 0.0, 1e-9);
+}
+
+TEST(PolarizationTest, CrossedLinearHitsFloor) {
+  const Decibel loss = polarization_mismatch(false, {0.0, 0.0, 1.0}, {0.0, 1.0, 0.0},
+                                             {1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(loss.value(), 20.0);
+}
+
+TEST(PolarizationTest, FortyFiveDegreesLinearLosesThreeDb) {
+  const Vec3 diag = Vec3{0.0, 1.0, 1.0}.normalized();
+  const Decibel loss =
+      polarization_mismatch(false, {0.0, 0.0, 1.0}, diag, {1.0, 0.0, 0.0});
+  EXPECT_NEAR(loss.value(), 3.01, 0.01);
+}
+
+}  // namespace
+}  // namespace rfidsim::rf

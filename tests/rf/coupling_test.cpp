@@ -1,0 +1,95 @@
+#include "rf/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::rf {
+namespace {
+
+TEST(CouplingTest, ContactLossAtZeroSpacing) {
+  const CouplingParams p;
+  EXPECT_NEAR(pairwise_coupling_loss(0.0, p).value(), p.contact_loss_db, 1e-9);
+}
+
+TEST(CouplingTest, DecaysMonotonically) {
+  double prev = 1e9;
+  for (double s = 0.0; s <= 0.06; s += 0.002) {
+    const double loss = pairwise_coupling_loss(s).value();
+    EXPECT_LE(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(CouplingTest, NegligibleBeyondCutoff) {
+  const CouplingParams p;
+  // Far enough that the exponential is below the cutoff.
+  EXPECT_EQ(pairwise_coupling_loss(0.2, p).value(), 0.0);
+}
+
+TEST(CouplingTest, AlignmentScalesLoss) {
+  const double parallel = pairwise_coupling_loss(0.01, {}, 1.0).value();
+  const double oblique = pairwise_coupling_loss(0.01, {}, 0.5).value();
+  const double orthogonal = pairwise_coupling_loss(0.01, {}, 0.0).value();
+  EXPECT_NEAR(oblique, parallel / 2.0, 1e-9);
+  EXPECT_EQ(orthogonal, 0.0);
+}
+
+TEST(CouplingTest, InvalidAlignmentThrows) {
+  EXPECT_THROW(pairwise_coupling_loss(0.01, {}, -0.1), ConfigError);
+  EXPECT_THROW(pairwise_coupling_loss(0.01, {}, 1.1), ConfigError);
+}
+
+TEST(CouplingTest, NegativeSpacingClampsToContact) {
+  const CouplingParams p;
+  EXPECT_NEAR(pairwise_coupling_loss(-0.01, p).value(), p.contact_loss_db, 1e-9);
+}
+
+TEST(TotalCouplingTest, SumsNeighbours) {
+  const CouplingParams p;
+  const double one = total_coupling_loss({0.02}, p).value();
+  const double two = total_coupling_loss({0.02, 0.02}, p).value();
+  EXPECT_NEAR(two, 2.0 * one, 1e-9);
+}
+
+TEST(TotalCouplingTest, CapIsApplied) {
+  const CouplingParams p;
+  const double total =
+      total_coupling_loss({0.0, 0.0, 0.0, 0.0, 0.0}, p).value();
+  EXPECT_NEAR(total, p.contact_loss_db * 1.5, 1e-9);
+}
+
+TEST(TotalCouplingTest, EmptyNeighboursIsZero) {
+  EXPECT_EQ(total_coupling_loss({}).value(), 0.0);
+}
+
+TEST(MinimumSafeSpacingTest, InverseOfPairwiseLoss) {
+  const CouplingParams p;
+  const double spacing = minimum_safe_spacing_m(3.0, p);
+  EXPECT_NEAR(pairwise_coupling_loss(spacing, p).value(), 3.0, 1e-6);
+}
+
+TEST(MinimumSafeSpacingTest, PaperCalibrationLandsIn20to40mm) {
+  // With the paper2006 coupling constants (30 dB contact, 12 mm scale), a
+  // 3 dB tolerance demands roughly 28 mm — inside the paper's measured
+  // 20-40 mm band.
+  CouplingParams p;
+  p.contact_loss_db = 30.0;
+  p.decay_scale_m = 0.012;
+  const double spacing = minimum_safe_spacing_m(3.0, p);
+  EXPECT_GT(spacing, 0.020);
+  EXPECT_LT(spacing, 0.040);
+}
+
+TEST(MinimumSafeSpacingTest, HighToleranceNeedsNoSpacing) {
+  const CouplingParams p;
+  EXPECT_EQ(minimum_safe_spacing_m(p.contact_loss_db + 1.0, p), 0.0);
+}
+
+TEST(MinimumSafeSpacingTest, InvalidToleranceThrows) {
+  EXPECT_THROW(minimum_safe_spacing_m(0.0), ConfigError);
+  EXPECT_THROW(minimum_safe_spacing_m(-2.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::rf

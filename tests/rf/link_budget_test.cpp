@@ -1,0 +1,153 @@
+#include "rf/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rfidsim::rf {
+namespace {
+
+PathTerms clean_terms(double distance_m) {
+  PathTerms t;
+  t.distance_m = distance_m;
+  t.reader_gain = Decibel(6.0);
+  t.tag_gain = Decibel(2.15);
+  t.polarization_loss = Decibel(3.0);
+  t.material_loss = Decibel(0.0);
+  t.coupling_loss = Decibel(0.0);
+  t.blockage_loss = Decibel(0.0);
+  t.reflection_gain = Decibel(0.0);
+  t.multipath_gain = Decibel(0.0);
+  return t;
+}
+
+TEST(LinkBudgetTest, ForwardPowerAtOneMetreMatchesHandCalculation) {
+  RadioParams params;  // 30 dBm, 0.8 dB cable, -11 dBm threshold.
+  const LinkBudget budget(params);
+  const LinkResult fwd = budget.forward(clean_terms(1.0));
+  // 30 - 0.8 + 6 + 2.15 - 31.67 - 3 = 2.68 dBm.
+  EXPECT_NEAR(fwd.received.value(), 2.68, 0.05);
+  EXPECT_NEAR(fwd.margin.value(), 13.68, 0.05);
+  EXPECT_TRUE(fwd.closed);
+}
+
+TEST(LinkBudgetTest, ForwardLinkOpensWithDistance) {
+  const LinkBudget budget;
+  EXPECT_TRUE(budget.forward(clean_terms(1.0)).closed);
+  EXPECT_FALSE(budget.forward(clean_terms(50.0)).closed);
+}
+
+TEST(LinkBudgetTest, LossesReduceForwardPower) {
+  const LinkBudget budget;
+  PathTerms t = clean_terms(1.0);
+  const double base = budget.forward(t).received.value();
+  t.material_loss = Decibel(10.0);
+  EXPECT_NEAR(budget.forward(t).received.value(), base - 10.0, 1e-9);
+  t.coupling_loss = Decibel(5.0);
+  EXPECT_NEAR(budget.forward(t).received.value(), base - 15.0, 1e-9);
+  t.reflection_gain = Decibel(2.0);
+  EXPECT_NEAR(budget.forward(t).received.value(), base - 13.0, 1e-9);
+}
+
+TEST(LinkBudgetTest, ReverseRetraversesPathLoss) {
+  const LinkBudget budget;
+  const PathTerms t = clean_terms(2.0);
+  const LinkResult fwd = budget.forward(t);
+  const LinkResult rev = budget.reverse(t, fwd.received);
+  // Reverse = tag power - backscatter loss + gains - path loss - cable.
+  const double fspl2m = free_space_path_loss(2.0, 915e6).value();
+  const double expected =
+      fwd.received.value() - 6.0 + 2.15 + 6.0 - fspl2m - 3.0 - 0.8;
+  EXPECT_NEAR(rev.received.value(), expected, 0.05);
+}
+
+TEST(LinkBudgetTest, ForwardLimitedAtPortalRange) {
+  // The defining property of passive UHF: at the range where the tag just
+  // powers up, the reader still has tens of dB of reverse margin.
+  const LinkBudget budget;
+  // Find roughly where the forward link closes marginally.
+  double d = 1.0;
+  while (budget.forward(clean_terms(d)).margin.value() > 0.5 && d < 30.0) d += 0.1;
+  const LinkResult fwd = budget.forward(clean_terms(d));
+  const LinkResult rev = budget.reverse(clean_terms(d), fwd.received);
+  EXPECT_GT(rev.margin.value(), fwd.margin.value() + 10.0);
+}
+
+TEST(LinkBudgetTest, LimitingMarginIsMinOfBoth) {
+  const LinkBudget budget;
+  const PathTerms t = clean_terms(3.0);
+  const LinkResult fwd = budget.forward(t);
+  const LinkResult rev = budget.reverse(t, fwd.received);
+  const Decibel lim = budget.limiting_margin(t);
+  EXPECT_DOUBLE_EQ(lim.value(), std::min(fwd.margin.value(), rev.margin.value()));
+}
+
+TEST(LinkBudgetTest, AttemptProbabilityMatchesFadingModel) {
+  const LinkBudget budget;
+  const ShadowFading fading(4.0);
+  const PathTerms t = clean_terms(4.0);
+  const double p = budget.attempt_success_probability(t, fading);
+  EXPECT_NEAR(p, fading.exceed_probability(budget.limiting_margin(t)), 1e-12);
+}
+
+TEST(LinkBudgetTest, SampledAttemptsConvergeToProbability) {
+  const LinkBudget budget;
+  const ShadowFading fading(4.0);
+  const PathTerms t = clean_terms(5.0);
+  Rng rng(3);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (budget.sample_attempt(t, fading, rng)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n,
+              budget.attempt_success_probability(t, fading), 0.01);
+}
+
+TEST(LinkBudgetTest, PathLossExponentSteepensDecay) {
+  RadioParams free_space;
+  free_space.path_loss_exponent = 2.0;
+  RadioParams cluttered;
+  cluttered.path_loss_exponent = 2.5;
+  const LinkBudget fs(free_space);
+  const LinkBudget cl(cluttered);
+  // Same at the 1 m reference...
+  EXPECT_NEAR(fs.forward(clean_terms(1.0)).received.value(),
+              cl.forward(clean_terms(1.0)).received.value(), 1e-9);
+  // ...but 5 dB apart at 10 m.
+  EXPECT_NEAR(fs.forward(clean_terms(10.0)).received.value() -
+                  cl.forward(clean_terms(10.0)).received.value(),
+              5.0, 1e-6);
+}
+
+TEST(LinkBudgetTest, HigherTxPowerExtendsRange) {
+  RadioParams low;
+  low.tx_power = DbmPower(20.0);
+  RadioParams high;
+  high.tx_power = DbmPower(30.0);
+  const PathTerms t = clean_terms(4.0);
+  EXPECT_NEAR(LinkBudget(high).forward(t).margin.value(),
+              LinkBudget(low).forward(t).margin.value() + 10.0, 1e-9);
+}
+
+/// Property sweep: margins are monotone non-increasing in distance for any
+/// radio profile.
+class LinkBudgetDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkBudgetDistanceSweep, ForwardMarginDecreasesWithDistance) {
+  RadioParams params;
+  params.path_loss_exponent = GetParam();
+  const LinkBudget budget(params);
+  double prev = 1e9;
+  for (double d = 0.5; d <= 12.0; d += 0.5) {
+    const double m = budget.forward(clean_terms(d)).margin.value();
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, LinkBudgetDistanceSweep,
+                         ::testing::Values(2.0, 2.2, 2.3, 2.6, 3.0));
+
+}  // namespace
+}  // namespace rfidsim::rf

@@ -1,0 +1,118 @@
+#include "rf/material.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::rf {
+namespace {
+
+TEST(MaterialNameTest, AllMaterialsNamed) {
+  EXPECT_EQ(material_name(Material::Air), "air");
+  EXPECT_EQ(material_name(Material::Cardboard), "cardboard");
+  EXPECT_EQ(material_name(Material::Foam), "foam");
+  EXPECT_EQ(material_name(Material::Plastic), "plastic");
+  EXPECT_EQ(material_name(Material::Metal), "metal");
+  EXPECT_EQ(material_name(Material::Liquid), "liquid");
+  EXPECT_EQ(material_name(Material::HumanBody), "human body");
+}
+
+TEST(PenetrationTest, AirIsTransparent) {
+  EXPECT_EQ(penetration_loss(Material::Air, 1.0).value(), 0.0);
+}
+
+TEST(PenetrationTest, ZeroThicknessIsFree) {
+  EXPECT_EQ(penetration_loss(Material::Metal, 0.0).value(), 0.0);
+  EXPECT_EQ(penetration_loss(Material::Liquid, -0.1).value(), 0.0);
+}
+
+TEST(PenetrationTest, MetalIsOpaqueRegardlessOfThickness) {
+  EXPECT_EQ(penetration_loss(Material::Metal, 0.0001).value(), 60.0);
+  EXPECT_EQ(penetration_loss(Material::Metal, 1.0).value(), 60.0);
+}
+
+TEST(PenetrationTest, LossyDielectricsScaleWithThickness) {
+  const double thin = penetration_loss(Material::HumanBody, 0.10).value();
+  const double thick = penetration_loss(Material::HumanBody, 0.20).value();
+  EXPECT_NEAR(thick, 2.0 * thin, 1e-9);
+  EXPECT_NEAR(thin, 30.0, 1e-9);  // 3 dB/cm * 10 cm.
+}
+
+TEST(PenetrationTest, OrderingMatchesPhysics) {
+  const double d = 0.05;
+  EXPECT_LT(penetration_loss(Material::Foam, d).value(),
+            penetration_loss(Material::Cardboard, d).value());
+  EXPECT_LT(penetration_loss(Material::Cardboard, d).value(),
+            penetration_loss(Material::HumanBody, d).value());
+  EXPECT_LT(penetration_loss(Material::HumanBody, d).value(),
+            penetration_loss(Material::Liquid, d).value());
+}
+
+TEST(ReflectionCoefficientTest, Ordering) {
+  EXPECT_EQ(reflection_coefficient(Material::Air), 0.0);
+  EXPECT_GT(reflection_coefficient(Material::Metal), 0.9);
+  EXPECT_GT(reflection_coefficient(Material::Metal),
+            reflection_coefficient(Material::Liquid));
+  EXPECT_GT(reflection_coefficient(Material::Liquid),
+            reflection_coefficient(Material::HumanBody));
+  EXPECT_GT(reflection_coefficient(Material::HumanBody),
+            reflection_coefficient(Material::Cardboard));
+}
+
+TEST(BackingLossTest, AirBackingIsFree) {
+  EXPECT_EQ(backing_loss(Material::Air, 0.0).value(), 0.0);
+}
+
+TEST(BackingLossTest, FlushMetalIsSevere) {
+  EXPECT_GE(backing_loss(Material::Metal, 0.0).value(), 30.0);
+}
+
+TEST(BackingLossTest, DecaysWithGap) {
+  const double flush = backing_loss(Material::Metal, 0.0).value();
+  const double spaced = backing_loss(Material::Metal, 0.03).value();
+  EXPECT_LT(spaced, flush / 4.0);
+}
+
+TEST(ImageFactorTest, NoBackingNoEffect) {
+  EXPECT_EQ(image_factor_gain(Material::Air, 0.01, 1.0).value(), 0.0);
+}
+
+TEST(ImageFactorTest, FlushMetalGrazingIsDeeplyCancelled) {
+  // Small gap, grazing departure: direct and image nearly cancel.
+  const double g = image_factor_gain(Material::Metal, 0.005, 0.05).value();
+  EXPECT_LT(g, -20.0);
+}
+
+TEST(ImageFactorTest, QuarterWaveBroadsideIsConstructive) {
+  // gap = lambda/4, sin_alpha = 1: phase difference pi -> in-phase image.
+  const double lambda = wavelength_m(915e6);
+  const double g = image_factor_gain(Material::Metal, lambda / 4.0, 1.0).value();
+  EXPECT_NEAR(g, 20.0 * std::log10(1.95), 0.05);
+}
+
+TEST(ImageFactorTest, FloorIsRespected) {
+  const double g = image_factor_gain(Material::Metal, 0.0, 0.0, 915e6, -25.0).value();
+  EXPECT_GE(g, -25.0);
+}
+
+TEST(ImageFactorTest, WeakerReflectorCancelsLess) {
+  const double metal = image_factor_gain(Material::Metal, 0.005, 0.1).value();
+  const double body = image_factor_gain(Material::HumanBody, 0.005, 0.1).value();
+  EXPECT_LT(metal, body);
+}
+
+TEST(ImageFactorTest, MoreGapLessCancellationAtBroadside) {
+  const double close = image_factor_gain(Material::Metal, 0.003, 1.0).value();
+  const double far = image_factor_gain(Material::Metal, 0.03, 1.0).value();
+  EXPECT_LT(close, far);
+}
+
+TEST(IsReflectiveTest, MetalLiquidBodyReflect) {
+  EXPECT_TRUE(is_reflective(Material::Metal));
+  EXPECT_TRUE(is_reflective(Material::Liquid));
+  EXPECT_TRUE(is_reflective(Material::HumanBody));
+  EXPECT_FALSE(is_reflective(Material::Cardboard));
+  EXPECT_FALSE(is_reflective(Material::Air));
+  EXPECT_FALSE(is_reflective(Material::Foam));
+}
+
+}  // namespace
+}  // namespace rfidsim::rf

@@ -1,0 +1,133 @@
+#include "rf/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rfidsim::rf {
+namespace {
+
+TEST(FsplTest, KnownValueAt1m915MHz) {
+  // 20*log10(4*pi*1/0.3276) = 31.67 dB.
+  EXPECT_NEAR(free_space_path_loss(1.0, 915e6).value(), 31.67, 0.05);
+}
+
+TEST(FsplTest, SixDbPerDoubling) {
+  const double l1 = free_space_path_loss(2.0, 915e6).value();
+  const double l2 = free_space_path_loss(4.0, 915e6).value();
+  EXPECT_NEAR(l2 - l1, 6.02, 0.01);
+}
+
+TEST(FsplTest, HigherFrequencyLosesMore) {
+  EXPECT_GT(free_space_path_loss(3.0, 2.4e9).value(),
+            free_space_path_loss(3.0, 915e6).value());
+}
+
+TEST(FsplTest, TinyDistanceIsClamped) {
+  EXPECT_EQ(free_space_path_loss(0.0, 915e6).value(),
+            free_space_path_loss(0.01, 915e6).value());
+}
+
+TEST(TwoRayTest, ZeroReflectionIsTransparent) {
+  TwoRayGround::Params p;
+  p.reflection_coefficient = 0.0;
+  const TwoRayGround model(p);
+  EXPECT_EQ(model.gain(1.0, 1.0, 3.0, 915e6).value(), 0.0);
+}
+
+TEST(TwoRayTest, GainIsBoundedByReflectionCoefficient) {
+  const TwoRayGround model;
+  const double gamma = model.params().reflection_coefficient;
+  const double max_gain = 20.0 * std::log10(1.0 + gamma);
+  for (double d = 0.5; d < 12.0; d += 0.1) {
+    const double g = model.gain(1.0, 1.0, d, 915e6).value();
+    EXPECT_LE(g, max_gain + 1e-9) << "at d=" << d;
+    EXPECT_GE(g, model.params().floor_db) << "at d=" << d;
+  }
+}
+
+TEST(TwoRayTest, FadeFloorIsRespected) {
+  TwoRayGround::Params p;
+  p.reflection_coefficient = 0.99;  // Near-perfect mirror: deep nulls exist.
+  p.floor_db = -10.0;
+  const TwoRayGround model(p);
+  double deepest = 0.0;
+  for (double d = 0.5; d < 20.0; d += 0.01) {
+    deepest = std::min(deepest, model.gain(1.0, 1.0, d, 915e6).value());
+  }
+  EXPECT_GE(deepest, -10.0);
+  EXPECT_LT(deepest, -9.0);  // The floor is actually reached somewhere.
+}
+
+TEST(TwoRayTest, RippleAlternatesWithDistance) {
+  const TwoRayGround model;
+  bool saw_positive = false;
+  bool saw_negative = false;
+  for (double d = 0.5; d < 15.0; d += 0.05) {
+    const double g = model.gain(1.0, 1.0, d, 915e6).value();
+    saw_positive |= g > 0.5;
+    saw_negative |= g < -0.5;
+  }
+  EXPECT_TRUE(saw_positive);
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(ShadowFadingTest, DisabledFadingIsDeterministic) {
+  const ShadowFading fading(0.0);
+  Rng rng(1);
+  EXPECT_EQ(fading.draw(rng).value(), 0.0);
+  EXPECT_EQ(fading.exceed_probability(Decibel(0.1)), 1.0);
+  EXPECT_EQ(fading.exceed_probability(Decibel(-0.1)), 0.0);
+}
+
+TEST(ShadowFadingTest, ExceedProbabilityAtZeroMarginIsHalf) {
+  const ShadowFading fading(4.0);
+  EXPECT_NEAR(fading.exceed_probability(Decibel(0.0)), 0.5, 1e-12);
+}
+
+TEST(ShadowFadingTest, ExceedProbabilityIsSymmetric) {
+  const ShadowFading fading(4.0);
+  const double up = fading.exceed_probability(Decibel(3.0));
+  const double down = fading.exceed_probability(Decibel(-3.0));
+  EXPECT_NEAR(up + down, 1.0, 1e-12);
+}
+
+TEST(ShadowFadingTest, ExceedProbabilityIsMonotoneInMargin) {
+  const ShadowFading fading(4.0);
+  double prev = 0.0;
+  for (double m = -12.0; m <= 12.0; m += 1.0) {
+    const double p = fading.exceed_probability(Decibel(m));
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ShadowFadingTest, DrawStatisticsMatchSigma) {
+  const ShadowFading fading(4.0);
+  Rng rng(5);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = fading.draw(rng).value();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 4.0, 0.1);
+}
+
+TEST(ShadowFadingTest, EmpiricalExceedRateMatchesFormula) {
+  const ShadowFading fading(4.0);
+  Rng rng(5);
+  const Decibel margin(2.5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if ((margin + fading.draw(rng)).value() > 0.0) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, fading.exceed_probability(margin), 0.01);
+}
+
+}  // namespace
+}  // namespace rfidsim::rf

@@ -1,0 +1,178 @@
+#include "scene/entity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rfidsim::scene {
+namespace {
+
+Pose lane_pose(Vec3 position) {
+  Pose p;
+  p.position = position;
+  p.frame.forward = {1.0, 0.0, 0.0};
+  p.frame.up = {0.0, 0.0, 1.0};
+  return p;
+}
+
+Entity make_box_entity(Vec3 position = {0.0, 0.0, 0.0}) {
+  return Entity("box", BoxBody{{0.4, 0.4, 0.3}}, rf::Material::Metal,
+                std::make_unique<StaticTrajectory>(lane_pose(position)),
+                /*content_fill=*/1.0);
+}
+
+TEST(EntityTest, NullTrajectoryThrows) {
+  EXPECT_THROW(Entity("x", std::monostate{}, rf::Material::Air, nullptr), ConfigError);
+}
+
+TEST(EntityTest, InvalidContentFillThrows) {
+  EXPECT_THROW(Entity("x", BoxBody{}, rf::Material::Air,
+                      std::make_unique<StaticTrajectory>(Pose{}), 1.5),
+               ConfigError);
+  EXPECT_THROW(Entity("x", BoxBody{}, rf::Material::Air,
+                      std::make_unique<StaticTrajectory>(Pose{}), -0.1),
+               ConfigError);
+}
+
+TEST(EntityTest, AddTagReturnsSequentialIndices) {
+  Entity e = make_box_entity();
+  EXPECT_EQ(e.add_tag(Tag{TagId{1}, {}}), 0u);
+  EXPECT_EQ(e.add_tag(Tag{TagId{2}, {}}), 1u);
+  EXPECT_EQ(e.tags().size(), 2u);
+}
+
+TEST(EntityTest, TagWorldPositionFollowsEntity) {
+  Entity e("box", BoxBody{{0.4, 0.4, 0.3}}, rf::Material::Metal,
+           std::make_unique<LinearTrajectory>(lane_pose({0.0, 0.0, 0.0}),
+                                              Vec3{1.0, 0.0, 0.0}));
+  TagMount m;
+  m.local_position = {0.2, 0.1, 0.15};
+  e.add_tag(Tag{TagId{1}, m});
+  const Vec3 p0 = e.tag_position(0, 0.0);
+  EXPECT_NEAR(p0.x, 0.2, 1e-12);
+  EXPECT_NEAR(p0.y, 0.1, 1e-12);
+  EXPECT_NEAR(p0.z, 0.15, 1e-12);
+  const Vec3 p2 = e.tag_position(0, 2.0);
+  EXPECT_NEAR(p2.x, 2.2, 1e-12);
+}
+
+TEST(EntityTest, LocalAxesMapToWorld) {
+  Entity e = make_box_entity();
+  TagMount m;
+  m.local_dipole_axis = {0.0, 1.0, 0.0};
+  m.local_patch_normal = {0.0, 0.0, 1.0};
+  e.add_tag(Tag{TagId{1}, m});
+  // Identity-oriented lane frame: local y -> world y, local z -> world z.
+  EXPECT_NEAR(e.tag_dipole_axis(0, 0.0).y, 1.0, 1e-12);
+  EXPECT_NEAR(e.tag_patch_normal(0, 0.0).z, 1.0, 1e-12);
+}
+
+TEST(EntityTest, TagIndexOutOfRangeThrows) {
+  Entity e = make_box_entity();
+  EXPECT_THROW(e.tag_position(0, 0.0), ConfigError);
+  EXPECT_THROW(e.tag_dipole_axis(0, 0.0), ConfigError);
+  EXPECT_THROW(e.tag_patch_normal(0, 0.0), ConfigError);
+}
+
+TEST(EntityTest, BodyChordThroughBox) {
+  const Entity e = make_box_entity();
+  const Segment seg{{0.0, -5.0, 0.0}, {0.0, 5.0, 0.0}};
+  const auto chord = e.body_chord(seg, 0.0);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 0.4, 1e-12);
+}
+
+TEST(EntityTest, ContentFillShrinksChord) {
+  Entity e("box", BoxBody{{0.4, 0.4, 0.3}}, rf::Material::Metal,
+           std::make_unique<StaticTrajectory>(lane_pose({0.0, 0.0, 0.0})),
+           /*content_fill=*/0.5);
+  const Segment seg{{0.0, -5.0, 0.0}, {0.0, 5.0, 0.0}};
+  const auto chord = e.body_chord(seg, 0.0);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 0.2, 1e-12);
+}
+
+TEST(EntityTest, SkipMarginCanEliminateChord) {
+  const Entity e = make_box_entity();
+  // A segment grazing just inside the face plane.
+  const Segment seg{{-5.0, 0.19, 0.0}, {5.0, 0.19, 0.0}};
+  EXPECT_TRUE(e.body_chord(seg, 0.0).has_value());
+  EXPECT_FALSE(e.body_chord(seg, 0.0, 0.02).has_value());
+}
+
+TEST(EntityTest, NoBodyNoChord) {
+  Entity e("bare", std::monostate{}, rf::Material::Air,
+           std::make_unique<StaticTrajectory>(Pose{}));
+  EXPECT_FALSE(e.body_chord({{-1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}}, 0.0).has_value());
+  EXPECT_EQ(e.body_radius(), 0.0);
+}
+
+TEST(EntityTest, CylinderBodyChordAndRadius) {
+  Entity e("person", CylinderBody{0.22, 1.75}, rf::Material::HumanBody,
+           std::make_unique<StaticTrajectory>(lane_pose({0.0, 0.0, 0.875})));
+  const Segment seg{{-5.0, 0.0, 0.9}, {5.0, 0.0, 0.9}};
+  const auto chord = e.body_chord(seg, 0.0);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 0.44, 1e-12);
+  EXPECT_NEAR(e.body_radius(), 0.22, 1e-12);
+}
+
+TEST(EntityTest, CopyIsDeep) {
+  Entity original = make_box_entity();
+  original.add_tag(Tag{TagId{1}, {}});
+  Entity copy = original;
+  copy.add_tag(Tag{TagId{2}, {}});
+  EXPECT_EQ(original.tags().size(), 1u);
+  EXPECT_EQ(copy.tags().size(), 2u);
+  EXPECT_EQ(copy.name(), "box");
+}
+
+TEST(BoxFaceMountTest, FrontFaceGeometry) {
+  const Vec3 extents{0.4, 0.4, 0.3};
+  const TagMount m = mount_on_box_face(BoxFace::Front, extents, rf::Material::Metal, 0.05);
+  EXPECT_NEAR(m.local_position.x, 0.2, 1e-12);
+  EXPECT_NEAR(m.local_patch_normal.x, 1.0, 1e-12);
+  EXPECT_EQ(m.backing_material, rf::Material::Metal);
+  EXPECT_EQ(m.backing_gap_m, 0.05);
+}
+
+TEST(BoxFaceMountTest, AllFacesHaveOutwardNormals) {
+  const Vec3 extents{0.4, 0.4, 0.3};
+  for (const BoxFace face : {BoxFace::Front, BoxFace::Back, BoxFace::Top,
+                             BoxFace::Bottom, BoxFace::SideNear, BoxFace::SideFar}) {
+    const TagMount m = mount_on_box_face(face, extents, rf::Material::Metal, 0.05);
+    // The normal points the same way as the position offset (outward).
+    EXPECT_GT(m.local_patch_normal.dot(m.local_position), 0.0)
+        << box_face_name(face);
+    // The dipole axis lies in the face plane.
+    EXPECT_NEAR(m.local_dipole_axis.dot(m.local_patch_normal), 0.0, 1e-12)
+        << box_face_name(face);
+  }
+}
+
+TEST(BodySpotMountTest, SpotsAreAtWaistHeightOffTheBody) {
+  const CylinderBody body{0.22, 1.75};
+  for (const BodySpot spot :
+       {BodySpot::Front, BodySpot::Back, BodySpot::SideNear, BodySpot::SideFar}) {
+    const TagMount m = mount_on_person(spot, body);
+    EXPECT_EQ(m.backing_material, rf::Material::HumanBody);
+    EXPECT_GT(m.backing_gap_m, 0.0) << "tags should not touch the body";
+    // Radial distance beyond the body surface.
+    const double radial = std::hypot(m.local_position.x, m.local_position.y);
+    EXPECT_GT(radial, body.radius);
+    // Waist height: 1 m above the feet = body centre - height/2 + 1.
+    EXPECT_NEAR(m.local_position.z, -body.height * 0.5 + 1.0, 1e-12);
+    EXPECT_NEAR(m.local_dipole_axis.dot(m.local_patch_normal), 0.0, 1e-12);
+  }
+}
+
+TEST(FaceNamesTest, MatchPaperTerminology) {
+  EXPECT_EQ(box_face_name(BoxFace::SideNear), "side (closer)");
+  EXPECT_EQ(box_face_name(BoxFace::SideFar), "side (farther)");
+  EXPECT_EQ(body_spot_name(BodySpot::Front), "front");
+}
+
+}  // namespace
+}  // namespace rfidsim::scene

@@ -1,0 +1,141 @@
+#include "scene/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rfidsim::scene {
+namespace {
+
+TEST(AabbTest, ContainsInteriorAndBoundary) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  EXPECT_TRUE(box.contains({0.0, 0.0, 0.0}));
+  EXPECT_TRUE(box.contains({1.0, 1.0, 1.0}));  // Corner.
+  EXPECT_FALSE(box.contains({1.1, 0.0, 0.0}));
+}
+
+TEST(BoxChordTest, ThroughCentreIsFullSide) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 4.0, 6.0}};
+  const Segment seg{{-5.0, 0.0, 0.0}, {5.0, 0.0, 0.0}};
+  const auto chord = chord_length(seg, box);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 2.0, 1e-12);
+}
+
+TEST(BoxChordTest, MissReturnsNullopt) {
+  const Aabb box{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  EXPECT_FALSE(chord_length({{-5.0, 2.0, 0.0}, {5.0, 2.0, 0.0}}, box).has_value());
+  EXPECT_FALSE(chord_length({{2.0, 2.0, 2.0}, {3.0, 3.0, 3.0}}, box).has_value());
+}
+
+TEST(BoxChordTest, SegmentEndingInsideCountsPartialChord) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  const Segment seg{{-5.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};  // Ends at centre.
+  const auto chord = chord_length(seg, box);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 1.0, 1e-12);
+}
+
+TEST(BoxChordTest, SegmentStartingInsideCountsInsidePortion) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  const Segment seg{{0.0, 0.0, 0.0}, {5.0, 0.0, 0.0}};
+  const auto chord = chord_length(seg, box);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 1.0, 1e-12);
+}
+
+TEST(BoxChordTest, DiagonalChord) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  const Segment seg{{-2.0, -2.0, 0.0}, {2.0, 2.0, 0.0}};
+  const auto chord = chord_length(seg, box);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 2.0 * std::numbers::sqrt2, 1e-9);
+}
+
+TEST(BoxChordTest, AxisParallelSegmentOutsideSlabMisses) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  // Parallel to x at z above the box.
+  EXPECT_FALSE(chord_length({{-5.0, 0.0, 3.0}, {5.0, 0.0, 3.0}}, box).has_value());
+}
+
+TEST(BoxChordTest, GrazingTouchIsNotAChord) {
+  const Aabb box{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+  // Exactly on the face plane: zero-length chord -> nullopt.
+  EXPECT_FALSE(chord_length({{-5.0, 1.0, 0.0}, {5.0, 1.0, 0.0}}, box).has_value());
+}
+
+TEST(CylinderChordTest, ThroughAxisIsDiameter) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  const Segment seg{{-3.0, 0.0, 1.0}, {3.0, 0.0, 1.0}};
+  const auto chord = chord_length(seg, cyl);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 1.0, 1e-12);
+}
+
+TEST(CylinderChordTest, OffsetChordIsShorter) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  const Segment seg{{-3.0, 0.3, 1.0}, {3.0, 0.3, 1.0}};
+  const auto chord = chord_length(seg, cyl);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 2.0 * std::sqrt(0.25 - 0.09), 1e-9);
+}
+
+TEST(CylinderChordTest, MissesBeyondRadius) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  EXPECT_FALSE(chord_length({{-3.0, 0.6, 1.0}, {3.0, 0.6, 1.0}}, cyl).has_value());
+}
+
+TEST(CylinderChordTest, MissesAboveAndBelow) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  EXPECT_FALSE(chord_length({{-3.0, 0.0, 2.5}, {3.0, 0.0, 2.5}}, cyl).has_value());
+  EXPECT_FALSE(chord_length({{-3.0, 0.0, -0.5}, {3.0, 0.0, -0.5}}, cyl).has_value());
+}
+
+TEST(CylinderChordTest, VerticalSegmentInsideCircle) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  const Segment seg{{0.1, 0.1, -1.0}, {0.1, 0.1, 3.0}};
+  const auto chord = chord_length(seg, cyl);
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(*chord, 2.0, 1e-12);  // Clipped to the cylinder height.
+}
+
+TEST(CylinderChordTest, VerticalSegmentOutsideCircleMisses) {
+  const VerticalCylinder cyl{{0.0, 0.0, 1.0}, 0.5, 2.0};
+  EXPECT_FALSE(chord_length({{1.0, 0.0, -1.0}, {1.0, 0.0, 3.0}}, cyl).has_value());
+}
+
+TEST(CylinderChordTest, ObliqueChordClippedByHeight) {
+  const VerticalCylinder cyl{{0.0, 0.0, 0.0}, 1.0, 1.0};
+  // Steep segment entering the top and leaving the bottom within the circle.
+  const Segment seg{{0.0, 0.0, 2.0}, {0.2, 0.0, -2.0}};
+  const auto chord = chord_length(seg, cyl);
+  ASSERT_TRUE(chord.has_value());
+  // z spans 1.0 of a 4.0 total z range: chord = |seg| / 4.
+  const double expected = Vec3{0.2, 0.0, -4.0}.norm() / 4.0;
+  EXPECT_NEAR(*chord, expected, 1e-9);
+}
+
+TEST(ClosestPointTest, ProjectsOntoSegmentInterior) {
+  const Segment seg{{0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}};
+  const PointToSegment r = closest_point(seg, {3.0, 4.0, 0.0});
+  EXPECT_NEAR(r.t, 0.3, 1e-12);
+  EXPECT_NEAR(r.distance, 4.0, 1e-12);
+}
+
+TEST(ClosestPointTest, ClampsToEndpoints) {
+  const Segment seg{{0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}};
+  EXPECT_NEAR(closest_point(seg, {-5.0, 0.0, 0.0}).t, 0.0, 1e-12);
+  EXPECT_NEAR(closest_point(seg, {-3.0, 4.0, 0.0}).distance, 5.0, 1e-12);
+  EXPECT_NEAR(closest_point(seg, {15.0, 0.0, 0.0}).t, 1.0, 1e-12);
+}
+
+TEST(ClosestPointTest, DegenerateSegment) {
+  const Segment seg{{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}};
+  const PointToSegment r = closest_point(seg, {1.0, 2.0, 1.0});
+  EXPECT_EQ(r.t, 0.0);
+  EXPECT_NEAR(r.distance, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rfidsim::scene

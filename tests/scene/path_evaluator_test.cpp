@@ -1,0 +1,217 @@
+#include "scene/path_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rfidsim::scene {
+namespace {
+
+Pose lane_pose(Vec3 position) {
+  Pose p;
+  p.position = position;
+  p.frame.forward = {1.0, 0.0, 0.0};
+  p.frame.up = {0.0, 0.0, 1.0};
+  return p;
+}
+
+/// One bare tag at the origin facing +y, antenna on the +y side.
+Scene simple_scene(double antenna_distance = 2.0) {
+  Scene s;
+  Entity bare("tag holder", std::monostate{}, rf::Material::Air,
+              std::make_unique<StaticTrajectory>(lane_pose({0.0, 0.0, 1.0})));
+  TagMount m;
+  m.local_patch_normal = {0.0, 1.0, 0.0};
+  m.local_dipole_axis = {1.0, 0.0, 0.0};
+  m.backing_material = rf::Material::Air;
+  bare.add_tag(Tag{TagId{1}, m});
+  s.entities.push_back(std::move(bare));
+  s.antennas.push_back(
+      Scene::make_antenna({0.0, antenna_distance, 1.0}, {0.0, -1.0, 0.0}));
+  return s;
+}
+
+TEST(PathEvaluatorTest, EmptySceneThrows) {
+  const Scene empty;
+  EXPECT_THROW(PathEvaluator(empty, {}), ConfigError);
+}
+
+TEST(PathEvaluatorTest, OutOfRangeIndicesThrow) {
+  const Scene s = simple_scene();
+  const PathEvaluator ev(s, {});
+  EXPECT_THROW(ev.evaluate(1, {0, 0}, 0.0), ConfigError);
+  EXPECT_THROW(ev.evaluate(0, {1, 0}, 0.0), ConfigError);
+  EXPECT_THROW(ev.evaluate(0, {0, 1}, 0.0), ConfigError);
+}
+
+TEST(PathEvaluatorTest, DistanceAndBoresightGains) {
+  const Scene s = simple_scene(2.0);
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_NEAR(t.distance_m, 2.0, 1e-12);
+  // Tag on boresight: peak reader gain; broadside dipole: peak tag gain.
+  EXPECT_NEAR(t.reader_gain.value(), 6.0, 1e-9);
+  EXPECT_NEAR(t.tag_gain.value(), 2.15, 1e-9);
+  // Circular antenna on boresight: exactly 3 dB.
+  EXPECT_NEAR(t.polarization_loss.value(), 3.0, 1e-9);
+}
+
+TEST(PathEvaluatorTest, AxialTagHitsDipoleNullOrScatterFloor) {
+  Scene s = simple_scene(2.0);
+  // Rotate the tag so its dipole points at the antenna.
+  Entity& e = s.entities[0];
+  Entity rotated("tag holder", std::monostate{}, rf::Material::Air,
+                 std::make_unique<StaticTrajectory>(lane_pose({0.0, 0.0, 1.0})));
+  TagMount m = e.tags()[0].mount;
+  m.local_dipole_axis = {0.0, 1.0, 0.0};
+  m.local_patch_normal = {1.0, 0.0, 0.0};
+  rotated.add_tag(Tag{e.tags()[0].id, m});
+  s.entities[0] = rotated;
+
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  // Either the floored dipole null (direct) or the scatter path's average
+  // gain; both are far below broadside.
+  EXPECT_LT(t.tag_gain.value() - t.material_loss.value(), -8.0);
+}
+
+TEST(PathEvaluatorTest, OcclusionByInterposedBody) {
+  Scene s = simple_scene(3.0);
+  // Park a metal box between tag and antenna.
+  Entity box("blocker", BoxBody{{0.4, 0.4, 1.0}}, rf::Material::Metal,
+             std::make_unique<StaticTrajectory>(lane_pose({0.0, 1.5, 1.0})));
+  s.entities.push_back(std::move(box));
+
+  EvaluatorParams params;
+  params.scatter_excess_db = 200.0;  // Disable the scatter bypass.
+  const PathEvaluator ev(s, params);
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_GE(t.material_loss.value(), 60.0);
+}
+
+TEST(PathEvaluatorTest, ScatterPathBoundsOcclusionLoss) {
+  Scene s = simple_scene(3.0);
+  Entity box("blocker", BoxBody{{0.4, 0.4, 1.0}}, rf::Material::Metal,
+             std::make_unique<StaticTrajectory>(lane_pose({0.0, 1.5, 1.0})));
+  s.entities.push_back(std::move(box));
+
+  EvaluatorParams params;  // Default scatter path enabled.
+  const PathEvaluator ev(s, params);
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  // The diffuse path caps the effective loss near scatter_excess_db.
+  EXPECT_LE(t.material_loss.value(), params.scatter_excess_db + 3.0);
+}
+
+TEST(PathEvaluatorTest, SelfOcclusionExemptsMountingFace) {
+  Scene s;
+  // Tag on the near face of a metal-content box: the ray leaves through
+  // the face it is mounted on and must NOT be charged for its own box.
+  Entity box("box", BoxBody{{0.4, 0.4, 0.3}}, rf::Material::Metal,
+             std::make_unique<StaticTrajectory>(lane_pose({0.0, 0.0, 1.0})));
+  TagMount m = mount_on_box_face(BoxFace::SideNear, {0.4, 0.4, 0.3},
+                                 rf::Material::Metal, 0.05);
+  box.add_tag(Tag{TagId{1}, m});
+  s.entities.push_back(std::move(box));
+  s.antennas.push_back(Scene::make_antenna({0.0, 2.0, 1.0}, {0.0, -1.0, 0.0}));
+
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_LT(t.material_loss.value(), 10.0);  // Image factor only, no 60 dB.
+}
+
+TEST(PathEvaluatorTest, CouplingCountsNearestNeighboursOnly) {
+  Scene s = simple_scene(2.0);
+  Entity& holder = s.entities[0];
+  // Add four parallel neighbours at 10 mm pitch along x.
+  for (int i = 1; i <= 4; ++i) {
+    TagMount m = holder.tags()[0].mount;
+    m.local_position = {0.01 * i, 0.0, 0.0};
+    holder.add_tag(Tag{TagId{static_cast<std::uint64_t>(i + 1)}, m});
+  }
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms end_tag = ev.evaluate(0, {0, 0}, 0.0);
+  const rf::PathTerms mid_tag = ev.evaluate(0, {0, 2}, 0.0);
+  EXPECT_GT(end_tag.coupling_loss.value(), 0.0);
+  // The middle tag has close neighbours on both sides: more coupling.
+  EXPECT_GT(mid_tag.coupling_loss.value(), end_tag.coupling_loss.value());
+  // But never more than the configured cap.
+  const EvaluatorParams params;
+  EXPECT_LE(mid_tag.coupling_loss.value(), params.coupling.contact_loss_db * 1.5);
+}
+
+TEST(PathEvaluatorTest, ReflectorBehindTagGivesBonus) {
+  Scene s = simple_scene(2.0);
+  // Reflective body behind the tag (opposite side from the antenna).
+  Entity mirror("mirror", CylinderBody{0.22, 1.75}, rf::Material::HumanBody,
+                std::make_unique<StaticTrajectory>(lane_pose({0.0, -0.6, 0.875})));
+  s.entities.push_back(std::move(mirror));
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_GT(t.reflection_gain.value(), 0.0);
+}
+
+TEST(PathEvaluatorTest, ReflectorTowardAntennaGivesNoBonus) {
+  Scene s = simple_scene(4.0);
+  // Reflective body on the antenna side but off to the side enough not to
+  // intersect: still no bonus because it is in the forward cone.
+  Entity mirror("mirror", CylinderBody{0.1, 1.75}, rf::Material::HumanBody,
+                std::make_unique<StaticTrajectory>(lane_pose({0.5, 1.0, 0.875})));
+  s.entities.push_back(std::move(mirror));
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_EQ(t.reflection_gain.value(), 0.0);
+}
+
+TEST(PathEvaluatorTest, ProximityLossFromAdjacentBody) {
+  Scene s = simple_scene(2.0);
+  Entity person("bystander", CylinderBody{0.22, 1.75}, rf::Material::HumanBody,
+                std::make_unique<StaticTrajectory>(lane_pose({0.6, 0.0, 0.875})));
+  s.entities.push_back(std::move(person));
+  const PathEvaluator ev(s, {});
+  const rf::PathTerms t = ev.evaluate(0, {0, 0}, 0.0);
+  EXPECT_GT(t.blockage_loss.value(), 0.0);
+  const EvaluatorParams params;
+  EXPECT_LE(t.blockage_loss.value(), params.proximity_loss_db);
+}
+
+TEST(PathEvaluatorTest, NoProximityLossFromMetalBoxes) {
+  Scene s = simple_scene(2.0);
+  Entity box("metal box", BoxBody{{0.4, 0.4, 0.3}}, rf::Material::Metal,
+             std::make_unique<StaticTrajectory>(lane_pose({0.5, 0.0, 1.0})));
+  s.entities.push_back(std::move(box));
+  const PathEvaluator ev(s, {});
+  EXPECT_EQ(ev.evaluate(0, {0, 0}, 0.0).blockage_loss.value(), 0.0);
+}
+
+TEST(PathEvaluatorTest, FresnelGrazingAddsLoss) {
+  Scene s = simple_scene(4.0);
+  // A body near (but not crossing) the mid-path.
+  Entity person("grazer", CylinderBody{0.22, 1.75}, rf::Material::HumanBody,
+                std::make_unique<StaticTrajectory>(lane_pose({0.35, 2.0, 0.875})));
+  s.entities.push_back(std::move(person));
+
+  EvaluatorParams with;
+  EvaluatorParams without;
+  without.fresnel_max_db = 0.0;
+  // Keep proximity out of the comparison.
+  with.proximity_loss_db = 0.0;
+  without.proximity_loss_db = 0.0;
+  const double loss_with =
+      PathEvaluator(s, with).evaluate(0, {0, 0}, 0.0).material_loss.value();
+  const double loss_without =
+      PathEvaluator(s, without).evaluate(0, {0, 0}, 0.0).material_loss.value();
+  EXPECT_GT(loss_with, loss_without);
+}
+
+TEST(PathEvaluatorTest, MultipathRippleChangesWithDistance) {
+  const Scene near_scene = simple_scene(1.3);
+  const Scene far_scene = simple_scene(5.0);
+  const rf::PathTerms a = PathEvaluator(near_scene, {}).evaluate(0, {0, 0}, 0.0);
+  const rf::PathTerms b = PathEvaluator(far_scene, {}).evaluate(0, {0, 0}, 0.0);
+  EXPECT_NE(a.multipath_gain.value(), b.multipath_gain.value());
+}
+
+}  // namespace
+}  // namespace rfidsim::scene

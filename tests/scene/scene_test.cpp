@@ -1,0 +1,62 @@
+#include "scene/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace rfidsim::scene {
+namespace {
+
+Entity bare_entity(const std::string& name, std::size_t tag_count,
+                   std::uint64_t first_id) {
+  Pose pose;
+  pose.frame.forward = {1.0, 0.0, 0.0};
+  pose.frame.up = {0.0, 0.0, 1.0};
+  Entity e(name, std::monostate{}, rf::Material::Air,
+           std::make_unique<StaticTrajectory>(pose));
+  for (std::size_t i = 0; i < tag_count; ++i) {
+    e.add_tag(Tag{TagId{first_id + i}, {}});
+  }
+  return e;
+}
+
+TEST(SceneTest, AllTagsEnumeratesInEntityOrder) {
+  Scene s;
+  s.entities.push_back(bare_entity("a", 2, 1));
+  s.entities.push_back(bare_entity("b", 1, 10));
+  const auto tags = s.all_tags();
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], (TagAddress{0, 0}));
+  EXPECT_EQ(tags[1], (TagAddress{0, 1}));
+  EXPECT_EQ(tags[2], (TagAddress{1, 0}));
+}
+
+TEST(SceneTest, AllTagsEmptyForEmptyScene) {
+  const Scene s;
+  EXPECT_TRUE(s.all_tags().empty());
+}
+
+TEST(SceneTest, MakeAntennaFacesTheRequestedDirection) {
+  const AntennaSite site = Scene::make_antenna({0.0, 2.0, 1.0}, {0.0, -3.0, 0.0});
+  EXPECT_NEAR(site.pose.frame.forward.y, -1.0, 1e-12);
+  EXPECT_NEAR(site.pose.frame.forward.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(site.pose.frame.forward.dot(site.pose.frame.up), 0.0, 1e-12);
+}
+
+TEST(SceneTest, MakeAntennaHandlesVerticalBoresight) {
+  // Facing straight down: the default up vector would be parallel; the
+  // helper must pick another and still produce an orthonormal frame.
+  const AntennaSite site = Scene::make_antenna({0.0, 0.0, 3.0}, {0.0, 0.0, -1.0});
+  EXPECT_NEAR(site.pose.frame.forward.z, -1.0, 1e-12);
+  EXPECT_NEAR(site.pose.frame.up.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(site.pose.frame.forward.dot(site.pose.frame.up), 0.0, 1e-12);
+}
+
+TEST(SceneTest, TagAddressOrdering) {
+  EXPECT_LT((TagAddress{0, 1}), (TagAddress{1, 0}));
+  EXPECT_LT((TagAddress{1, 0}), (TagAddress{1, 1}));
+  EXPECT_EQ((TagAddress{2, 3}), (TagAddress{2, 3}));
+}
+
+}  // namespace
+}  // namespace rfidsim::scene

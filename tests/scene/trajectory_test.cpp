@@ -1,0 +1,85 @@
+#include "scene/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfidsim::scene {
+namespace {
+
+Pose origin_pose() {
+  Pose p;
+  p.position = {1.0, 2.0, 3.0};
+  p.frame.forward = {1.0, 0.0, 0.0};
+  p.frame.up = {0.0, 0.0, 1.0};
+  return p;
+}
+
+TEST(StaticTrajectoryTest, NeverMoves) {
+  const StaticTrajectory traj(origin_pose());
+  EXPECT_EQ(traj.pose_at(0.0).position, (Vec3{1.0, 2.0, 3.0}));
+  EXPECT_EQ(traj.pose_at(100.0).position, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(LinearTrajectoryTest, AdvancesAtConstantVelocity) {
+  const LinearTrajectory traj(origin_pose(), {2.0, 0.0, 0.0});
+  EXPECT_EQ(traj.pose_at(0.0).position, (Vec3{1.0, 2.0, 3.0}));
+  EXPECT_EQ(traj.pose_at(1.5).position, (Vec3{4.0, 2.0, 3.0}));
+  EXPECT_EQ(traj.pose_at(-1.0).position, (Vec3{-1.0, 2.0, 3.0}));
+}
+
+TEST(LinearTrajectoryTest, OrientationIsConstant) {
+  const LinearTrajectory traj(origin_pose(), {1.0, 1.0, 0.0});
+  EXPECT_EQ(traj.pose_at(7.0).frame.forward, (Vec3{1.0, 0.0, 0.0}));
+  EXPECT_EQ(traj.pose_at(7.0).frame.up, (Vec3{0.0, 0.0, 1.0}));
+}
+
+TEST(WalkingTrajectoryTest, ProgressMatchesVelocityOnAverage) {
+  const WalkingTrajectory traj(origin_pose(), {1.0, 0.0, 0.0});
+  const Pose p = traj.pose_at(4.0);
+  EXPECT_NEAR(p.position.x, 5.0, 1e-12);  // Sway is lateral only.
+}
+
+TEST(WalkingTrajectoryTest, SwayStaysWithinAmplitude) {
+  Gait gait;
+  gait.sway_amplitude_m = 0.05;
+  gait.bob_amplitude_m = 0.03;
+  const WalkingTrajectory traj(origin_pose(), {1.0, 0.0, 0.0}, gait);
+  for (double t = 0.0; t < 5.0; t += 0.01) {
+    const Pose p = traj.pose_at(t);
+    EXPECT_LE(std::abs(p.position.y - 2.0), 0.05 + 1e-12);
+    EXPECT_GE(p.position.z, 3.0 - 1e-12);  // Bob only lifts.
+    EXPECT_LE(p.position.z, 3.03 + 1e-12);
+  }
+}
+
+TEST(WalkingTrajectoryTest, SwayActuallySways) {
+  const WalkingTrajectory traj(origin_pose(), {1.0, 0.0, 0.0});
+  double min_y = 1e9;
+  double max_y = -1e9;
+  for (double t = 0.0; t < 2.0; t += 0.01) {
+    const double y = traj.pose_at(t).position.y;
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  EXPECT_GT(max_y - min_y, 0.04);
+}
+
+TEST(TrajectoryCloneTest, CloneIsIndependentCopy) {
+  const LinearTrajectory traj(origin_pose(), {1.0, 0.0, 0.0});
+  const auto clone = traj.clone();
+  EXPECT_EQ(clone->pose_at(2.0).position, traj.pose_at(2.0).position);
+}
+
+TEST(TrajectoryCloneTest, WalkingCloneKeepsGait) {
+  Gait gait;
+  gait.sway_amplitude_m = 0.1;
+  const WalkingTrajectory traj(origin_pose(), {1.0, 0.0, 0.0}, gait);
+  const auto clone = traj.clone();
+  for (double t = 0.0; t < 2.0; t += 0.1) {
+    EXPECT_EQ(clone->pose_at(t).position, traj.pose_at(t).position);
+  }
+}
+
+}  // namespace
+}  // namespace rfidsim::scene

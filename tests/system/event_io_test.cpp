@@ -1,0 +1,78 @@
+#include "system/event_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rfidsim::sys {
+namespace {
+
+ReadEvent event(double t, std::uint64_t tag, std::size_t reader, std::size_t antenna,
+                double rssi) {
+  ReadEvent ev;
+  ev.time_s = t;
+  ev.tag = scene::TagId{tag};
+  ev.reader_index = reader;
+  ev.antenna_index = antenna;
+  ev.rssi = DbmPower(rssi);
+  return ev;
+}
+
+TEST(EventIoTest, EmptyLogIsHeaderOnly) {
+  EXPECT_EQ(to_csv({}), "time_s,tag,reader,antenna,rssi_dbm\n");
+}
+
+TEST(EventIoTest, WritesOneRowPerEvent) {
+  const EventLog log{event(1.472, 1001, 0, 1, -61.7)};
+  EXPECT_EQ(to_csv(log),
+            "time_s,tag,reader,antenna,rssi_dbm\n"
+            "1.472000,1001,0,1,-61.70\n");
+}
+
+TEST(EventIoTest, RoundTripsExactly) {
+  const EventLog log{
+      event(0.25, 1, 0, 0, -40.0),
+      event(1.5, 99, 1, 3, -65.25),
+      event(2.0, 18446744073709551615ULL, 0, 0, -80.5),
+  };
+  const EventLog parsed = from_csv(to_csv(log));
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(parsed[i].tag, log[i].tag);
+    EXPECT_EQ(parsed[i].reader_index, log[i].reader_index);
+    EXPECT_EQ(parsed[i].antenna_index, log[i].antenna_index);
+    EXPECT_NEAR(parsed[i].time_s, log[i].time_s, 1e-6);
+    EXPECT_NEAR(parsed[i].rssi.value(), log[i].rssi.value(), 0.01);
+  }
+}
+
+TEST(EventIoTest, ToleratesCrLfAndBlankLines) {
+  const std::string csv =
+      "time_s,tag,reader,antenna,rssi_dbm\r\n"
+      "1.000000,5,0,0,-50.00\r\n"
+      "\n";
+  const EventLog parsed = from_csv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].tag.value, 5u);
+}
+
+TEST(EventIoTest, RejectsBadHeader) {
+  EXPECT_THROW(from_csv("nope\n1,2,3,4,5\n"), ConfigError);
+  EXPECT_THROW(from_csv(""), ConfigError);
+}
+
+TEST(EventIoTest, RejectsMalformedRows) {
+  const std::string missing_field =
+      "time_s,tag,reader,antenna,rssi_dbm\n"
+      "1.0,5,0\n";
+  EXPECT_THROW(from_csv(missing_field), ConfigError);
+  const std::string not_a_number =
+      "time_s,tag,reader,antenna,rssi_dbm\n"
+      "abc,5,0,0,-50\n";
+  EXPECT_THROW(from_csv(not_a_number), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::sys

@@ -1,0 +1,56 @@
+#include "system/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::sys {
+namespace {
+
+TEST(AntennaMuxTest, EmptyAntennaListThrows) {
+  EXPECT_THROW(AntennaMux({}, 0.1), ConfigError);
+}
+
+TEST(AntennaMuxTest, NonPositiveDwellThrows) {
+  EXPECT_THROW(AntennaMux({0}, 0.0), ConfigError);
+  EXPECT_THROW(AntennaMux({0}, -1.0), ConfigError);
+}
+
+TEST(AntennaMuxTest, SingleAntennaAlwaysActive) {
+  const AntennaMux mux({3}, 0.1);
+  EXPECT_EQ(mux.active_at(0.0), 3u);
+  EXPECT_EQ(mux.active_at(5.0), 3u);
+}
+
+TEST(AntennaMuxTest, RoundRobinSchedule) {
+  const AntennaMux mux({0, 1}, 0.1);
+  EXPECT_EQ(mux.active_at(0.05), 0u);
+  EXPECT_EQ(mux.active_at(0.15), 1u);
+  EXPECT_EQ(mux.active_at(0.25), 0u);
+  EXPECT_EQ(mux.active_at(0.35), 1u);
+}
+
+TEST(AntennaMuxTest, ThreeWayRotation) {
+  const AntennaMux mux({5, 7, 9}, 0.2);
+  EXPECT_EQ(mux.active_at(0.1), 5u);
+  EXPECT_EQ(mux.active_at(0.3), 7u);
+  EXPECT_EQ(mux.active_at(0.5), 9u);
+  EXPECT_EQ(mux.active_at(0.7), 5u);
+}
+
+TEST(AntennaMuxTest, NegativeTimeMapsToFirst) {
+  const AntennaMux mux({2, 4}, 0.1);
+  EXPECT_EQ(mux.active_at(-1.0), 2u);
+}
+
+TEST(AntennaMuxTest, EachAntennaGetsEqualShare) {
+  const AntennaMux mux({0, 1}, 0.05);
+  int counts[2] = {0, 0};
+  for (double t = 0.001; t < 10.0; t += 0.01) {
+    ++counts[mux.active_at(t)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rfidsim::sys

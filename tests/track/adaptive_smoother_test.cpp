@@ -1,0 +1,129 @@
+#include "track/adaptive_smoother.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+namespace {
+
+using scene::TagId;
+using sys::EventLog;
+using sys::ReadEvent;
+
+ReadEvent event(std::uint64_t tag, double t) {
+  ReadEvent ev;
+  ev.tag = TagId{tag};
+  ev.time_s = t;
+  return ev;
+}
+
+/// Reads every `period_s` from t0 for `count` reads.
+EventLog periodic(std::uint64_t tag, double t0, double period_s, int count) {
+  EventLog log;
+  for (int i = 0; i < count; ++i) log.push_back(event(tag, t0 + i * period_s));
+  return log;
+}
+
+TEST(AdaptiveSmootherTest, InvalidParamsThrow) {
+  AdaptiveSmoother::Params p;
+  p.epoch_s = 0.0;
+  EXPECT_THROW(AdaptiveSmoother{p}, ConfigError);
+  p = {};
+  p.delta = 1.0;
+  EXPECT_THROW(AdaptiveSmoother{p}, ConfigError);
+  p = {};
+  p.min_window_s = 2.0;
+  p.max_window_s = 1.0;
+  EXPECT_THROW(AdaptiveSmoother{p}, ConfigError);
+}
+
+TEST(AdaptiveSmootherTest, EmptyLogEmptyResult) {
+  const AdaptiveSmoother smoother;
+  EXPECT_TRUE(smoother.smooth({}).empty());
+  EXPECT_TRUE(smoother.window_sizes({}).empty());
+}
+
+TEST(AdaptiveSmootherTest, SingleReadGetsMaxWindow) {
+  const AdaptiveSmoother smoother;
+  const auto windows = smoother.window_sizes({event(1, 2.0)});
+  ASSERT_TRUE(windows.contains(TagId{1}));
+  EXPECT_DOUBLE_EQ(windows.at(TagId{1}), smoother.params().max_window_s);
+}
+
+TEST(AdaptiveSmootherTest, FrequentReadersGetTighterWindows) {
+  const AdaptiveSmoother smoother;
+  EventLog log = periodic(1, 0.0, 0.05, 40);  // Read every epoch: p ~ 1.
+  const EventLog sparse = periodic(2, 0.0, 0.45, 5);  // Read every 9th epoch.
+  log.insert(log.end(), sparse.begin(), sparse.end());
+  const auto windows = smoother.window_sizes(log);
+  EXPECT_LT(windows.at(TagId{1}), windows.at(TagId{2}));
+}
+
+TEST(AdaptiveSmootherTest, SteadyStreamYieldsOnePresence) {
+  const AdaptiveSmoother smoother;
+  const EventLog log = periodic(1, 0.0, 0.05, 40);
+  const auto presences = smoother.smooth(log);
+  ASSERT_EQ(presences.size(), 1u);
+  EXPECT_DOUBLE_EQ(presences[0].start_s, 0.0);
+  EXPECT_NEAR(presences[0].end_s, 39 * 0.05, 1e-9);
+}
+
+TEST(AdaptiveSmootherTest, DropoutWithinWindowIsBridged) {
+  const AdaptiveSmoother smoother;
+  // Sparse reader (every 0.3 s) with one missing read in the middle: the
+  // adaptive window (sized for the 0.3 s cadence) must bridge the 0.6 s gap.
+  EventLog log = periodic(1, 0.0, 0.3, 5);
+  EventLog tail = periodic(1, 1.8, 0.3, 5);  // Skips the 1.5 s read.
+  log.insert(log.end(), tail.begin(), tail.end());
+  const auto presences = smoother.smooth(log);
+  EXPECT_EQ(presences.size(), 1u);
+}
+
+TEST(AdaptiveSmootherTest, TrueDepartureSplitsForFastReaders) {
+  AdaptiveSmoother::Params p;
+  p.epoch_s = 0.05;
+  p.delta = 0.05;
+  p.min_window_s = 0.05;
+  p.max_window_s = 10.0;
+  const AdaptiveSmoother smoother(p);
+  // Dense reads, 3 s silence, dense reads: a fast reader's tight window
+  // treats the silence as a real departure.
+  EventLog log = periodic(1, 0.0, 0.05, 20);
+  EventLog later = periodic(1, 4.0, 0.05, 20);
+  log.insert(log.end(), later.begin(), later.end());
+  const auto presences = smoother.smooth(log);
+  EXPECT_EQ(presences.size(), 2u);
+}
+
+TEST(AdaptiveSmootherTest, WindowRespectsClamp) {
+  AdaptiveSmoother::Params p;
+  p.max_window_s = 0.2;
+  p.min_window_s = 0.1;
+  const AdaptiveSmoother smoother(p);
+  const auto windows = smoother.window_sizes(periodic(1, 0.0, 0.45, 5));
+  EXPECT_LE(windows.at(TagId{1}), 0.2);
+  EXPECT_GE(windows.at(TagId{1}), 0.1);
+}
+
+TEST(AdaptiveSmootherTest, ComparesFavourablyToFixedWindowOnMixedTraffic) {
+  // A fixed window that bridges the sparse tag's dropouts over-smooths the
+  // dense tag's true departure; the adaptive smoother handles both.
+  EventLog log = periodic(1, 0.0, 0.05, 20);           // Dense...
+  EventLog later = periodic(1, 4.0, 0.05, 20);         // ...with a real gap.
+  EventLog sparse = periodic(2, 0.0, 0.4, 15);         // Sparse, continuous.
+  log.insert(log.end(), later.begin(), later.end());
+  log.insert(log.end(), sparse.begin(), sparse.end());
+
+  const AdaptiveSmoother adaptive;
+  std::size_t tag1_presences = 0;
+  std::size_t tag2_presences = 0;
+  for (const auto& presence : adaptive.smooth(log)) {
+    (presence.tag == TagId{1} ? tag1_presences : tag2_presences) += 1;
+  }
+  EXPECT_EQ(tag1_presences, 2u);  // True departure preserved.
+  EXPECT_EQ(tag2_presences, 1u);  // Sparse stream not shredded.
+}
+
+}  // namespace
+}  // namespace rfidsim::track

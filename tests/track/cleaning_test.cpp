@@ -1,0 +1,176 @@
+#include "track/cleaning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+namespace {
+
+using scene::TagId;
+using sys::EventLog;
+using sys::ReadEvent;
+
+ReadEvent event(std::uint64_t tag, double t) {
+  ReadEvent ev;
+  ev.tag = TagId{tag};
+  ev.time_s = t;
+  return ev;
+}
+
+TEST(WindowSmootherTest, InvalidWindowThrows) {
+  EXPECT_THROW(WindowSmoother(0.0), ConfigError);
+  EXPECT_THROW(WindowSmoother(-1.0), ConfigError);
+}
+
+TEST(WindowSmootherTest, EmptyLogNoPresence) {
+  const WindowSmoother smoother(1.0);
+  EXPECT_TRUE(smoother.smooth({}).empty());
+}
+
+TEST(WindowSmootherTest, GapsWithinWindowMerge) {
+  const WindowSmoother smoother(1.0);
+  const EventLog log{event(1, 0.0), event(1, 0.8), event(1, 1.5)};
+  const auto presences = smoother.smooth(log);
+  ASSERT_EQ(presences.size(), 1u);
+  EXPECT_DOUBLE_EQ(presences[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(presences[0].end_s, 1.5);
+}
+
+TEST(WindowSmootherTest, GapsBeyondWindowSplit) {
+  const WindowSmoother smoother(1.0);
+  const EventLog log{event(1, 0.0), event(1, 3.0)};
+  const auto presences = smoother.smooth(log);
+  ASSERT_EQ(presences.size(), 2u);
+  EXPECT_DOUBLE_EQ(presences[0].end_s, 0.0);
+  EXPECT_DOUBLE_EQ(presences[1].start_s, 3.0);
+}
+
+TEST(WindowSmootherTest, TagsAreIndependent) {
+  const WindowSmoother smoother(1.0);
+  const EventLog log{event(1, 0.0), event(2, 0.5), event(1, 0.9)};
+  const auto presences = smoother.smooth(log);
+  EXPECT_EQ(presences.size(), 2u);
+}
+
+TEST(WindowSmootherTest, UnsortedInputIsHandled) {
+  const WindowSmoother smoother(1.0);
+  const EventLog log{event(1, 2.0), event(1, 0.0), event(1, 1.0)};
+  const auto presences = smoother.smooth(log);
+  ASSERT_EQ(presences.size(), 1u);
+  EXPECT_DOUBLE_EQ(presences[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(presences[0].end_s, 2.0);
+}
+
+TEST(WindowSmootherTest, PresentAtBridgesGaps) {
+  const WindowSmoother smoother(2.0);
+  const EventLog log{event(1, 1.0)};
+  EXPECT_TRUE(smoother.present_at(log, TagId{1}, 1.0));
+  EXPECT_TRUE(smoother.present_at(log, TagId{1}, 2.9));
+  EXPECT_FALSE(smoother.present_at(log, TagId{1}, 3.1));
+  EXPECT_FALSE(smoother.present_at(log, TagId{1}, 0.5));  // Before the read.
+  EXPECT_FALSE(smoother.present_at(log, TagId{2}, 1.0));
+}
+
+RouteObservations route(std::size_t checkpoints) {
+  RouteObservations obs;
+  obs.checkpoint_count = checkpoints;
+  obs.detected.resize(checkpoints);
+  return obs;
+}
+
+TEST(RouteConstraintTest, SizeMismatchThrows) {
+  RouteObservations obs;
+  obs.checkpoint_count = 3;
+  obs.detected.resize(2);
+  EXPECT_THROW(apply_route_constraint(obs), ConfigError);
+}
+
+TEST(RouteConstraintTest, MissedMiddleCheckpointIsInferred) {
+  RouteObservations obs = route(3);
+  const ObjectId box{1};
+  obs.detected[0].insert(box);
+  obs.detected[2].insert(box);  // Missed at checkpoint 1.
+  const RouteCleanResult result = apply_route_constraint(obs);
+  EXPECT_TRUE(result.corrected.detected[1].contains(box));
+  EXPECT_EQ(result.recovered, 1u);
+}
+
+TEST(RouteConstraintTest, NoForwardInference) {
+  RouteObservations obs = route(3);
+  const ObjectId box{1};
+  obs.detected[0].insert(box);  // Seen only at the start.
+  const RouteCleanResult result = apply_route_constraint(obs);
+  EXPECT_FALSE(result.corrected.detected[1].contains(box));
+  EXPECT_FALSE(result.corrected.detected[2].contains(box));
+  EXPECT_EQ(result.recovered, 0u);
+}
+
+TEST(RouteConstraintTest, LastCheckpointBackfillsEverything) {
+  RouteObservations obs = route(4);
+  const ObjectId box{1};
+  obs.detected[3].insert(box);
+  const RouteCleanResult result = apply_route_constraint(obs);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(result.corrected.detected[k].contains(box)) << "checkpoint " << k;
+  }
+  EXPECT_EQ(result.recovered, 3u);
+}
+
+TEST(RouteConstraintTest, MultipleObjectsIndependent) {
+  RouteObservations obs = route(2);
+  obs.detected[1].insert(ObjectId{1});
+  obs.detected[0].insert(ObjectId{2});
+  const RouteCleanResult result = apply_route_constraint(obs);
+  EXPECT_TRUE(result.corrected.detected[0].contains(ObjectId{1}));
+  EXPECT_FALSE(result.corrected.detected[1].contains(ObjectId{2}));
+}
+
+TEST(AccompanyTest, InvalidQuorumThrows) {
+  EXPECT_THROW(apply_accompany_constraint({}, {}, 0.0), ConfigError);
+  EXPECT_THROW(apply_accompany_constraint({}, {}, 1.5), ConfigError);
+}
+
+TEST(AccompanyTest, QuorumMetInfersMissingMembers) {
+  const std::vector<std::vector<ObjectId>> groups{
+      {ObjectId{1}, ObjectId{2}, ObjectId{3}}};
+  const std::unordered_set<ObjectId> detected{ObjectId{1}, ObjectId{2}};
+  const AccompanyCleanResult result = apply_accompany_constraint(detected, groups, 0.5);
+  EXPECT_TRUE(result.corrected.contains(ObjectId{3}));
+  EXPECT_EQ(result.recovered, 1u);
+}
+
+TEST(AccompanyTest, QuorumNotMetNoInference) {
+  const std::vector<std::vector<ObjectId>> groups{
+      {ObjectId{1}, ObjectId{2}, ObjectId{3}, ObjectId{4}}};
+  const std::unordered_set<ObjectId> detected{ObjectId{1}};
+  const AccompanyCleanResult result = apply_accompany_constraint(detected, groups, 0.5);
+  EXPECT_FALSE(result.corrected.contains(ObjectId{2}));
+  EXPECT_EQ(result.recovered, 0u);
+}
+
+TEST(AccompanyTest, EmptyDetectionNeverInfers) {
+  const std::vector<std::vector<ObjectId>> groups{{ObjectId{1}, ObjectId{2}}};
+  const AccompanyCleanResult result = apply_accompany_constraint({}, groups, 0.5);
+  EXPECT_TRUE(result.corrected.empty());
+}
+
+TEST(AccompanyTest, ObjectsOutsideGroupsUntouched) {
+  const std::vector<std::vector<ObjectId>> groups{{ObjectId{1}, ObjectId{2}}};
+  const std::unordered_set<ObjectId> detected{ObjectId{9}};
+  const AccompanyCleanResult result = apply_accompany_constraint(detected, groups, 0.5);
+  EXPECT_TRUE(result.corrected.contains(ObjectId{9}));
+  EXPECT_EQ(result.corrected.size(), 1u);
+}
+
+TEST(AccompanyTest, FullQuorumRequiresAllMembers) {
+  const std::vector<std::vector<ObjectId>> groups{
+      {ObjectId{1}, ObjectId{2}, ObjectId{3}}};
+  const std::unordered_set<ObjectId> two{ObjectId{1}, ObjectId{2}};
+  EXPECT_EQ(apply_accompany_constraint(two, groups, 1.0).recovered, 0u);
+  const std::unordered_set<ObjectId> all{ObjectId{1}, ObjectId{2}, ObjectId{3}};
+  EXPECT_EQ(apply_accompany_constraint(all, groups, 1.0).recovered, 0u);
+}
+
+}  // namespace
+}  // namespace rfidsim::track

@@ -1,0 +1,91 @@
+#include "track/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::track {
+namespace {
+
+PassReport pass_with(std::initializer_list<std::uint64_t> ids) {
+  PassReport report;
+  for (std::uint64_t id : ids) report.objects_identified.insert(ObjectId{id});
+  return report;
+}
+
+Manifest manifest_with(std::initializer_list<std::uint64_t> ids) {
+  Manifest m;
+  for (std::uint64_t id : ids) m.expected.insert(ObjectId{id});
+  return m;
+}
+
+TEST(ManifestTest, PerfectMatchIsCleanAndComplete) {
+  const ManifestReport r = verify_manifest(manifest_with({1, 2, 3}), pass_with({1, 2, 3}));
+  EXPECT_EQ(r.confirmed.size(), 3u);
+  EXPECT_TRUE(r.missing.empty());
+  EXPECT_TRUE(r.unexpected.empty());
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(ManifestTest, MissedReadsShowAsMissing) {
+  const ManifestReport r = verify_manifest(manifest_with({1, 2, 3}), pass_with({1}));
+  EXPECT_EQ(r.confirmed.size(), 1u);
+  ASSERT_EQ(r.missing.size(), 2u);
+  EXPECT_FALSE(r.complete());
+  // Deterministic ordering.
+  EXPECT_EQ(r.missing[0], ObjectId{2});
+  EXPECT_EQ(r.missing[1], ObjectId{3});
+}
+
+TEST(ManifestTest, StraysShowAsUnexpected) {
+  const ManifestReport r = verify_manifest(manifest_with({1}), pass_with({1, 9}));
+  EXPECT_TRUE(r.complete());
+  EXPECT_FALSE(r.clean());
+  ASSERT_EQ(r.unexpected.size(), 1u);
+  EXPECT_EQ(r.unexpected[0], ObjectId{9});
+}
+
+TEST(ManifestTest, EmptyManifestEmptyPass) {
+  const ManifestReport r = verify_manifest({}, PassReport{});
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(GateTest, AuthorizedObjectOpens) {
+  AccessPolicy policy;
+  policy.authorized = {ObjectId{1}};
+  EXPECT_EQ(decide_gate(policy, pass_with({1})), GateAction::Open);
+}
+
+TEST(GateTest, UnauthorizedObjectAlarms) {
+  AccessPolicy policy;
+  policy.authorized = {ObjectId{1}};
+  EXPECT_EQ(decide_gate(policy, pass_with({2})), GateAction::Alarm);
+}
+
+TEST(GateTest, MixedPresenceAlarms) {
+  // Tailgating: an authorized badge does not excuse an unauthorized one.
+  AccessPolicy policy;
+  policy.authorized = {ObjectId{1}};
+  EXPECT_EQ(decide_gate(policy, pass_with({1, 2})), GateAction::Alarm);
+}
+
+TEST(GateTest, NoIdentificationPolicyDependent) {
+  AccessPolicy secure;
+  secure.alarm_on_unidentified = true;
+  EXPECT_EQ(decide_gate(secure, PassReport{}), GateAction::Alarm);
+  AccessPolicy logging;
+  logging.alarm_on_unidentified = false;
+  EXPECT_EQ(decide_gate(logging, PassReport{}), GateAction::Ignore);
+}
+
+TEST(GateTest, MissedReadOfAuthorizedBadgeIsTheFalseAlarm) {
+  // The paper's point, in action form: at 63% read reliability a secure
+  // gate false-alarms on legitimate staff 37% of the time.
+  AccessPolicy policy;
+  policy.authorized = {ObjectId{1}};
+  // The badge was present but not read: the pass is empty.
+  EXPECT_EQ(decide_gate(policy, PassReport{}), GateAction::Alarm);
+}
+
+}  // namespace
+}  // namespace rfidsim::track

@@ -1,0 +1,71 @@
+#include "track/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+namespace {
+
+using scene::TagId;
+
+TEST(RegistryTest, AddObjectAssignsDistinctIds) {
+  ObjectRegistry reg;
+  const ObjectId a = reg.add_object("box A");
+  const ObjectId b = reg.add_object("box B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.object_count(), 2u);
+  EXPECT_EQ(reg.name_of(a), "box A");
+  EXPECT_EQ(reg.name_of(b), "box B");
+}
+
+TEST(RegistryTest, BindAndLookup) {
+  ObjectRegistry reg;
+  const ObjectId obj = reg.add_object("pallet");
+  reg.bind_tag(TagId{10}, obj);
+  reg.bind_tag(TagId{11}, obj);
+  EXPECT_EQ(reg.object_of(TagId{10}), obj);
+  EXPECT_EQ(reg.object_of(TagId{11}), obj);
+  EXPECT_EQ(reg.tag_count(), 2u);
+  const auto tags = reg.tags_of(obj);
+  EXPECT_EQ(tags.size(), 2u);
+  EXPECT_NE(std::find(tags.begin(), tags.end(), TagId{10}), tags.end());
+}
+
+TEST(RegistryTest, UnknownTagIsNullopt) {
+  ObjectRegistry reg;
+  EXPECT_EQ(reg.object_of(TagId{99}), std::nullopt);
+}
+
+TEST(RegistryTest, UnknownObjectNameIsQuestionMark) {
+  ObjectRegistry reg;
+  EXPECT_EQ(reg.name_of(ObjectId{123}), "?");
+  EXPECT_TRUE(reg.tags_of(ObjectId{123}).empty());
+}
+
+TEST(RegistryTest, DoubleBindThrows) {
+  ObjectRegistry reg;
+  const ObjectId a = reg.add_object("a");
+  const ObjectId b = reg.add_object("b");
+  reg.bind_tag(TagId{1}, a);
+  EXPECT_THROW(reg.bind_tag(TagId{1}, b), ConfigError);
+}
+
+TEST(RegistryTest, BindToUnknownObjectThrows) {
+  ObjectRegistry reg;
+  EXPECT_THROW(reg.bind_tag(TagId{1}, ObjectId{42}), ConfigError);
+}
+
+TEST(RegistryTest, ObjectsPreserveRegistrationOrder) {
+  ObjectRegistry reg;
+  const ObjectId a = reg.add_object("first");
+  const ObjectId b = reg.add_object("second");
+  ASSERT_EQ(reg.objects().size(), 2u);
+  EXPECT_EQ(reg.objects()[0], a);
+  EXPECT_EQ(reg.objects()[1], b);
+}
+
+}  // namespace
+}  // namespace rfidsim::track

@@ -1,0 +1,100 @@
+#include "track/tracking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfidsim::track {
+namespace {
+
+using scene::TagId;
+using sys::EventLog;
+using sys::ReadEvent;
+
+ReadEvent event(std::uint64_t tag, double t) {
+  ReadEvent ev;
+  ev.tag = TagId{tag};
+  ev.time_s = t;
+  return ev;
+}
+
+struct Fixture {
+  ObjectRegistry registry;
+  ObjectId crate;
+  ObjectId person;
+
+  Fixture() {
+    crate = registry.add_object("crate");
+    person = registry.add_object("person");
+    registry.bind_tag(TagId{1}, crate);
+    registry.bind_tag(TagId{2}, crate);
+    registry.bind_tag(TagId{3}, person);
+  }
+};
+
+TEST(TrackingTest, EmptyLogIdentifiesNothing) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const PassReport report = analyzer.analyze({});
+  EXPECT_TRUE(report.tags_seen.empty());
+  EXPECT_TRUE(report.objects_identified.empty());
+  EXPECT_EQ(analyzer.tracking_fraction({}), 0.0);
+  EXPECT_EQ(analyzer.read_fraction({}), 0.0);
+}
+
+TEST(TrackingTest, OneTagIdentifiesItsObject) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const EventLog log{event(2, 1.0)};
+  const PassReport report = analyzer.analyze(log);
+  EXPECT_TRUE(report.objects_identified.contains(f.crate));
+  EXPECT_FALSE(report.objects_identified.contains(f.person));
+  EXPECT_TRUE(analyzer.identified(log, f.crate));
+  EXPECT_FALSE(analyzer.identified(log, f.person));
+}
+
+TEST(TrackingTest, DuplicateReadsCollapse) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const EventLog log{event(1, 0.1), event(1, 0.2), event(1, 0.3)};
+  const PassReport report = analyzer.analyze(log);
+  EXPECT_EQ(report.tags_seen.size(), 1u);
+  EXPECT_EQ(report.reads_per_tag.at(TagId{1}), 3u);
+  EXPECT_EQ(report.objects_identified.size(), 1u);
+}
+
+TEST(TrackingTest, FirstSeenTimeIsEarliest) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const EventLog log{event(1, 2.0), event(2, 0.5), event(1, 3.0)};
+  const PassReport report = analyzer.analyze(log);
+  EXPECT_DOUBLE_EQ(report.first_seen_s.at(f.crate), 0.5);
+}
+
+TEST(TrackingTest, FractionsCountRegistryWide) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const EventLog log{event(1, 0.1), event(3, 0.2)};
+  // 2 of 3 tags seen, 2 of 2 objects identified.
+  EXPECT_NEAR(analyzer.read_fraction(log), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(analyzer.tracking_fraction(log), 1.0, 1e-12);
+}
+
+TEST(TrackingTest, UnknownTagsCountForReadsButNoObject) {
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  const EventLog log{event(77, 0.1)};
+  const PassReport report = analyzer.analyze(log);
+  EXPECT_EQ(report.tags_seen.size(), 1u);
+  EXPECT_TRUE(report.objects_identified.empty());
+}
+
+TEST(TrackingTest, MultiTagRedundancyNeedsOnlyOne) {
+  // The paper's tracking-reliability definition: any of the object's tags
+  // suffices.
+  const Fixture f;
+  const TrackingAnalyzer analyzer(f.registry);
+  EXPECT_TRUE(analyzer.identified({event(1, 0.0)}, f.crate));
+  EXPECT_TRUE(analyzer.identified({event(2, 0.0)}, f.crate));
+}
+
+}  // namespace
+}  // namespace rfidsim::track

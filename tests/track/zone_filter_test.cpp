@@ -1,0 +1,144 @@
+#include "track/zone_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+namespace {
+
+using scene::TagId;
+using sys::EventLog;
+using sys::ReadEvent;
+
+ReadEvent event(std::uint64_t tag, double t, double rssi_dbm) {
+  ReadEvent ev;
+  ev.tag = TagId{tag};
+  ev.time_s = t;
+  ev.rssi = DbmPower(rssi_dbm);
+  return ev;
+}
+
+TEST(ZoneFilterTest, InvalidParamsThrow) {
+  ZoneFilterParams p;
+  p.window_s = 0.0;
+  EXPECT_THROW(filter_zone({}, p), ConfigError);
+  p = {};
+  p.min_reads = 0;
+  EXPECT_THROW(filter_zone({}, p), ConfigError);
+}
+
+TEST(ZoneFilterTest, EmptyLogPassesThrough) {
+  const ZoneFilterResult r = filter_zone({});
+  EXPECT_TRUE(r.in_zone.empty());
+  EXPECT_TRUE(r.stray.empty());
+}
+
+TEST(ZoneFilterTest, StrongPeakKeepsAllOfTheTagsReads) {
+  // One strong closest-approach read rescues the tag's weak reads too:
+  // the classification is per tag, not per read.
+  const EventLog log{event(1, 0.0, -65.0), event(1, 1.0, -45.0), event(1, 2.0, -66.0)};
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_EQ(r.in_zone.size(), 3u);
+  EXPECT_TRUE(r.stray.empty());
+}
+
+TEST(ZoneFilterTest, WeakPeakSparseTagIsStray) {
+  const EventLog log{event(1, 0.0, -65.0), event(1, 3.0, -68.0)};
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_TRUE(r.in_zone.empty());
+  EXPECT_EQ(r.stray.size(), 2u);
+}
+
+TEST(ZoneFilterTest, EdgeDwellerPassesViaDensity) {
+  // Just below the peak threshold but within the slack, and three reads in
+  // under a second: a tag dwelling at the zone edge.
+  const EventLog log{event(1, 0.0, -53.0), event(1, 0.4, -54.0), event(1, 0.8, -52.5)};
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_EQ(r.in_zone.size(), 3u);
+}
+
+TEST(ZoneFilterTest, DenseButDeepReadsStayStray) {
+  // Below even the slack floor: density alone does not rescue.
+  const EventLog log{event(1, 0.0, -60.0), event(1, 0.3, -61.0), event(1, 0.6, -60.0),
+                     event(1, 0.9, -62.0)};
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_TRUE(r.in_zone.empty());
+  EXPECT_EQ(r.stray.size(), 4u);
+}
+
+TEST(ZoneFilterTest, NearMissReadsSpreadOutStayStray) {
+  ZoneFilterParams p;  // window 1 s, 3 reads.
+  const EventLog log{event(1, 0.0, -53.0), event(1, 2.0, -53.0), event(1, 4.0, -53.0)};
+  const ZoneFilterResult r = filter_zone(log, p);
+  EXPECT_TRUE(r.in_zone.empty());
+}
+
+TEST(ZoneFilterTest, TagsAreJudgedIndependently) {
+  const EventLog log{
+      event(1, 0.0, -45.0),                        // Strong peak: in zone.
+      event(2, 0.1, -60.0),                        // Weak lone read: stray.
+      event(3, 0.2, -53.0), event(3, 0.5, -53.0),  // Two near-misses: not enough.
+  };
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_EQ(r.in_zone.size(), 1u);
+  EXPECT_EQ(r.stray.size(), 3u);
+}
+
+TEST(ZoneFilterTest, ThresholdsAreConfigurable) {
+  ZoneFilterParams lax;
+  lax.min_peak_rssi_dbm = -70.0;
+  const EventLog log{event(1, 0.0, -60.0)};
+  EXPECT_EQ(filter_zone(log, lax).in_zone.size(), 1u);
+  ZoneFilterParams strict;
+  strict.min_peak_rssi_dbm = -40.0;
+  EXPECT_EQ(filter_zone(log, strict).stray.size(), 1u);
+}
+
+TEST(BackgroundTest, InvalidMinPassesThrows) {
+  EXPECT_THROW(detect_background({}, 0), ConfigError);
+}
+
+TEST(BackgroundTest, EmptyPassesNoBackground) {
+  EXPECT_TRUE(detect_background({}, 2).empty());
+  EXPECT_TRUE(detect_background({{}, {}}, 2).empty());
+}
+
+TEST(BackgroundTest, PersistentTagsAreFlagged) {
+  const std::vector<EventLog> passes{
+      {event(1, 0.0, -50.0), event(7, 0.1, -60.0)},
+      {event(2, 0.0, -50.0), event(7, 0.1, -60.0)},
+      {event(3, 0.0, -50.0), event(7, 0.1, -60.0)},
+  };
+  const auto background = detect_background(passes, 2);
+  EXPECT_EQ(background.size(), 1u);
+  EXPECT_TRUE(background.contains(TagId{7}));
+}
+
+TEST(BackgroundTest, DuplicatesWithinOnePassCountOnce) {
+  const std::vector<EventLog> passes{
+      {event(7, 0.0, -60.0), event(7, 0.1, -60.0), event(7, 0.2, -60.0)},
+      {event(1, 0.0, -50.0)},
+  };
+  // Tag 7 appeared in only one pass despite three reads.
+  EXPECT_TRUE(detect_background(passes, 2).empty());
+}
+
+TEST(BackgroundTest, RemoveBackgroundDropsOnlyFlaggedTags) {
+  const EventLog log{event(1, 0.0, -50.0), event(7, 0.1, -60.0), event(1, 0.2, -51.0)};
+  const std::unordered_set<TagId> background{TagId{7}};
+  const EventLog clean = remove_background(log, background);
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean[0].tag, TagId{1});
+  EXPECT_EQ(clean[1].tag, TagId{1});
+}
+
+TEST(ZoneFilterTest, PartitionIsComplete) {
+  const EventLog log{event(1, 0.0, -45.0), event(2, 0.1, -80.0),
+                     event(3, 0.2, -60.0), event(4, 0.3, -90.0)};
+  const ZoneFilterResult r = filter_zone(log);
+  EXPECT_EQ(r.in_zone.size() + r.stray.size(), log.size());
+}
+
+}  // namespace
+}  // namespace rfidsim::track
