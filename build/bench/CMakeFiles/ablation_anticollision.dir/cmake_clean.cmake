@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anticollision.dir/ablation_anticollision.cpp.o"
+  "CMakeFiles/ablation_anticollision.dir/ablation_anticollision.cpp.o.d"
+  "ablation_anticollision"
+  "ablation_anticollision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anticollision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

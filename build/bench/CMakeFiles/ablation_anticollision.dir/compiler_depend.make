@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_anticollision.
+# This may be replaced when dependencies are built.

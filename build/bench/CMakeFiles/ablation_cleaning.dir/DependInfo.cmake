@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cleaning.cpp" "bench/CMakeFiles/ablation_cleaning.dir/ablation_cleaning.cpp.o" "gcc" "bench/CMakeFiles/ablation_cleaning.dir/ablation_cleaning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/rfidsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/locate/CMakeFiles/rfidsim_locate.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/rfidsim_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/rfidsim_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rfidsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfidsim_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

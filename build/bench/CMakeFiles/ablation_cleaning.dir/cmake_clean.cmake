@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cleaning.dir/ablation_cleaning.cpp.o"
+  "CMakeFiles/ablation_cleaning.dir/ablation_cleaning.cpp.o.d"
+  "ablation_cleaning"
+  "ablation_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

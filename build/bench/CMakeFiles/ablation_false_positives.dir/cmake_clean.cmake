@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_false_positives.dir/ablation_false_positives.cpp.o"
+  "CMakeFiles/ablation_false_positives.dir/ablation_false_positives.cpp.o.d"
+  "ablation_false_positives"
+  "ablation_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_physics.dir/ablation_physics.cpp.o"
+  "CMakeFiles/ablation_physics.dir/ablation_physics.cpp.o.d"
+  "ablation_physics"
+  "ablation_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

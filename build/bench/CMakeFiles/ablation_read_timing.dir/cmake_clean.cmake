@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_timing.dir/ablation_read_timing.cpp.o"
+  "CMakeFiles/ablation_read_timing.dir/ablation_read_timing.cpp.o.d"
+  "ablation_read_timing"
+  "ablation_read_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

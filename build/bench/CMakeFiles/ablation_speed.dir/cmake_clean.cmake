@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speed.dir/ablation_speed.cpp.o"
+  "CMakeFiles/ablation_speed.dir/ablation_speed.cpp.o.d"
+  "ablation_speed"
+  "ablation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

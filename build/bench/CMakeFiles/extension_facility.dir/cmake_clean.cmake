@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_facility.dir/extension_facility.cpp.o"
+  "CMakeFiles/extension_facility.dir/extension_facility.cpp.o.d"
+  "extension_facility"
+  "extension_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

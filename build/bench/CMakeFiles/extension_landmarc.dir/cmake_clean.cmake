@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_landmarc.dir/extension_landmarc.cpp.o"
+  "CMakeFiles/extension_landmarc.dir/extension_landmarc.cpp.o.d"
+  "extension_landmarc"
+  "extension_landmarc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_landmarc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

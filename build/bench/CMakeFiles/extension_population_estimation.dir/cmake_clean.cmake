@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_population_estimation.dir/extension_population_estimation.cpp.o"
+  "CMakeFiles/extension_population_estimation.dir/extension_population_estimation.cpp.o.d"
+  "extension_population_estimation"
+  "extension_population_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_population_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

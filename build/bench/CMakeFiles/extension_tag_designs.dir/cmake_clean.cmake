@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tag_designs.dir/extension_tag_designs.cpp.o"
+  "CMakeFiles/extension_tag_designs.dir/extension_tag_designs.cpp.o.d"
+  "extension_tag_designs"
+  "extension_tag_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tag_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_read_range.dir/fig2_read_range.cpp.o"
+  "CMakeFiles/fig2_read_range.dir/fig2_read_range.cpp.o.d"
+  "fig2_read_range"
+  "fig2_read_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_read_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

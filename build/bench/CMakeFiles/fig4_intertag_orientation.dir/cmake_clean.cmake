@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_intertag_orientation.dir/fig4_intertag_orientation.cpp.o"
+  "CMakeFiles/fig4_intertag_orientation.dir/fig4_intertag_orientation.cpp.o.d"
+  "fig4_intertag_orientation"
+  "fig4_intertag_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_intertag_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

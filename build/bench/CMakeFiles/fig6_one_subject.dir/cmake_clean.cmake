@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_one_subject.dir/fig6_one_subject.cpp.o"
+  "CMakeFiles/fig6_one_subject.dir/fig6_one_subject.cpp.o.d"
+  "fig6_one_subject"
+  "fig6_one_subject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_one_subject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

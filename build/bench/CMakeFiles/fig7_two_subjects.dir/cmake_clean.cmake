@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_two_subjects.dir/fig7_two_subjects.cpp.o"
+  "CMakeFiles/fig7_two_subjects.dir/fig7_two_subjects.cpp.o.d"
+  "fig7_two_subjects"
+  "fig7_two_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_two_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_object_locations.dir/table1_object_locations.cpp.o"
+  "CMakeFiles/table1_object_locations.dir/table1_object_locations.cpp.o.d"
+  "table1_object_locations"
+  "table1_object_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_object_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_human_tracking.dir/table2_human_tracking.cpp.o"
+  "CMakeFiles/table2_human_tracking.dir/table2_human_tracking.cpp.o.d"
+  "table2_human_tracking"
+  "table2_human_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_human_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fig5_object_redundancy.dir/table3_fig5_object_redundancy.cpp.o"
+  "CMakeFiles/table3_fig5_object_redundancy.dir/table3_fig5_object_redundancy.cpp.o.d"
+  "table3_fig5_object_redundancy"
+  "table3_fig5_object_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fig5_object_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

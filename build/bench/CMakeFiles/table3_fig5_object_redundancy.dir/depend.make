@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_fig5_object_redundancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_human_redundancy_1ant.dir/table4_human_redundancy_1ant.cpp.o"
+  "CMakeFiles/table4_human_redundancy_1ant.dir/table4_human_redundancy_1ant.cpp.o.d"
+  "table4_human_redundancy_1ant"
+  "table4_human_redundancy_1ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_human_redundancy_1ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

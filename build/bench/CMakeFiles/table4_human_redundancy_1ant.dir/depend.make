@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_human_redundancy_1ant.
+# This may be replaced when dependencies are built.

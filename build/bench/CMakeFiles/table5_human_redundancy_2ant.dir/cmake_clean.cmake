@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_human_redundancy_2ant.dir/table5_human_redundancy_2ant.cpp.o"
+  "CMakeFiles/table5_human_redundancy_2ant.dir/table5_human_redundancy_2ant.cpp.o.d"
+  "table5_human_redundancy_2ant"
+  "table5_human_redundancy_2ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_human_redundancy_2ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

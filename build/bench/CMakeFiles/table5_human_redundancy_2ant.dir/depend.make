@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_human_redundancy_2ant.
+# This may be replaced when dependencies are built.

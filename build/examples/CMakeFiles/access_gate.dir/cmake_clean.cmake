@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_gate.dir/access_gate.cpp.o"
+  "CMakeFiles/access_gate.dir/access_gate.cpp.o.d"
+  "access_gate"
+  "access_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor_audit.dir/conveyor_audit.cpp.o"
+  "CMakeFiles/conveyor_audit.dir/conveyor_audit.cpp.o.d"
+  "conveyor_audit"
+  "conveyor_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

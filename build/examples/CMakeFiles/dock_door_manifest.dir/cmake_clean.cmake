@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dock_door_manifest.dir/dock_door_manifest.cpp.o"
+  "CMakeFiles/dock_door_manifest.dir/dock_door_manifest.cpp.o.d"
+  "dock_door_manifest"
+  "dock_door_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dock_door_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dock_door_manifest.
+# This may be replaced when dependencies are built.

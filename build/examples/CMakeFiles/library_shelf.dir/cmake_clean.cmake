@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_shelf.dir/library_shelf.cpp.o"
+  "CMakeFiles/library_shelf.dir/library_shelf.cpp.o.d"
+  "library_shelf"
+  "library_shelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_shelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

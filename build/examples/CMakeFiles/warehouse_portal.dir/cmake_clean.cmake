@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_portal.dir/warehouse_portal.cpp.o"
+  "CMakeFiles/warehouse_portal.dir/warehouse_portal.cpp.o.d"
+  "warehouse_portal"
+  "warehouse_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_common.dir/stats.cpp.o"
+  "CMakeFiles/rfidsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rfidsim_common.dir/table.cpp.o"
+  "CMakeFiles/rfidsim_common.dir/table.cpp.o.d"
+  "CMakeFiles/rfidsim_common.dir/units.cpp.o"
+  "CMakeFiles/rfidsim_common.dir/units.cpp.o.d"
+  "librfidsim_common.a"
+  "librfidsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

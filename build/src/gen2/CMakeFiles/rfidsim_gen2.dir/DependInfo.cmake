@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen2/estimation.cpp" "src/gen2/CMakeFiles/rfidsim_gen2.dir/estimation.cpp.o" "gcc" "src/gen2/CMakeFiles/rfidsim_gen2.dir/estimation.cpp.o.d"
+  "/root/repo/src/gen2/interference.cpp" "src/gen2/CMakeFiles/rfidsim_gen2.dir/interference.cpp.o" "gcc" "src/gen2/CMakeFiles/rfidsim_gen2.dir/interference.cpp.o.d"
+  "/root/repo/src/gen2/inventory.cpp" "src/gen2/CMakeFiles/rfidsim_gen2.dir/inventory.cpp.o" "gcc" "src/gen2/CMakeFiles/rfidsim_gen2.dir/inventory.cpp.o.d"
+  "/root/repo/src/gen2/tag_state.cpp" "src/gen2/CMakeFiles/rfidsim_gen2.dir/tag_state.cpp.o" "gcc" "src/gen2/CMakeFiles/rfidsim_gen2.dir/tag_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

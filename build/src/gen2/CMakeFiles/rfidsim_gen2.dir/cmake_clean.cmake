@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_gen2.dir/estimation.cpp.o"
+  "CMakeFiles/rfidsim_gen2.dir/estimation.cpp.o.d"
+  "CMakeFiles/rfidsim_gen2.dir/interference.cpp.o"
+  "CMakeFiles/rfidsim_gen2.dir/interference.cpp.o.d"
+  "CMakeFiles/rfidsim_gen2.dir/inventory.cpp.o"
+  "CMakeFiles/rfidsim_gen2.dir/inventory.cpp.o.d"
+  "CMakeFiles/rfidsim_gen2.dir/tag_state.cpp.o"
+  "CMakeFiles/rfidsim_gen2.dir/tag_state.cpp.o.d"
+  "librfidsim_gen2.a"
+  "librfidsim_gen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_gen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfidsim_gen2.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_locate.dir/landmarc.cpp.o"
+  "CMakeFiles/rfidsim_locate.dir/landmarc.cpp.o.d"
+  "librfidsim_locate.a"
+  "librfidsim_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/analytical.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/analytical.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/analytical.cpp.o.d"
+  "/root/repo/src/reliability/estimator.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/estimator.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/estimator.cpp.o.d"
+  "/root/repo/src/reliability/facility.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/facility.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/facility.cpp.o.d"
+  "/root/repo/src/reliability/planner.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/planner.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/planner.cpp.o.d"
+  "/root/repo/src/reliability/scenarios.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/scenarios.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/scenarios.cpp.o.d"
+  "/root/repo/src/reliability/schemes.cpp" "src/reliability/CMakeFiles/rfidsim_reliability.dir/schemes.cpp.o" "gcc" "src/reliability/CMakeFiles/rfidsim_reliability.dir/schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rfidsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfidsim_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/rfidsim_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/rfidsim_track.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

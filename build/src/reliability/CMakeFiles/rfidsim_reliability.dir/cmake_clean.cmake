@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_reliability.dir/analytical.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/analytical.cpp.o.d"
+  "CMakeFiles/rfidsim_reliability.dir/estimator.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/estimator.cpp.o.d"
+  "CMakeFiles/rfidsim_reliability.dir/facility.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/facility.cpp.o.d"
+  "CMakeFiles/rfidsim_reliability.dir/planner.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/planner.cpp.o.d"
+  "CMakeFiles/rfidsim_reliability.dir/scenarios.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/scenarios.cpp.o.d"
+  "CMakeFiles/rfidsim_reliability.dir/schemes.cpp.o"
+  "CMakeFiles/rfidsim_reliability.dir/schemes.cpp.o.d"
+  "librfidsim_reliability.a"
+  "librfidsim_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

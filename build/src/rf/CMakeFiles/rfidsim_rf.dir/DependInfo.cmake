@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/antenna.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/antenna.cpp.o.d"
+  "/root/repo/src/rf/coupling.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/coupling.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/coupling.cpp.o.d"
+  "/root/repo/src/rf/link_budget.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/link_budget.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/link_budget.cpp.o.d"
+  "/root/repo/src/rf/material.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/material.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/material.cpp.o.d"
+  "/root/repo/src/rf/propagation.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/propagation.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/propagation.cpp.o.d"
+  "/root/repo/src/rf/tag_design.cpp" "src/rf/CMakeFiles/rfidsim_rf.dir/tag_design.cpp.o" "gcc" "src/rf/CMakeFiles/rfidsim_rf.dir/tag_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_rf.dir/antenna.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/rfidsim_rf.dir/coupling.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/coupling.cpp.o.d"
+  "CMakeFiles/rfidsim_rf.dir/link_budget.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/link_budget.cpp.o.d"
+  "CMakeFiles/rfidsim_rf.dir/material.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/material.cpp.o.d"
+  "CMakeFiles/rfidsim_rf.dir/propagation.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/propagation.cpp.o.d"
+  "CMakeFiles/rfidsim_rf.dir/tag_design.cpp.o"
+  "CMakeFiles/rfidsim_rf.dir/tag_design.cpp.o.d"
+  "librfidsim_rf.a"
+  "librfidsim_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/entity.cpp" "src/scene/CMakeFiles/rfidsim_scene.dir/entity.cpp.o" "gcc" "src/scene/CMakeFiles/rfidsim_scene.dir/entity.cpp.o.d"
+  "/root/repo/src/scene/geometry.cpp" "src/scene/CMakeFiles/rfidsim_scene.dir/geometry.cpp.o" "gcc" "src/scene/CMakeFiles/rfidsim_scene.dir/geometry.cpp.o.d"
+  "/root/repo/src/scene/path_evaluator.cpp" "src/scene/CMakeFiles/rfidsim_scene.dir/path_evaluator.cpp.o" "gcc" "src/scene/CMakeFiles/rfidsim_scene.dir/path_evaluator.cpp.o.d"
+  "/root/repo/src/scene/trajectory.cpp" "src/scene/CMakeFiles/rfidsim_scene.dir/trajectory.cpp.o" "gcc" "src/scene/CMakeFiles/rfidsim_scene.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

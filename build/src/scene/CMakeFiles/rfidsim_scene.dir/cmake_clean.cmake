@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_scene.dir/entity.cpp.o"
+  "CMakeFiles/rfidsim_scene.dir/entity.cpp.o.d"
+  "CMakeFiles/rfidsim_scene.dir/geometry.cpp.o"
+  "CMakeFiles/rfidsim_scene.dir/geometry.cpp.o.d"
+  "CMakeFiles/rfidsim_scene.dir/path_evaluator.cpp.o"
+  "CMakeFiles/rfidsim_scene.dir/path_evaluator.cpp.o.d"
+  "CMakeFiles/rfidsim_scene.dir/trajectory.cpp.o"
+  "CMakeFiles/rfidsim_scene.dir/trajectory.cpp.o.d"
+  "librfidsim_scene.a"
+  "librfidsim_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_system.dir/event_io.cpp.o"
+  "CMakeFiles/rfidsim_system.dir/event_io.cpp.o.d"
+  "CMakeFiles/rfidsim_system.dir/portal.cpp.o"
+  "CMakeFiles/rfidsim_system.dir/portal.cpp.o.d"
+  "librfidsim_system.a"
+  "librfidsim_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/adaptive_smoother.cpp" "src/track/CMakeFiles/rfidsim_track.dir/adaptive_smoother.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/adaptive_smoother.cpp.o.d"
+  "/root/repo/src/track/cleaning.cpp" "src/track/CMakeFiles/rfidsim_track.dir/cleaning.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/cleaning.cpp.o.d"
+  "/root/repo/src/track/manifest.cpp" "src/track/CMakeFiles/rfidsim_track.dir/manifest.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/manifest.cpp.o.d"
+  "/root/repo/src/track/registry.cpp" "src/track/CMakeFiles/rfidsim_track.dir/registry.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/registry.cpp.o.d"
+  "/root/repo/src/track/tracking.cpp" "src/track/CMakeFiles/rfidsim_track.dir/tracking.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/tracking.cpp.o.d"
+  "/root/repo/src/track/zone_filter.cpp" "src/track/CMakeFiles/rfidsim_track.dir/zone_filter.cpp.o" "gcc" "src/track/CMakeFiles/rfidsim_track.dir/zone_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rfidsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/rfidsim_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfidsim_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidsim_track.dir/adaptive_smoother.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/adaptive_smoother.cpp.o.d"
+  "CMakeFiles/rfidsim_track.dir/cleaning.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/cleaning.cpp.o.d"
+  "CMakeFiles/rfidsim_track.dir/manifest.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/manifest.cpp.o.d"
+  "CMakeFiles/rfidsim_track.dir/registry.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/registry.cpp.o.d"
+  "CMakeFiles/rfidsim_track.dir/tracking.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/tracking.cpp.o.d"
+  "CMakeFiles/rfidsim_track.dir/zone_filter.cpp.o"
+  "CMakeFiles/rfidsim_track.dir/zone_filter.cpp.o.d"
+  "librfidsim_track.a"
+  "librfidsim_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidsim_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfidsim_track.a"
+)

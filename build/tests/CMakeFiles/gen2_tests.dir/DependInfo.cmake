@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen2/epc_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/epc_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/epc_test.cpp.o.d"
+  "/root/repo/tests/gen2/estimation_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/estimation_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/estimation_test.cpp.o.d"
+  "/root/repo/tests/gen2/interference_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/interference_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/interference_test.cpp.o.d"
+  "/root/repo/tests/gen2/inventory_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/inventory_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/inventory_test.cpp.o.d"
+  "/root/repo/tests/gen2/tag_state_fuzz_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/tag_state_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/tag_state_fuzz_test.cpp.o.d"
+  "/root/repo/tests/gen2/tag_state_test.cpp" "tests/CMakeFiles/gen2_tests.dir/gen2/tag_state_test.cpp.o" "gcc" "tests/CMakeFiles/gen2_tests.dir/gen2/tag_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/rfidsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/locate/CMakeFiles/rfidsim_locate.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/rfidsim_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/rfidsim_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rfidsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfidsim_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfidsim_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfidsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen2_tests.dir/gen2/epc_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/epc_test.cpp.o.d"
+  "CMakeFiles/gen2_tests.dir/gen2/estimation_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/estimation_test.cpp.o.d"
+  "CMakeFiles/gen2_tests.dir/gen2/interference_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/interference_test.cpp.o.d"
+  "CMakeFiles/gen2_tests.dir/gen2/inventory_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/inventory_test.cpp.o.d"
+  "CMakeFiles/gen2_tests.dir/gen2/tag_state_fuzz_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/tag_state_fuzz_test.cpp.o.d"
+  "CMakeFiles/gen2_tests.dir/gen2/tag_state_test.cpp.o"
+  "CMakeFiles/gen2_tests.dir/gen2/tag_state_test.cpp.o.d"
+  "gen2_tests"
+  "gen2_tests.pdb"
+  "gen2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locate_tests.dir/locate/landmarc_integration_test.cpp.o"
+  "CMakeFiles/locate_tests.dir/locate/landmarc_integration_test.cpp.o.d"
+  "CMakeFiles/locate_tests.dir/locate/landmarc_test.cpp.o"
+  "CMakeFiles/locate_tests.dir/locate/landmarc_test.cpp.o.d"
+  "locate_tests"
+  "locate_tests.pdb"
+  "locate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

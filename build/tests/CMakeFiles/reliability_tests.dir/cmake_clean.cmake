@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_tests.dir/reliability/analytical_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/analytical_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/calibration_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/calibration_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/estimator_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/estimator_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/facility_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/facility_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/parallel_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/parallel_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/planner_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/planner_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/scenarios_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/scenarios_test.cpp.o.d"
+  "CMakeFiles/reliability_tests.dir/reliability/schemes_test.cpp.o"
+  "CMakeFiles/reliability_tests.dir/reliability/schemes_test.cpp.o.d"
+  "reliability_tests"
+  "reliability_tests.pdb"
+  "reliability_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tests.dir/rf/antenna_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/antenna_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/coupling_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/coupling_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/link_budget_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/link_budget_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/material_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/material_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/propagation_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/propagation_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/tag_design_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/tag_design_test.cpp.o.d"
+  "rf_tests"
+  "rf_tests.pdb"
+  "rf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

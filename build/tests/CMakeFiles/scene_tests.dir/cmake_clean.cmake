@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_tests.dir/scene/entity_test.cpp.o"
+  "CMakeFiles/scene_tests.dir/scene/entity_test.cpp.o.d"
+  "CMakeFiles/scene_tests.dir/scene/geometry_test.cpp.o"
+  "CMakeFiles/scene_tests.dir/scene/geometry_test.cpp.o.d"
+  "CMakeFiles/scene_tests.dir/scene/path_evaluator_test.cpp.o"
+  "CMakeFiles/scene_tests.dir/scene/path_evaluator_test.cpp.o.d"
+  "CMakeFiles/scene_tests.dir/scene/scene_test.cpp.o"
+  "CMakeFiles/scene_tests.dir/scene/scene_test.cpp.o.d"
+  "CMakeFiles/scene_tests.dir/scene/trajectory_test.cpp.o"
+  "CMakeFiles/scene_tests.dir/scene/trajectory_test.cpp.o.d"
+  "scene_tests"
+  "scene_tests.pdb"
+  "scene_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

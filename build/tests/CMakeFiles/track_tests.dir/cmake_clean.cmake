@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_tests.dir/track/adaptive_smoother_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/adaptive_smoother_test.cpp.o.d"
+  "CMakeFiles/track_tests.dir/track/cleaning_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/cleaning_test.cpp.o.d"
+  "CMakeFiles/track_tests.dir/track/manifest_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/manifest_test.cpp.o.d"
+  "CMakeFiles/track_tests.dir/track/registry_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/registry_test.cpp.o.d"
+  "CMakeFiles/track_tests.dir/track/tracking_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/tracking_test.cpp.o.d"
+  "CMakeFiles/track_tests.dir/track/zone_filter_test.cpp.o"
+  "CMakeFiles/track_tests.dir/track/zone_filter_test.cpp.o.d"
+  "track_tests"
+  "track_tests.pdb"
+  "track_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

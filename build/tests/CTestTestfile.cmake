@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/rf_tests[1]_include.cmake")
+include("/root/repo/build/tests/scene_tests[1]_include.cmake")
+include("/root/repo/build/tests/gen2_tests[1]_include.cmake")
+include("/root/repo/build/tests/system_tests[1]_include.cmake")
+include("/root/repo/build/tests/track_tests[1]_include.cmake")
+include("/root/repo/build/tests/locate_tests[1]_include.cmake")
+include("/root/repo/build/tests/reliability_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
