@@ -2,13 +2,26 @@
 //
 // rfidsim throws on programmer errors (invalid configuration, violated
 // preconditions) and never on expected simulation outcomes (a missed read
-// is a result, not an error).
+// is a result, not an error). Infrastructure faults sit in between: a
+// flaky upload link or a corrupt middleware record is neither a bug nor a
+// clean result, so those errors carry a severity that tells the caller
+// whether retrying can help.
 #pragma once
 
 #include <stdexcept>
 #include <string>
 
 namespace rfidsim {
+
+/// How an operational failure should be handled by the caller.
+enum class ErrorSeverity {
+  /// Retrying (possibly after a backoff) may succeed: a lost upload
+  /// batch, a jammed command, a reader mid-restart.
+  Transient,
+  /// No amount of retrying helps: a truncated record, an exhausted retry
+  /// budget, a dead cable until someone replaces it.
+  Permanent,
+};
 
 /// Base class for all rfidsim exceptions.
 class Error : public std::runtime_error {
@@ -22,6 +35,35 @@ class Error : public std::runtime_error {
 class ConfigError : public Error {
  public:
   using Error::Error;
+};
+
+/// Operational failure in the read infrastructure (upload channel,
+/// middleware feed, reader hardware) — as opposed to a misconfiguration.
+/// Carries a severity so resilient consumers can decide between retrying
+/// and quarantining.
+class FaultError : public Error {
+ public:
+  FaultError(ErrorSeverity severity, const std::string& message)
+      : Error(message), severity_(severity) {}
+  ErrorSeverity severity() const { return severity_; }
+  bool transient() const { return severity_ == ErrorSeverity::Transient; }
+
+ private:
+  ErrorSeverity severity_;
+};
+
+/// A FaultError worth retrying.
+class TransientError : public FaultError {
+ public:
+  explicit TransientError(const std::string& message)
+      : FaultError(ErrorSeverity::Transient, message) {}
+};
+
+/// A FaultError retrying cannot fix.
+class PermanentError : public FaultError {
+ public:
+  explicit PermanentError(const std::string& message)
+      : FaultError(ErrorSeverity::Permanent, message) {}
 };
 
 /// Throws ConfigError when `condition` is false.

@@ -1,0 +1,134 @@
+#include "fault/corruption.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rfidsim::fault {
+
+namespace {
+
+void check(const CorruptionConfig& c) {
+  for (double p : {c.drop_probability, c.duplicate_probability, c.corrupt_probability,
+                   c.reorder_probability, c.truncate_probability}) {
+    require(p >= 0.0 && p <= 1.0, "corruption: probability out of [0, 1]");
+  }
+}
+
+/// Swaps randomly chosen elements up to `distance` positions away. Shared
+/// by both corruption surfaces so reordering statistics match.
+template <typename T>
+std::size_t reorder(std::vector<T>& items, double probability, std::size_t distance,
+                    Rng& rng) {
+  if (probability <= 0.0 || distance == 0) return 0;
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!rng.bernoulli(probability)) continue;
+    const auto lo = static_cast<std::int64_t>(i > distance ? i - distance : 0);
+    const auto hi = static_cast<std::int64_t>(
+        std::min(i + distance, items.empty() ? 0 : items.size() - 1));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+    if (j != i) {
+      std::swap(items[i], items[j]);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+sys::EventLog corrupt_log(const sys::EventLog& log, const CorruptionConfig& config,
+                          Rng& rng, CorruptionStats* stats) {
+  check(config);
+  CorruptionStats local;
+  local.input_records = log.size();
+
+  sys::EventLog out;
+  out.reserve(log.size());
+  for (const sys::ReadEvent& ev : log) {
+    if (rng.bernoulli(config.drop_probability)) {
+      ++local.dropped;
+      continue;
+    }
+    sys::ReadEvent copy = ev;
+    if (rng.bernoulli(config.corrupt_probability)) {
+      // One bit flips in the EPC — the classic undetected serial-link error.
+      copy.tag.value ^= 1ULL << (rng.next_u64() % 64);
+      ++local.corrupted;
+    }
+    out.push_back(copy);
+    if (rng.bernoulli(config.duplicate_probability)) {
+      out.push_back(copy);
+      ++local.duplicated;
+    }
+  }
+  local.reordered =
+      reorder(out, config.reorder_probability, config.reorder_distance, rng);
+
+  if (stats) *stats = local;
+  return out;
+}
+
+std::string corrupt_csv(const std::string& csv, const CorruptionConfig& config,
+                        Rng& rng, CorruptionStats* stats) {
+  check(config);
+  CorruptionStats local;
+
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  std::vector<std::string> rows;
+  for (std::string line; std::getline(in, line);) rows.push_back(std::move(line));
+  local.input_records = rows.size();
+
+  std::vector<std::string> out_rows;
+  out_rows.reserve(rows.size());
+  for (std::string& row : rows) {
+    if (rng.bernoulli(config.drop_probability)) {
+      ++local.dropped;
+      continue;
+    }
+    if (rng.bernoulli(config.corrupt_probability) && !row.empty()) {
+      // Mangle one character: either strike it out or overwrite it with a
+      // printable garbage byte. Digits become letters, commas vanish —
+      // exactly the damage a strict parser chokes on.
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(row.size()) - 1));
+      if (rng.bernoulli(0.5)) {
+        row.erase(pos, 1);
+      } else {
+        row[pos] = static_cast<char>('A' + rng.uniform_int(0, 25));
+      }
+      ++local.corrupted;
+    }
+    out_rows.push_back(row);
+    if (rng.bernoulli(config.duplicate_probability)) {
+      out_rows.push_back(out_rows.back());
+      ++local.duplicated;
+    }
+  }
+  local.reordered =
+      reorder(out_rows, config.reorder_probability, config.reorder_distance, rng);
+
+  std::string out = header + '\n';
+  for (const std::string& row : out_rows) {
+    out += row;
+    out += '\n';
+  }
+  if (rng.bernoulli(config.truncate_probability) && out.size() > header.size() + 1) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(header.size()) + 1,
+                        static_cast<std::int64_t>(out.size()) - 1));
+    out.resize(cut);
+    local.truncated = true;
+  }
+
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace rfidsim::fault

@@ -1,0 +1,62 @@
+// Event-log corruption: what middleware does to clean reader output.
+//
+// Between the reader's buffer and the tracking back end sit serial links,
+// store-and-forward daemons, and flat files — all of which drop, repeat,
+// mangle, and reorder records in the wild. Two corruption surfaces are
+// modelled, both seeded and reproducible:
+//   * record level (corrupt_log): dropped, duplicated, bit-flipped and
+//     out-of-order ReadEvents — structurally valid but wrong;
+//   * text level (corrupt_csv): character mangling of the serialized CSV —
+//     rows that no longer parse at all, truncated tails, glued lines.
+// track::ResilientIngest is the consumer that must survive both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+#include "system/events.hpp"
+
+namespace rfidsim::fault {
+
+/// Per-record corruption probabilities. All zero by default (identity).
+struct CorruptionConfig {
+  /// Record silently lost in transit.
+  double drop_probability = 0.0;
+  /// Record delivered twice (store-and-forward retry after a lost ack).
+  double duplicate_probability = 0.0;
+  /// Record content damaged: a bit flips in the tag id (record level) or a
+  /// character is mangled (text level).
+  double corrupt_probability = 0.0;
+  /// Record displaced from chronological order (multi-queue middleware).
+  double reorder_probability = 0.0;
+  /// How far (in records) a reordered record may travel.
+  std::size_t reorder_distance = 4;
+  /// Text level only: probability the stream is truncated mid-row at a
+  /// uniformly chosen point (connection torn down while flushing).
+  double truncate_probability = 0.0;
+};
+
+/// What the corruption pass actually did — ground truth for tests and for
+/// calibrating ingest quarantine counters.
+struct CorruptionStats {
+  std::size_t input_records = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t corrupted = 0;
+  std::size_t reordered = 0;
+  bool truncated = false;
+};
+
+/// Record-level corruption of an in-memory event log. Deterministic given
+/// `rng`'s state; a default config returns `log` unchanged.
+sys::EventLog corrupt_log(const sys::EventLog& log, const CorruptionConfig& config,
+                          Rng& rng, CorruptionStats* stats = nullptr);
+
+/// Text-level corruption of a serialized CSV log (header preserved so the
+/// parser's framing survives; data rows are dropped / duplicated /
+/// character-mangled / reordered and the tail optionally truncated).
+std::string corrupt_csv(const std::string& csv, const CorruptionConfig& config,
+                        Rng& rng, CorruptionStats* stats = nullptr);
+
+}  // namespace rfidsim::fault

@@ -1,0 +1,100 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rfidsim::fault {
+
+FaultSchedule FaultSchedule::sample(const FaultConfig& config, std::size_t reader_count,
+                                    std::size_t antenna_count, double t0_s, double t1_s,
+                                    Rng& rng) {
+  require(t1_s >= t0_s, "FaultSchedule: window must not be inverted");
+  require(config.reader.mtbf_s <= 0.0 || config.reader.mttr_s > 0.0,
+          "FaultSchedule: MTTR must be positive when MTBF faults are enabled");
+  require(config.antenna.probability >= 0.0 && config.antenna.probability <= 1.0,
+          "FaultSchedule: antenna outage probability out of [0, 1]");
+
+  FaultSchedule sched;
+  sched.reader_outages_.resize(reader_count);
+
+  // Reader crash/restart: alternating up (exp, mean MTBF) and down
+  // (exp, mean MTTR) phases per reader, starting up at t0.
+  if (config.reader.mtbf_s > 0.0) {
+    for (std::size_t r = 0; r < reader_count; ++r) {
+      double t = t0_s;
+      while (t < t1_s) {
+        t += rng.exponential(1.0 / config.reader.mtbf_s);
+        if (t >= t1_s) break;
+        const double down = rng.exponential(1.0 / config.reader.mttr_s);
+        sched.reader_outages_[r].push_back({t, std::min(t + down, t1_s)});
+        t += down;
+      }
+    }
+  }
+
+  // Antenna outages: one Bernoulli draw per scene antenna, drawn even for
+  // antennas no reader drives so the draw count (and hence the stream
+  // consumed) depends only on the scene, not the reader split.
+  sched.dead_antennas_.assign(antenna_count, false);
+  if (config.antenna.probability > 0.0) {
+    for (std::size_t a = 0; a < antenna_count; ++a) {
+      sched.dead_antennas_[a] = rng.bernoulli(config.antenna.probability);
+    }
+  }
+
+  // Jamming bursts: Poisson arrivals, exponential durations.
+  if (config.jamming.mean_interarrival_s > 0.0) {
+    require(config.jamming.mean_burst_s > 0.0,
+            "FaultSchedule: jamming burst duration must be positive");
+    sched.jamming_loss_db_ = config.jamming.extra_loss_db;
+    double t = t0_s;
+    while (true) {
+      t += rng.exponential(1.0 / config.jamming.mean_interarrival_s);
+      if (t >= t1_s) break;
+      const double dur = rng.exponential(1.0 / config.jamming.mean_burst_s);
+      sched.jamming_bursts_.push_back({t, std::min(t + dur, t1_s)});
+      t += dur;
+    }
+  }
+  return sched;
+}
+
+bool FaultSchedule::reader_down(std::size_t reader, double t_s) const {
+  if (reader >= reader_outages_.size()) return false;
+  for (const TimeWindow& w : reader_outages_[reader]) {
+    if (w.contains(t_s)) return true;
+    if (w.begin_s > t_s) break;  // Sorted: nothing later can contain t.
+  }
+  return false;
+}
+
+double FaultSchedule::reader_up_after(std::size_t reader, double t_s) const {
+  if (reader >= reader_outages_.size()) return t_s;
+  double t = t_s;
+  for (const TimeWindow& w : reader_outages_[reader]) {
+    if (w.contains(t)) t = w.end_s;
+  }
+  return t;
+}
+
+bool FaultSchedule::antenna_dead(std::size_t antenna) const {
+  return antenna < dead_antennas_.size() && dead_antennas_[antenna];
+}
+
+double FaultSchedule::jamming_loss_db(double t_s) const {
+  for (const TimeWindow& w : jamming_bursts_) {
+    if (w.contains(t_s)) return jamming_loss_db_;
+    if (w.begin_s > t_s) break;
+  }
+  return 0.0;
+}
+
+double FaultSchedule::reader_downtime_s(std::size_t reader) const {
+  if (reader >= reader_outages_.size()) return 0.0;
+  double total = 0.0;
+  for (const TimeWindow& w : reader_outages_[reader]) total += w.end_s - w.begin_s;
+  return total;
+}
+
+}  // namespace rfidsim::fault

@@ -1,0 +1,115 @@
+// Infrastructure fault models and their sampled schedules.
+//
+// The paper quantifies how *tag/antenna* redundancy lifts tracking
+// reliability but assumes the read infrastructure itself never fails.
+// This module supplies the missing half: deterministic, seeded fault
+// processes for the infrastructure — reader crash/restart cycles, dead
+// antenna cables, and transient RF jamming bursts — that the portal
+// simulator replays during a pass. A schedule is sampled once per run
+// from the run's RNG, so identical seeds give identical fault timelines
+// and (therefore) identical event logs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rfidsim::fault {
+
+/// Reader crash/restart process: exponential time-between-failures with
+/// mean `mtbf_s`, exponential repair (restart) time with mean `mttr_s`.
+/// mtbf_s <= 0 disables the model.
+struct ReaderFaultModel {
+  double mtbf_s = 0.0;
+  double mttr_s = 0.5;
+};
+
+/// Per-antenna hard outage: with probability `probability` an antenna is
+/// dead for the whole pass (severed cable, mux port stuck on a dummy
+/// load). The RF switch still dwells on the dead port — the reader does
+/// not know the cable is gone — so the outage costs read opportunities
+/// rather than redistributing them.
+struct AntennaOutageModel {
+  double probability = 0.0;
+};
+
+/// Transient RF jamming: bursts arrive as a Poisson process with mean
+/// inter-arrival `mean_interarrival_s` and exponential duration
+/// `mean_burst_s`; while a burst is active every link loses
+/// `extra_loss_db` of margin (forklift radio, welding arc, a neighbouring
+/// portal keying up off-channel). mean_interarrival_s <= 0 disables.
+struct JammingModel {
+  double mean_interarrival_s = 0.0;
+  double mean_burst_s = 0.2;
+  double extra_loss_db = 20.0;
+};
+
+/// Every infrastructure fault process, all off by default so a
+/// default-constructed config is byte-identical to the fault-free
+/// simulator.
+struct FaultConfig {
+  ReaderFaultModel reader{};
+  AntennaOutageModel antenna{};
+  JammingModel jamming{};
+
+  bool any_enabled() const {
+    return reader.mtbf_s > 0.0 || antenna.probability > 0.0 ||
+           jamming.mean_interarrival_s > 0.0;
+  }
+};
+
+/// Half-open interval [begin_s, end_s) on the simulation clock.
+struct TimeWindow {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+
+  bool contains(double t_s) const { return t_s >= begin_s && t_s < end_s; }
+};
+
+/// One run's concrete fault timeline, sampled from a FaultConfig.
+///
+/// Queries are pure and cheap (the window lists are tiny: a handful of
+/// crashes per pass at realistic MTBF), so the portal consults the
+/// schedule every round without caching.
+class FaultSchedule {
+ public:
+  /// Samples a schedule covering [t0_s, t1_s) for `reader_count` readers
+  /// and `antenna_count` scene antennas. All draws come from `rng`;
+  /// identical (config, counts, window, seed) give identical schedules.
+  static FaultSchedule sample(const FaultConfig& config, std::size_t reader_count,
+                              std::size_t antenna_count, double t0_s, double t1_s,
+                              Rng& rng);
+
+  /// True while reader `r` is crashed/restarting at `t_s`.
+  bool reader_down(std::size_t reader, double t_s) const;
+
+  /// Earliest time >= t_s at which reader `r` is up again (t_s itself when
+  /// the reader is not down).
+  double reader_up_after(std::size_t reader, double t_s) const;
+
+  /// True when antenna `a` is dead for the whole pass.
+  bool antenna_dead(std::size_t antenna) const;
+
+  /// Extra link loss (dB) from jamming bursts active at `t_s`; 0 when the
+  /// air is clean.
+  double jamming_loss_db(double t_s) const;
+
+  // Introspection (tests, per-reader stats, degraded-mode assessment).
+  const std::vector<std::vector<TimeWindow>>& reader_outages() const {
+    return reader_outages_;
+  }
+  const std::vector<bool>& dead_antennas() const { return dead_antennas_; }
+  const std::vector<TimeWindow>& jamming_bursts() const { return jamming_bursts_; }
+
+  /// Total seconds reader `r` spends down inside the sampled window.
+  double reader_downtime_s(std::size_t reader) const;
+
+ private:
+  std::vector<std::vector<TimeWindow>> reader_outages_;  ///< Per reader, sorted.
+  std::vector<bool> dead_antennas_;                      ///< Per scene antenna.
+  std::vector<TimeWindow> jamming_bursts_;               ///< Sorted, may abut.
+  double jamming_loss_db_ = 0.0;
+};
+
+}  // namespace rfidsim::fault

@@ -45,4 +45,21 @@ double expected_reliability_grid(const std::vector<double>& reliabilities,
   return expected_reliability(reliabilities);
 }
 
+double expected_reliability_grid_degraded(const std::vector<double>& reliabilities,
+                                          std::size_t tags, std::size_t antennas,
+                                          const std::vector<bool>& antenna_live) {
+  require(reliabilities.size() == tags * antennas,
+          "expected_reliability_grid_degraded: size must equal tags * antennas");
+  require(antenna_live.size() == antennas,
+          "expected_reliability_grid_degraded: need one liveness flag per antenna");
+  std::vector<double> surviving;
+  surviving.reserve(reliabilities.size());
+  for (std::size_t t = 0; t < tags; ++t) {
+    for (std::size_t a = 0; a < antennas; ++a) {
+      if (antenna_live[a]) surviving.push_back(reliabilities[t * antennas + a]);
+    }
+  }
+  return expected_reliability(surviving);
+}
+
 }  // namespace rfidsim::reliability

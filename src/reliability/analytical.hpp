@@ -41,4 +41,15 @@ double marginal_gain(double r, double p_new);
 double expected_reliability_grid(const std::vector<double>& reliabilities,
                                  std::size_t tags, std::size_t antennas);
 
+/// Degraded-mode R_C: the same grid with dead infrastructure masked out.
+/// When track::ResilientIngest declares a reader down, every read
+/// opportunity through that reader's antennas is gone — the remaining
+/// grid re-weights to the antennas still alive. `antenna_live` has one
+/// entry per antenna column; a dead column contributes nothing. Size
+/// mismatches throw ConfigError. All antennas dead yields 0: no
+/// opportunities, no tracking.
+double expected_reliability_grid_degraded(const std::vector<double>& reliabilities,
+                                          std::size_t tags, std::size_t antennas,
+                                          const std::vector<bool>& antenna_live);
+
 }  // namespace rfidsim::reliability

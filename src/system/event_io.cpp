@@ -1,5 +1,6 @@
 #include "system/event_io.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -27,13 +28,16 @@ std::string to_csv(const EventLog& log) {
   return out.str();
 }
 
-EventLog read_csv(std::istream& in) {
+EventLog read_csv(std::istream& in) { return read_csv(in, ParseMode::Strict); }
+
+EventLog read_csv(std::istream& in, ParseMode mode, ParseStats* stats) {
   std::string line;
   require(static_cast<bool>(std::getline(in, line)), "read_csv: empty input");
   // Strip a potential trailing CR and compare the header.
   if (!line.empty() && line.back() == '\r') line.pop_back();
   require(line == kHeader, "read_csv: unexpected header: " + line);
 
+  ParseStats local;
   EventLog log;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -55,18 +59,37 @@ EventLog read_csv(std::istream& in) {
       ev.antenna_index = std::stoul(field);
       require(static_cast<bool>(std::getline(row, field, ',')), "missing rssi");
       ev.rssi = DbmPower(std::stod(field));
+      if (mode == ParseMode::Lenient) {
+        require(std::isfinite(ev.time_s), "non-finite time");
+        require(std::isfinite(ev.rssi.value()), "non-finite rssi");
+      }
     } catch (const std::exception& e) {
-      throw ConfigError("read_csv: bad row " + std::to_string(line_no) + ": " +
-                        e.what());
+      if (mode == ParseMode::Strict) {
+        throw ConfigError("read_csv: bad row " + std::to_string(line_no) + ": " +
+                          e.what());
+      }
+      ++local.rows_bad;
+      if (local.sample_errors.size() < ParseStats::kMaxSampleErrors) {
+        local.sample_errors.push_back("row " + std::to_string(line_no) + ": " +
+                                      e.what());
+      }
+      continue;
     }
+    ++local.rows_ok;
     log.push_back(ev);
   }
+  if (stats) *stats = local;
   return log;
 }
 
 EventLog from_csv(const std::string& csv) {
   std::istringstream in(csv);
   return read_csv(in);
+}
+
+EventLog from_csv(const std::string& csv, ParseMode mode, ParseStats* stats) {
+  std::istringstream in(csv);
+  return read_csv(in, mode, stats);
 }
 
 }  // namespace rfidsim::sys

@@ -22,11 +22,41 @@ void write_csv(std::ostream& out, const EventLog& log);
 /// Convenience: CSV as a string.
 std::string to_csv(const EventLog& log);
 
+/// How read_csv treats rows it cannot parse.
+enum class ParseMode {
+  /// Throw ConfigError on the first malformed row (the historical
+  /// behaviour, right for trusted simulator output).
+  Strict,
+  /// Skip malformed rows and count them — right for logs that crossed
+  /// real middleware. Rows with non-finite time/RSSI also count as bad:
+  /// a NaN RSSI is sensor garbage, not a measurement.
+  Lenient,
+};
+
+/// Outcome of a lenient parse.
+struct ParseStats {
+  std::size_t rows_ok = 0;
+  std::size_t rows_bad = 0;
+  /// First few row-level error messages (capped so a fully corrupt feed
+  /// cannot balloon memory).
+  std::vector<std::string> sample_errors;
+  static constexpr std::size_t kMaxSampleErrors = 8;
+};
+
 /// Parses a CSV stream produced by write_csv (header required). Throws
 /// ConfigError on malformed rows; tolerates trailing whitespace/newlines.
 EventLog read_csv(std::istream& in);
 
+/// Mode-aware parse. In Lenient mode malformed rows are skipped and
+/// tallied into `stats` (optional) instead of throwing; the header is
+/// still required (a feed with the wrong header is the wrong feed, not a
+/// damaged one). Strict mode matches read_csv(in) exactly.
+EventLog read_csv(std::istream& in, ParseMode mode, ParseStats* stats = nullptr);
+
 /// Convenience: parse from a string.
 EventLog from_csv(const std::string& csv);
+
+/// Convenience: mode-aware parse from a string.
+EventLog from_csv(const std::string& csv, ParseMode mode, ParseStats* stats = nullptr);
 
 }  // namespace rfidsim::sys

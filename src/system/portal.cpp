@@ -104,7 +104,7 @@ void PortalSimulator::reset_pass_state(Rng& rng) {
 
 std::vector<gen2::TagLink> PortalSimulator::build_links(
     const ReaderRuntime& rt, std::size_t antenna, double t_s, Rng& rng,
-    std::vector<gen2::TagState>& states) {
+    std::vector<gen2::TagState>& states, double extra_loss_db) {
   const rf::LinkBudget budget(rt.config.radio);
   std::vector<gen2::TagLink> links(tags_.size());
   for (std::size_t i = 0; i < tags_.size(); ++i) {
@@ -125,7 +125,8 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
     const Vec3 tag_position =
         scene_.entities[tags_[i].entity].tag_position(tags_[i].tag, t_s);
     const double shadow =
-        sample_shadow(antenna, i, tag_position, rng) + pass_offset_db_[i];
+        sample_shadow(antenna, i, tag_position, rng) + pass_offset_db_[i] -
+        extra_loss_db;
     const bool powered = fwd.margin.value() + shadow > 0.0;
     states[i].set_powered(powered, t_s, rt.config.inventory.session);
 
@@ -140,10 +141,33 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
 
 void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
   ReaderRuntime& rt = readers_[r];
+  ReaderRunStats& rstats = stats_.per_reader[r];
+
+  // Crashed reader: no carrier, no rounds. Jump the clock to the restart
+  // and resume with a reset Q (a rebooting reader loses its Qfp state).
+  if (fault_schedule_.reader_down(r, rt.clock_s)) {
+    const double up = fault_schedule_.reader_up_after(r, rt.clock_s);
+    ++rstats.crashes;
+    rstats.downtime_s += up - rt.clock_s;
+    rt.clock_s = up;
+    rt.engine.reset_q();
+    return;
+  }
+
   const double t = rt.clock_s;
   const std::size_t antenna = rt.mux.active_at(t - config_.start_time_s);
 
-  auto links = build_links(rt, antenna, t, rng, rt.tag_states);
+  // A dead cable absorbs the round: the mux dwells on the port anyway
+  // (the reader has no reflectometer), so the time is spent but no tag
+  // powers up. Jamming bursts cost margin instead of the whole round.
+  double extra_loss_db = fault_schedule_.jamming_loss_db(t);
+  if (extra_loss_db > 0.0) ++rstats.jammed_rounds;
+  if (fault_schedule_.antenna_dead(antenna)) {
+    extra_loss_db += 1000.0;
+    ++rstats.dead_antenna_rounds;
+  }
+
+  auto links = build_links(rt, antenna, t, rng, rt.tag_states, extra_loss_db);
   const gen2::InventoryRoundResult round = rt.engine.run_round(rt.tag_states, links, t, rng);
 
   for (std::size_t idx : round.singulated) {
@@ -161,11 +185,30 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
   stats_.collision_slots += round.collision_slots;
   stats_.success_slots += round.success_slots;
   stats_.busy_time_s += round.duration_s;
+  ++rstats.rounds;
+  rstats.total_slots += round.total_slots;
+  rstats.collision_slots += round.collision_slots;
+  rstats.success_slots += round.success_slots;
+  rstats.busy_time_s += round.duration_s;
   rt.clock_s += round.duration_s;
 }
 
+namespace {
+/// Label for forking the fault-schedule stream off the run RNG: keeps the
+/// schedule a pure function of the run seed without advancing the event
+/// stream, so all-off fault configs stay byte-identical to the pre-fault
+/// simulator.
+constexpr std::uint64_t kFaultStreamLabel = 0xFA1757ULL;
+}  // namespace
+
 EventLog PortalSimulator::run(Rng& rng) {
   stats_ = PortalRunStats{};
+  stats_.per_reader.resize(readers_.size());
+  Rng fault_rng = rng.fork(kFaultStreamLabel);
+  fault_schedule_ =
+      fault::FaultSchedule::sample(config_.faults, readers_.size(),
+                                   scene_.antennas.size(), config_.start_time_s,
+                                   config_.end_time_s, fault_rng);
   reset_pass_state(rng);
   for (auto& rt : readers_) {
     rt.clock_s = config_.start_time_s;
@@ -191,6 +234,11 @@ EventLog PortalSimulator::run(Rng& rng) {
 
 EventLog PortalSimulator::run_single_round(double t_s, Rng& rng) {
   stats_ = PortalRunStats{};
+  stats_.per_reader.resize(readers_.size());
+  Rng fault_rng = rng.fork(kFaultStreamLabel);
+  fault_schedule_ = fault::FaultSchedule::sample(
+      config_.faults, readers_.size(), scene_.antennas.size(), t_s,
+      t_s + config_.end_time_s - config_.start_time_s, fault_rng);
   reset_pass_state(rng);
   EventLog log;
   for (std::size_t r = 0; r < readers_.size(); ++r) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/schedule.hpp"
 #include "gen2/interference.hpp"
 #include "rf/propagation.hpp"
 #include "scene/path_evaluator.hpp"
@@ -54,8 +55,26 @@ struct PortalConfig {
   double pass_outage_probability = 0.0;
   double pass_outage_db = 18.0;
   gen2::InterferenceParams interference{};
+  /// Infrastructure fault processes (reader crashes, dead antennas, RF
+  /// jamming). All disabled by default; a fresh schedule is sampled per
+  /// run from an RNG forked off the run seed, so fault timelines are as
+  /// reproducible as the reads themselves.
+  fault::FaultConfig faults{};
   double start_time_s = 0.0;
   double end_time_s = 4.0;
+};
+
+/// Per-reader statistics for one run.
+struct ReaderRunStats {
+  std::size_t rounds = 0;
+  std::size_t total_slots = 0;
+  std::size_t collision_slots = 0;
+  std::size_t success_slots = 0;
+  double busy_time_s = 0.0;         ///< Summed round durations.
+  std::size_t crashes = 0;          ///< Outage windows hit during the pass.
+  double downtime_s = 0.0;          ///< Time lost to crash/restart cycles.
+  std::size_t jammed_rounds = 0;    ///< Rounds run under a jamming burst.
+  std::size_t dead_antenna_rounds = 0;  ///< Rounds spent keyed into a dead cable.
 };
 
 /// Per-run statistics beyond the event log.
@@ -65,6 +84,8 @@ struct PortalRunStats {
   std::size_t collision_slots = 0;
   std::size_t success_slots = 0;
   double busy_time_s = 0.0;  ///< Summed round durations across readers.
+  /// Per-reader breakdown of the aggregates above plus observed faults.
+  std::vector<ReaderRunStats> per_reader;
 };
 
 /// Simulates one pass (or a static interval) of the configured portal.
@@ -84,6 +105,11 @@ class PortalSimulator {
   /// Stats from the most recent run.
   const PortalRunStats& stats() const { return stats_; }
 
+  /// The fault timeline the most recent run executed under (empty when
+  /// config.faults is all-off). Lets benches and the degraded-mode
+  /// assessment see which readers/antennas were actually down.
+  const fault::FaultSchedule& fault_schedule() const { return fault_schedule_; }
+
  private:
   struct ReaderRuntime {
     ReaderConfig config;
@@ -95,9 +121,12 @@ class PortalSimulator {
   };
 
   /// Builds per-tag link state for one reader's round at time t.
+  /// `extra_loss_db` subtracts margin from both link directions (jamming
+  /// bursts, dead-cable rounds).
   std::vector<gen2::TagLink> build_links(const ReaderRuntime& rt, std::size_t antenna,
                                          double t_s, Rng& rng,
-                                         std::vector<gen2::TagState>& states);
+                                         std::vector<gen2::TagState>& states,
+                                         double extra_loss_db = 0.0);
 
   /// Executes one round for reader `r` at its current clock; appends events.
   void run_reader_round(std::size_t r, EventLog& log, Rng& rng);
@@ -125,6 +154,7 @@ class PortalSimulator {
   std::vector<ReaderRuntime> readers_;
   std::vector<std::vector<ShadowState>> shadow_;  ///< [antenna][tag].
   std::vector<double> pass_offset_db_;            ///< Per-tag, per-run.
+  fault::FaultSchedule fault_schedule_;           ///< Sampled per run.
   PortalRunStats stats_;
 };
 

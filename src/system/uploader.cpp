@@ -1,0 +1,54 @@
+#include "system/uploader.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rfidsim::sys {
+
+EventUploader::EventUploader(UploaderConfig config) : config_(config) {
+  require(config_.batch_size > 0, "EventUploader: batch size must be positive");
+  require(config_.loss_probability >= 0.0 && config_.loss_probability < 1.0,
+          "EventUploader: loss probability must be in [0, 1)");
+  require(config_.initial_backoff_s >= 0.0,
+          "EventUploader: backoff must be non-negative");
+  require(config_.backoff_multiplier >= 1.0,
+          "EventUploader: backoff multiplier must be >= 1");
+}
+
+EventLog EventUploader::upload(const EventLog& log, Rng& rng) {
+  EventLog delivered;
+  delivered.reserve(log.size());
+
+  for (std::size_t begin = 0; begin < log.size(); begin += config_.batch_size) {
+    const std::size_t end = std::min(begin + config_.batch_size, log.size());
+    ++stats_.batches;
+
+    bool ok = false;
+    double backoff = config_.initial_backoff_s;
+    for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+      ++stats_.attempts;
+      if (attempt > 0) {
+        ++stats_.retries;
+        stats_.backoff_delay_s += backoff;
+        backoff *= config_.backoff_multiplier;
+      }
+      if (!rng.bernoulli(config_.loss_probability)) {
+        ok = true;
+        break;
+      }
+    }
+
+    if (ok) {
+      delivered.insert(delivered.end(), log.begin() + static_cast<std::ptrdiff_t>(begin),
+                       log.begin() + static_cast<std::ptrdiff_t>(end));
+      stats_.events_delivered += end - begin;
+    } else {
+      ++stats_.batches_lost;
+      stats_.events_lost += end - begin;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace rfidsim::sys

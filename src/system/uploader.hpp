@@ -1,0 +1,62 @@
+// Buffered event upload: reader buffer -> backend over a lossy link.
+//
+// Readers in buffered continuous mode batch their reads and push them
+// upstream over whatever the site wired in — serial, flaky WiFi, a cell
+// modem on a dock door. This models that hop: batches are lost with a
+// configurable probability, retried with exponential backoff, and dropped
+// for good once the retry budget is exhausted (the reader's ring buffer
+// has wrapped by then). Downstream, track::ResilientIngest treats the
+// result as just another degraded feed.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "system/events.hpp"
+
+namespace rfidsim::sys {
+
+/// Upload-channel configuration.
+struct UploaderConfig {
+  /// Events per upload batch (the reader's flush quantum).
+  std::size_t batch_size = 32;
+  /// Probability one transmission attempt is lost in transit.
+  double loss_probability = 0.0;
+  /// Retries after the first failed attempt before the batch is dropped.
+  std::size_t max_retries = 4;
+  /// Backoff before the first retry; doubles per subsequent retry.
+  double initial_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+};
+
+/// What the channel did to one log.
+struct UploadStats {
+  std::size_t batches = 0;
+  std::size_t attempts = 0;        ///< Transmissions incl. retries.
+  std::size_t retries = 0;
+  std::size_t batches_lost = 0;    ///< Dropped after exhausting retries.
+  std::size_t events_delivered = 0;
+  std::size_t events_lost = 0;
+  double backoff_delay_s = 0.0;    ///< Total backoff the retries waited out.
+};
+
+/// Pushes event logs through the lossy upload hop.
+class EventUploader {
+ public:
+  explicit EventUploader(UploaderConfig config);
+
+  /// Uploads `log` batch by batch; returns what the backend received, in
+  /// delivery order (batch order is preserved — retries delay, they do
+  /// not overtake). Deterministic given `rng`'s state. Stats accumulate
+  /// across calls until reset().
+  EventLog upload(const EventLog& log, Rng& rng);
+
+  const UploadStats& stats() const { return stats_; }
+  void reset() { stats_ = UploadStats{}; }
+
+ private:
+  UploaderConfig config_;
+  UploadStats stats_;
+};
+
+}  // namespace rfidsim::sys

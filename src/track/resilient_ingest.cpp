@@ -1,0 +1,152 @@
+#include "track/resilient_ingest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rfidsim::track {
+
+namespace {
+
+/// Per-(tag, reader, antenna) key for transport-duplicate collapsing.
+struct StreamKey {
+  std::uint64_t tag;
+  std::size_t reader;
+  std::size_t antenna;
+  auto operator<=>(const StreamKey&) const = default;
+};
+
+}  // namespace
+
+ResilientIngest::ResilientIngest(IngestConfig config) : config_(std::move(config)) {
+  require(config_.dedup_window_s >= 0.0,
+          "ResilientIngest: dedup window must be non-negative");
+  require(config_.silence_gap_s > 0.0,
+          "ResilientIngest: silence gap threshold must be positive");
+  require(config_.min_rssi_dbm < config_.max_rssi_dbm,
+          "ResilientIngest: RSSI plausibility band is inverted");
+}
+
+IngestReport ResilientIngest::ingest(const sys::EventLog& raw, double window_begin_s,
+                                     double window_end_s) const {
+  require(window_end_s >= window_begin_s, "ResilientIngest: inverted pass window");
+
+  IngestReport report;
+  auto quarantine = [&report](const std::string& reason) {
+    ++report.quarantined;
+    if (report.quarantine_samples.size() < IngestReport::kMaxQuarantineSamples) {
+      report.quarantine_samples.push_back(reason);
+    }
+  };
+
+  // Pass 1 — validate each record on its own; count arrival-order
+  // inversions against the highest valid time seen so far.
+  sys::EventLog valid;
+  valid.reserve(raw.size());
+  double high_water = -std::numeric_limits<double>::infinity();
+  for (const sys::ReadEvent& ev : raw) {
+    if (!std::isfinite(ev.time_s) || !std::isfinite(ev.rssi.value())) {
+      quarantine("non-finite time or rssi");
+      continue;
+    }
+    if (ev.time_s < window_begin_s || ev.time_s > window_end_s) {
+      quarantine("time " + std::to_string(ev.time_s) + " outside pass window");
+      continue;
+    }
+    if (ev.rssi.value() < config_.min_rssi_dbm ||
+        ev.rssi.value() > config_.max_rssi_dbm) {
+      quarantine("implausible rssi " + std::to_string(ev.rssi.value()) + " dBm");
+      continue;
+    }
+    if (config_.reader_count > 0 && ev.reader_index >= config_.reader_count) {
+      quarantine("reader index " + std::to_string(ev.reader_index) + " out of range");
+      continue;
+    }
+    if (config_.antenna_count > 0 && ev.antenna_index >= config_.antenna_count) {
+      quarantine("antenna index " + std::to_string(ev.antenna_index) +
+                 " out of range");
+      continue;
+    }
+    if (config_.registry != nullptr &&
+        !config_.registry->object_of(ev.tag).has_value()) {
+      quarantine("unknown tag " + std::to_string(ev.tag.value));
+      continue;
+    }
+    if (ev.time_s < high_water) ++report.reordered;
+    high_water = std::max(high_water, ev.time_s);
+    valid.push_back(ev);
+  }
+
+  // Pass 2 — restore chronological order, then collapse transport
+  // duplicates per (tag, reader, antenna) stream.
+  std::stable_sort(valid.begin(), valid.end(),
+                   [](const sys::ReadEvent& a, const sys::ReadEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  std::map<StreamKey, double> last_accepted;
+  for (const sys::ReadEvent& ev : valid) {
+    const StreamKey key{ev.tag.value, ev.reader_index, ev.antenna_index};
+    const auto it = last_accepted.find(key);
+    if (it != last_accepted.end() && ev.time_s - it->second <= config_.dedup_window_s) {
+      ++report.duplicates;
+      continue;
+    }
+    last_accepted[key] = ev.time_s;
+    report.events.push_back(ev);
+  }
+  report.accepted = report.events.size();
+
+  // Pass 3 — per-reader silence scan over the accepted stream. A reader
+  // we know exists (reader_count set) that never speaks is one long gap.
+  const std::size_t reader_count =
+      config_.reader_count > 0
+          ? config_.reader_count
+          : (report.events.empty()
+                 ? 0
+                 : 1 + std::max_element(report.events.begin(), report.events.end(),
+                                        [](const auto& a, const auto& b) {
+                                          return a.reader_index < b.reader_index;
+                                        })
+                           ->reader_index);
+  std::vector<std::vector<double>> times(reader_count);
+  for (const sys::ReadEvent& ev : report.events) {
+    times[ev.reader_index].push_back(ev.time_s);
+  }
+  for (std::size_t r = 0; r < reader_count; ++r) {
+    double cursor = window_begin_s;
+    for (double t : times[r]) {
+      if (t - cursor > config_.silence_gap_s) {
+        report.gaps.push_back({r, cursor, t, false});
+      }
+      cursor = t;
+    }
+    if (window_end_s - cursor > config_.silence_gap_s) {
+      report.gaps.push_back({r, cursor, window_end_s, true});
+      report.degraded_readers.push_back(r);
+    }
+  }
+  return report;
+}
+
+IngestReport ResilientIngest::ingest_csv(std::istream& in, double window_begin_s,
+                                         double window_end_s) const {
+  sys::ParseStats parse;
+  const sys::EventLog raw = sys::read_csv(in, sys::ParseMode::Lenient, &parse);
+  IngestReport report = ingest(raw, window_begin_s, window_end_s);
+  report.parse = std::move(parse);
+  return report;
+}
+
+IngestReport ResilientIngest::ingest_csv(const std::string& csv,
+                                         double window_begin_s,
+                                         double window_end_s) const {
+  std::istringstream in(csv);
+  return ingest_csv(in, window_begin_s, window_end_s);
+}
+
+}  // namespace rfidsim::track

@@ -1,0 +1,107 @@
+// Resilient event ingest: the armoured front door of the tracking stack.
+//
+// The paper's pipeline assumes every buffered read reaches the back end
+// intact and in order. Production middleware delivers something worse:
+// duplicated batches, bit-flipped EPCs, rows that no longer parse,
+// records from a reader that silently died halfway through the shift.
+// ResilientIngest absorbs all of it without throwing — malformed and
+// implausible records are quarantined behind counters, transport
+// duplicates collapse, out-of-order arrivals are re-sorted, and
+// reader-silence gaps are detected and promoted to a *declared* degraded
+// mode so the analytical R_C can be re-weighted over the antennas that
+// are actually alive (reliability::expected_reliability_grid_degraded).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/event_io.hpp"
+#include "system/events.hpp"
+#include "track/registry.hpp"
+
+namespace rfidsim::track {
+
+/// Ingest policy knobs.
+struct IngestConfig {
+  /// Two reads of the same (tag, reader, antenna) closer than this are one
+  /// transport duplicate, not two observations. Kept tight: legitimate
+  /// re-reads of a moving tag are several round times (~20 ms+) apart.
+  double dedup_window_s = 0.002;
+  /// A reader silent for longer than this (inside the pass window) has a
+  /// detected gap; a gap running to the end of the window declares the
+  /// reader down.
+  double silence_gap_s = 1.0;
+  /// Plausibility band for RSSI; records outside it are quarantined.
+  double min_rssi_dbm = -120.0;
+  double max_rssi_dbm = 10.0;
+  /// Known infrastructure shape; indices at or beyond these bounds are
+  /// quarantined. 0 disables the check.
+  std::size_t reader_count = 0;
+  std::size_t antenna_count = 0;
+  /// When set, reads of tags absent from the registry are quarantined —
+  /// this is what actually catches bit-flipped EPCs.
+  const ObjectRegistry* registry = nullptr;
+};
+
+/// One detected silence interval of one reader.
+struct SilenceGap {
+  std::size_t reader = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  bool to_window_end = false;  ///< Gap runs to the end of the pass window.
+};
+
+/// Everything the ingest stage can tell the rest of the pipeline.
+struct IngestReport {
+  /// Accepted events: validated, deduplicated, sorted by time.
+  sys::EventLog events;
+  /// Lenient-parser statistics (CSV path; zero on the in-memory path).
+  sys::ParseStats parse;
+  std::size_t accepted = 0;
+  std::size_t duplicates = 0;    ///< Transport duplicates collapsed.
+  std::size_t quarantined = 0;   ///< Implausible records set aside.
+  std::size_t reordered = 0;     ///< Arrivals behind an already-seen time.
+  /// First few quarantine reasons (capped, like ParseStats errors).
+  std::vector<std::string> quarantine_samples;
+  static constexpr std::size_t kMaxQuarantineSamples = 8;
+  /// Detected per-reader silence gaps, in time order per reader.
+  std::vector<SilenceGap> gaps;
+  /// Readers declared down: silent through the end of the window (or the
+  /// whole window) for at least silence_gap_s.
+  std::vector<std::size_t> degraded_readers;
+
+  /// Malformed rows + quarantined records, the "bad input" total.
+  std::size_t rejected() const { return parse.rows_bad + quarantined; }
+  /// True when the tracking analysis should switch to degraded mode.
+  bool degraded() const { return !degraded_readers.empty(); }
+};
+
+/// Stateless ingest pipeline; one call digests one pass's feed.
+class ResilientIngest {
+ public:
+  explicit ResilientIngest(IngestConfig config = {});
+
+  /// Ingests an already-parsed event log covering the pass window
+  /// [window_begin_s, window_end_s] (the window bounds the silence-gap
+  /// scan). Never throws on record content.
+  IngestReport ingest(const sys::EventLog& raw, double window_begin_s,
+                      double window_end_s) const;
+
+  /// Ingests a CSV feed via the lenient parser: malformed rows land in
+  /// report.parse, surviving records go through the same validation as
+  /// the in-memory path. Throws only if the header itself is wrong (a
+  /// mis-wired feed, not a damaged one).
+  IngestReport ingest_csv(std::istream& in, double window_begin_s,
+                          double window_end_s) const;
+  IngestReport ingest_csv(const std::string& csv, double window_begin_s,
+                          double window_end_s) const;
+
+  const IngestConfig& config() const { return config_; }
+
+ private:
+  IngestConfig config_;
+};
+
+}  // namespace rfidsim::track

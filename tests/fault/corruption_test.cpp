@@ -1,0 +1,150 @@
+#include "fault/corruption.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "system/event_io.hpp"
+
+namespace rfidsim::fault {
+namespace {
+
+sys::EventLog make_log(std::size_t n) {
+  sys::EventLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys::ReadEvent ev;
+    ev.time_s = 0.01 * static_cast<double>(i);
+    ev.tag = scene::TagId{100 + i};
+    ev.reader_index = i % 2;
+    ev.antenna_index = i % 3;
+    ev.rssi = DbmPower(-55.0 - static_cast<double>(i % 7));
+    log.push_back(ev);
+  }
+  return log;
+}
+
+TEST(CorruptLogTest, DefaultConfigIsIdentity) {
+  const sys::EventLog log = make_log(50);
+  Rng rng(1);
+  CorruptionStats stats;
+  const sys::EventLog out = corrupt_log(log, {}, rng, &stats);
+  ASSERT_EQ(out.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(out[i].tag, log[i].tag);
+    EXPECT_EQ(out[i].time_s, log[i].time_s);
+  }
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.corrupted, 0u);
+  EXPECT_EQ(stats.reordered, 0u);
+}
+
+TEST(CorruptLogTest, StatsAccountForSizeChange) {
+  const sys::EventLog log = make_log(400);
+  CorruptionConfig cfg;
+  cfg.drop_probability = 0.1;
+  cfg.duplicate_probability = 0.1;
+  Rng rng(7);
+  CorruptionStats stats;
+  const sys::EventLog out = corrupt_log(log, cfg, rng, &stats);
+  EXPECT_EQ(stats.input_records, log.size());
+  EXPECT_EQ(out.size(), log.size() - stats.dropped + stats.duplicated);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
+}
+
+TEST(CorruptLogTest, BitFlipChangesExactlyOneBit) {
+  const sys::EventLog log = make_log(1);
+  CorruptionConfig cfg;
+  cfg.corrupt_probability = 1.0;
+  Rng rng(3);
+  const sys::EventLog out = corrupt_log(log, cfg, rng, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  const std::uint64_t diff = out[0].tag.value ^ log[0].tag.value;
+  EXPECT_NE(diff, 0u);
+  EXPECT_EQ(diff & (diff - 1), 0u);  // Power of two: a single flipped bit.
+}
+
+TEST(CorruptLogTest, DeterministicGivenSeed) {
+  const sys::EventLog log = make_log(200);
+  CorruptionConfig cfg;
+  cfg.drop_probability = 0.05;
+  cfg.duplicate_probability = 0.05;
+  cfg.corrupt_probability = 0.05;
+  cfg.reorder_probability = 0.1;
+  Rng a(99), b(99);
+  const sys::EventLog o1 = corrupt_log(log, cfg, a, nullptr);
+  const sys::EventLog o2 = corrupt_log(log, cfg, b, nullptr);
+  ASSERT_EQ(o1.size(), o2.size());
+  for (std::size_t i = 0; i < o1.size(); ++i) {
+    EXPECT_EQ(o1[i].tag, o2[i].tag);
+    EXPECT_EQ(o1[i].time_s, o2[i].time_s);
+  }
+}
+
+TEST(CorruptLogTest, ReorderDisplacesRecords) {
+  const sys::EventLog log = make_log(100);
+  CorruptionConfig cfg;
+  cfg.reorder_probability = 0.5;
+  Rng rng(11);
+  CorruptionStats stats;
+  const sys::EventLog out = corrupt_log(log, cfg, rng, &stats);
+  ASSERT_EQ(out.size(), log.size());
+  EXPECT_GT(stats.reordered, 0u);
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].time_s < out[i - 1].time_s) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+}
+
+TEST(CorruptCsvTest, PreservesHeaderAndBreaksRows) {
+  const std::string csv = sys::to_csv(make_log(200));
+  CorruptionConfig cfg;
+  cfg.corrupt_probability = 0.2;
+  Rng rng(5);
+  CorruptionStats stats;
+  const std::string bad = corrupt_csv(csv, cfg, rng, &stats);
+  EXPECT_EQ(bad.substr(0, bad.find('\n')), "time_s,tag,reader,antenna,rssi_dbm");
+  EXPECT_GT(stats.corrupted, 0u);
+
+  // The strict parser must choke; the lenient one must survive and count.
+  EXPECT_THROW(sys::from_csv(bad), ConfigError);
+  sys::ParseStats parse;
+  const sys::EventLog parsed = sys::from_csv(bad, sys::ParseMode::Lenient, &parse);
+  EXPECT_GT(parse.rows_bad, 0u);
+  EXPECT_GT(parsed.size(), 0u);
+  // Character mangling can still leave a parseable row (e.g. a flipped
+  // digit), so rows_bad is at most the mangle count, and every input row
+  // is accounted for.
+  EXPECT_LE(parse.rows_bad, stats.corrupted);
+  EXPECT_EQ(parse.rows_ok + parse.rows_bad, stats.input_records + stats.duplicated -
+                                                stats.dropped);
+}
+
+TEST(CorruptCsvTest, TruncationCutsTheTail) {
+  const std::string csv = sys::to_csv(make_log(50));
+  CorruptionConfig cfg;
+  cfg.truncate_probability = 1.0;
+  Rng rng(17);
+  CorruptionStats stats;
+  const std::string bad = corrupt_csv(csv, cfg, rng, &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LT(bad.size(), csv.size());
+  // Lenient parse survives the torn final row.
+  sys::ParseStats parse;
+  (void)sys::from_csv(bad, sys::ParseMode::Lenient, &parse);
+  EXPECT_GE(parse.rows_ok, 1u);
+}
+
+TEST(CorruptCsvTest, RejectsInvalidProbabilities) {
+  CorruptionConfig cfg;
+  cfg.drop_probability = -0.1;
+  Rng rng(1);
+  EXPECT_THROW(corrupt_csv("h\n", cfg, rng, nullptr), ConfigError);
+  EXPECT_THROW(corrupt_log({}, cfg, rng, nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::fault

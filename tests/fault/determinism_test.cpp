@@ -1,0 +1,150 @@
+// Seed determinism of the fault layer, end to end: identical seeds must
+// give identical fault schedules AND identical event logs, with faults
+// enabled and disabled alike — reproducibility is the whole point of a
+// seeded fault injector.
+#include <gtest/gtest.h>
+
+#include "reliability/calibration.hpp"
+#include "reliability/scenarios.hpp"
+#include "system/event_io.hpp"
+#include "system/portal.hpp"
+
+namespace rfidsim {
+namespace {
+
+reliability::Scenario faulty_scenario(const fault::FaultConfig& faults) {
+  reliability::ObjectScenarioOptions opt;
+  opt.portal.antenna_count = 2;
+  opt.portal.reader_count = 2;
+  reliability::Scenario sc = reliability::make_object_tracking_scenario(
+      opt, reliability::CalibrationProfile::paper2006());
+  sc.portal.faults = faults;
+  return sc;
+}
+
+fault::FaultConfig all_faults() {
+  fault::FaultConfig f;
+  f.reader.mtbf_s = 2.0;
+  f.reader.mttr_s = 0.5;
+  f.antenna.probability = 0.2;
+  f.jamming.mean_interarrival_s = 1.5;
+  f.jamming.mean_burst_s = 0.2;
+  return f;
+}
+
+TEST(FaultDeterminismTest, SameSeedSameScheduleAndSameLog) {
+  const reliability::Scenario sc = faulty_scenario(all_faults());
+
+  std::string csv1, csv2;
+  std::vector<std::vector<fault::TimeWindow>> outages1, outages2;
+  {
+    sys::PortalSimulator sim(sc.scene, sc.portal);
+    Rng rng(12345);
+    csv1 = sys::to_csv(sim.run(rng));
+    outages1 = sim.fault_schedule().reader_outages();
+  }
+  {
+    sys::PortalSimulator sim(sc.scene, sc.portal);
+    Rng rng(12345);
+    csv2 = sys::to_csv(sim.run(rng));
+    outages2 = sim.fault_schedule().reader_outages();
+  }
+  EXPECT_EQ(csv1, csv2);
+  ASSERT_EQ(outages1.size(), outages2.size());
+  for (std::size_t r = 0; r < outages1.size(); ++r) {
+    ASSERT_EQ(outages1[r].size(), outages2[r].size());
+    for (std::size_t i = 0; i < outages1[r].size(); ++i) {
+      EXPECT_EQ(outages1[r][i].begin_s, outages2[r][i].begin_s);
+      EXPECT_EQ(outages1[r][i].end_s, outages2[r][i].end_s);
+    }
+  }
+}
+
+TEST(FaultDeterminismTest, DefaultFaultConfigMatchesFaultFreeRun) {
+  // A default (all-off) FaultConfig must not perturb the event stream:
+  // same seed, with and without the faults member explicitly defaulted,
+  // gives byte-identical CSV.
+  reliability::ObjectScenarioOptions opt;
+  const reliability::Scenario sc = reliability::make_object_tracking_scenario(
+      opt, reliability::CalibrationProfile::paper2006());
+
+  sys::PortalConfig with_default_faults = sc.portal;
+  with_default_faults.faults = fault::FaultConfig{};
+
+  sys::PortalSimulator a(sc.scene, sc.portal);
+  sys::PortalSimulator b(sc.scene, with_default_faults);
+  Rng ra(777), rb(777);
+  EXPECT_EQ(sys::to_csv(a.run(ra)), sys::to_csv(b.run(rb)));
+  for (const auto& rstats : a.stats().per_reader) {
+    EXPECT_EQ(rstats.crashes, 0u);
+    EXPECT_EQ(rstats.jammed_rounds, 0u);
+    EXPECT_EQ(rstats.dead_antenna_rounds, 0u);
+    EXPECT_EQ(rstats.downtime_s, 0.0);
+  }
+}
+
+TEST(FaultDeterminismTest, CrashesShortenBusyTimeAndAreCounted) {
+  fault::FaultConfig f;
+  f.reader.mtbf_s = 1.0;  // Aggressive: several crashes in a 4 s pass.
+  f.reader.mttr_s = 0.5;
+  const reliability::Scenario sc = faulty_scenario(f);
+
+  sys::PortalSimulator sim(sc.scene, sc.portal);
+  Rng rng(5);
+  (void)sim.run(rng);
+  std::size_t crashes = 0;
+  double downtime = 0.0;
+  ASSERT_EQ(sim.stats().per_reader.size(), 2u);
+  for (const auto& rstats : sim.stats().per_reader) {
+    crashes += rstats.crashes;
+    downtime += rstats.downtime_s;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(downtime, 0.0);
+  // Busy time plus downtime cannot exceed the wall-clock window per reader.
+  const double window = sc.portal.end_time_s - sc.portal.start_time_s;
+  for (const auto& rstats : sim.stats().per_reader) {
+    EXPECT_LE(rstats.busy_time_s + rstats.downtime_s,
+              window + 0.1);  // One round may overhang the end.
+  }
+}
+
+TEST(FaultDeterminismTest, DeadAntennasProduceNoReadsFromThem) {
+  fault::FaultConfig f;
+  f.antenna.probability = 1.0;  // Every cable severed.
+  const reliability::Scenario sc = faulty_scenario(f);
+  sys::PortalSimulator sim(sc.scene, sc.portal);
+  Rng rng(6);
+  const sys::EventLog log = sim.run(rng);
+  EXPECT_TRUE(log.empty());
+  std::size_t dead_rounds = 0;
+  for (const auto& rstats : sim.stats().per_reader) {
+    dead_rounds += rstats.dead_antenna_rounds;
+  }
+  EXPECT_GT(dead_rounds, 0u);
+}
+
+TEST(FaultDeterminismTest, PerReaderStatsSumToAggregates) {
+  const reliability::Scenario sc = faulty_scenario(all_faults());
+  sys::PortalSimulator sim(sc.scene, sc.portal);
+  Rng rng(31);
+  (void)sim.run(rng);
+  const sys::PortalRunStats& st = sim.stats();
+  std::size_t rounds = 0, total = 0, collisions = 0, successes = 0;
+  double busy = 0.0;
+  for (const auto& rstats : st.per_reader) {
+    rounds += rstats.rounds;
+    total += rstats.total_slots;
+    collisions += rstats.collision_slots;
+    successes += rstats.success_slots;
+    busy += rstats.busy_time_s;
+  }
+  EXPECT_EQ(rounds, st.rounds);
+  EXPECT_EQ(total, st.total_slots);
+  EXPECT_EQ(collisions, st.collision_slots);
+  EXPECT_EQ(successes, st.success_slots);
+  EXPECT_DOUBLE_EQ(busy, st.busy_time_s);
+}
+
+}  // namespace
+}  // namespace rfidsim

@@ -1,0 +1,155 @@
+#include "fault/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::fault {
+namespace {
+
+FaultConfig crashy() {
+  FaultConfig cfg;
+  cfg.reader.mtbf_s = 2.0;
+  cfg.reader.mttr_s = 0.5;
+  return cfg;
+}
+
+TEST(FaultScheduleTest, AllOffConfigYieldsEmptySchedule) {
+  Rng rng(1);
+  const FaultSchedule sched = FaultSchedule::sample({}, 2, 2, 0.0, 4.0, rng);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_TRUE(sched.reader_outages()[r].empty());
+    EXPECT_FALSE(sched.reader_down(r, 1.0));
+    EXPECT_EQ(sched.reader_downtime_s(r), 0.0);
+  }
+  EXPECT_FALSE(sched.antenna_dead(0));
+  EXPECT_EQ(sched.jamming_loss_db(1.0), 0.0);
+}
+
+TEST(FaultScheduleTest, AllOffConfigConsumesNoRandomness) {
+  Rng a(77), b(77);
+  (void)FaultSchedule::sample({}, 4, 4, 0.0, 10.0, a);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(FaultScheduleTest, IdenticalSeedsGiveIdenticalSchedules) {
+  FaultConfig cfg = crashy();
+  cfg.antenna.probability = 0.3;
+  cfg.jamming.mean_interarrival_s = 1.0;
+  Rng a(42), b(42);
+  const FaultSchedule s1 = FaultSchedule::sample(cfg, 3, 4, 0.0, 8.0, a);
+  const FaultSchedule s2 = FaultSchedule::sample(cfg, 3, 4, 0.0, 8.0, b);
+
+  ASSERT_EQ(s1.reader_outages().size(), s2.reader_outages().size());
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(s1.reader_outages()[r].size(), s2.reader_outages()[r].size());
+    for (std::size_t i = 0; i < s1.reader_outages()[r].size(); ++i) {
+      EXPECT_EQ(s1.reader_outages()[r][i].begin_s, s2.reader_outages()[r][i].begin_s);
+      EXPECT_EQ(s1.reader_outages()[r][i].end_s, s2.reader_outages()[r][i].end_s);
+    }
+  }
+  EXPECT_EQ(s1.dead_antennas(), s2.dead_antennas());
+  ASSERT_EQ(s1.jamming_bursts().size(), s2.jamming_bursts().size());
+  for (std::size_t i = 0; i < s1.jamming_bursts().size(); ++i) {
+    EXPECT_EQ(s1.jamming_bursts()[i].begin_s, s2.jamming_bursts()[i].begin_s);
+  }
+}
+
+TEST(FaultScheduleTest, DifferentSeedsGiveDifferentSchedules) {
+  Rng a(1), b(2);
+  const FaultSchedule s1 = FaultSchedule::sample(crashy(), 1, 1, 0.0, 100.0, a);
+  const FaultSchedule s2 = FaultSchedule::sample(crashy(), 1, 1, 0.0, 100.0, b);
+  ASSERT_FALSE(s1.reader_outages()[0].empty());
+  ASSERT_FALSE(s2.reader_outages()[0].empty());
+  EXPECT_NE(s1.reader_outages()[0][0].begin_s, s2.reader_outages()[0][0].begin_s);
+}
+
+TEST(FaultScheduleTest, OutageWindowsAreOrderedDisjointAndClamped) {
+  Rng rng(9);
+  const FaultSchedule sched = FaultSchedule::sample(crashy(), 2, 1, 1.0, 21.0, rng);
+  for (const auto& windows : sched.reader_outages()) {
+    double prev_end = 1.0;
+    for (const TimeWindow& w : windows) {
+      EXPECT_GE(w.begin_s, prev_end);
+      EXPECT_GT(w.end_s, w.begin_s);
+      EXPECT_LE(w.end_s, 21.0);
+      prev_end = w.end_s;
+    }
+  }
+}
+
+TEST(FaultScheduleTest, ReaderDownTracksWindows) {
+  Rng rng(5);
+  const FaultSchedule sched = FaultSchedule::sample(crashy(), 1, 1, 0.0, 50.0, rng);
+  ASSERT_FALSE(sched.reader_outages()[0].empty());
+  const TimeWindow w = sched.reader_outages()[0].front();
+  const double mid = 0.5 * (w.begin_s + w.end_s);
+  EXPECT_TRUE(sched.reader_down(0, mid));
+  EXPECT_FALSE(sched.reader_down(0, w.end_s));
+  EXPECT_EQ(sched.reader_up_after(0, mid), w.end_s);
+  EXPECT_EQ(sched.reader_up_after(0, w.begin_s - 1e-6), w.begin_s - 1e-6);
+}
+
+TEST(FaultScheduleTest, DowntimeSumsWindows) {
+  Rng rng(13);
+  const FaultSchedule sched = FaultSchedule::sample(crashy(), 1, 1, 0.0, 40.0, rng);
+  double expected = 0.0;
+  for (const TimeWindow& w : sched.reader_outages()[0]) expected += w.end_s - w.begin_s;
+  EXPECT_DOUBLE_EQ(sched.reader_downtime_s(0), expected);
+}
+
+TEST(FaultScheduleTest, MtbfControlsCrashFrequency) {
+  // Statistical sanity over a long window: mean #crashes ~ duration/(MTBF+MTTR).
+  FaultConfig cfg;
+  cfg.reader.mtbf_s = 4.0;
+  cfg.reader.mttr_s = 1.0;
+  Rng rng(21);
+  std::size_t crashes = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    Rng fork = rng.fork(static_cast<std::uint64_t>(i));
+    crashes += FaultSchedule::sample(cfg, 1, 1, 0.0, 100.0, fork).reader_outages()[0].size();
+  }
+  const double mean = static_cast<double>(crashes) / trials;
+  EXPECT_GT(mean, 100.0 / 5.0 * 0.7);
+  EXPECT_LT(mean, 100.0 / 5.0 * 1.3);
+}
+
+TEST(FaultScheduleTest, AntennaOutageProbabilityExtremes) {
+  FaultConfig all;
+  all.antenna.probability = 1.0;
+  Rng rng(3);
+  const FaultSchedule sched = FaultSchedule::sample(all, 1, 3, 0.0, 1.0, rng);
+  EXPECT_TRUE(sched.antenna_dead(0));
+  EXPECT_TRUE(sched.antenna_dead(1));
+  EXPECT_TRUE(sched.antenna_dead(2));
+  EXPECT_FALSE(sched.antenna_dead(3));  // Out of range is not dead.
+}
+
+TEST(FaultScheduleTest, JammingBurstsCarryConfiguredLoss) {
+  FaultConfig cfg;
+  cfg.jamming.mean_interarrival_s = 0.5;
+  cfg.jamming.mean_burst_s = 0.3;
+  cfg.jamming.extra_loss_db = 17.0;
+  Rng rng(8);
+  const FaultSchedule sched = FaultSchedule::sample(cfg, 1, 1, 0.0, 30.0, rng);
+  ASSERT_FALSE(sched.jamming_bursts().empty());
+  const TimeWindow w = sched.jamming_bursts().front();
+  EXPECT_EQ(sched.jamming_loss_db(0.5 * (w.begin_s + w.end_s)), 17.0);
+  EXPECT_EQ(sched.jamming_loss_db(w.begin_s - 1e-6), 0.0);
+}
+
+TEST(FaultScheduleTest, RejectsBadConfig) {
+  Rng rng(1);
+  FaultConfig bad_mttr;
+  bad_mttr.reader.mtbf_s = 1.0;
+  bad_mttr.reader.mttr_s = 0.0;
+  EXPECT_THROW(FaultSchedule::sample(bad_mttr, 1, 1, 0.0, 1.0, rng), ConfigError);
+  FaultConfig bad_prob;
+  bad_prob.antenna.probability = 1.5;
+  EXPECT_THROW(FaultSchedule::sample(bad_prob, 1, 1, 0.0, 1.0, rng), ConfigError);
+  EXPECT_THROW(FaultSchedule::sample({}, 1, 1, 2.0, 1.0, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::fault

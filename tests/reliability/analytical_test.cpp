@@ -132,5 +132,46 @@ TEST_P(AnalyticalPropertyTest, MonotoneAndBounded) {
 INSTANTIATE_TEST_SUITE_P(RandomVectors, AnalyticalPropertyTest,
                          ::testing::Range<std::uint64_t>(0, 25));
 
+TEST(DegradedGridTest, AllLiveMatchesPlainGrid) {
+  const std::vector<double> ps{0.8, 0.86, 0.97, 0.7};
+  EXPECT_DOUBLE_EQ(expected_reliability_grid_degraded(ps, 2, 2, {true, true}),
+                   expected_reliability_grid(ps, 2, 2));
+}
+
+TEST(DegradedGridTest, DeadAntennaDropsItsColumn) {
+  // 2 tags x 2 antennas; antenna 1 down leaves the column-0 opportunities.
+  const std::vector<double> ps{0.8, 0.86, 0.97, 0.7};
+  EXPECT_DOUBLE_EQ(expected_reliability_grid_degraded(ps, 2, 2, {true, false}),
+                   expected_reliability({0.8, 0.97}));
+  EXPECT_DOUBLE_EQ(expected_reliability_grid_degraded(ps, 2, 2, {false, true}),
+                   expected_reliability({0.86, 0.7}));
+}
+
+TEST(DegradedGridTest, AllDeadIsZero) {
+  EXPECT_EQ(expected_reliability_grid_degraded({0.9, 0.9}, 2, 1, {false}), 0.0);
+}
+
+TEST(DegradedGridTest, TagRedundancySurvivesAntennaLossBetter) {
+  // The PR's headline result in analytical form: losing one of two
+  // antennas barely dents a 2-tag scheme but guts the 1-tag scheme's
+  // redundancy.
+  const double p_front = 0.8, p_side = 0.7;
+  const std::vector<double> one_tag{p_front, p_front};
+  const std::vector<double> two_tags{p_front, p_front, p_side, p_side};
+  const double one_tag_degraded =
+      expected_reliability_grid_degraded(one_tag, 1, 2, {true, false});
+  const double two_tag_degraded =
+      expected_reliability_grid_degraded(two_tags, 2, 2, {true, false});
+  EXPECT_GT(two_tag_degraded, 0.93);
+  EXPECT_LE(one_tag_degraded, 0.8 + 1e-12);
+}
+
+TEST(DegradedGridTest, RejectsSizeMismatch) {
+  EXPECT_THROW(expected_reliability_grid_degraded({0.5}, 1, 2, {true, true}),
+               ConfigError);
+  EXPECT_THROW(expected_reliability_grid_degraded({0.5, 0.5}, 1, 2, {true}),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace rfidsim::reliability

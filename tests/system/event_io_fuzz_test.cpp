@@ -1,0 +1,155 @@
+// Property/fuzz coverage for event-log serialization: the lenient parser
+// must never throw on damaged input (truncation, duplicate rows, NaN
+// RSSI, mixed line endings, random mangling), must preserve every clean
+// row, and must account for every input row in ParseStats.
+#include "system/event_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rfidsim::sys {
+namespace {
+
+ReadEvent event(double t, std::uint64_t tag, std::size_t reader, std::size_t antenna,
+                double rssi) {
+  ReadEvent ev;
+  ev.time_s = t;
+  ev.tag = scene::TagId{tag};
+  ev.reader_index = reader;
+  ev.antenna_index = antenna;
+  ev.rssi = DbmPower(rssi);
+  return ev;
+}
+
+EventLog random_log(Rng& rng, std::size_t n) {
+  EventLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    log.push_back(event(rng.uniform(0.0, 10.0), rng.next_u64(),
+                        static_cast<std::size_t>(rng.uniform_int(0, 3)),
+                        static_cast<std::size_t>(rng.uniform_int(0, 3)),
+                        rng.uniform(-90.0, -30.0)));
+  }
+  return log;
+}
+
+TEST(EventIoFuzzTest, LenientMatchesStrictOnCleanInput) {
+  Rng rng(1);
+  for (int round = 0; round < 20; ++round) {
+    const EventLog log = random_log(rng, 40);
+    const std::string csv = to_csv(log);
+    ParseStats stats;
+    const EventLog lenient = from_csv(csv, ParseMode::Lenient, &stats);
+    const EventLog strict = from_csv(csv);
+    ASSERT_EQ(lenient.size(), strict.size());
+    EXPECT_EQ(stats.rows_ok, log.size());
+    EXPECT_EQ(stats.rows_bad, 0u);
+    for (std::size_t i = 0; i < strict.size(); ++i) {
+      EXPECT_EQ(lenient[i].tag, strict[i].tag);
+      EXPECT_EQ(lenient[i].time_s, strict[i].time_s);
+    }
+  }
+}
+
+TEST(EventIoFuzzTest, TruncationAtEveryByteNeverThrowsLenient) {
+  Rng rng(2);
+  const std::string csv = to_csv(random_log(rng, 10));
+  for (std::size_t cut = csv.find('\n') + 1; cut <= csv.size(); ++cut) {
+    ParseStats stats;
+    const EventLog parsed = from_csv(csv.substr(0, cut), ParseMode::Lenient, &stats);
+    EXPECT_LE(parsed.size(), 10u);
+    EXPECT_LE(stats.rows_bad, 1u);  // Only the torn row can be bad.
+  }
+}
+
+TEST(EventIoFuzzTest, DuplicatedRowsParseTwice) {
+  const EventLog log{event(1.0, 7, 0, 0, -50.0)};
+  std::string csv = to_csv(log);
+  const std::string row = csv.substr(csv.find('\n') + 1);
+  csv += row;  // Same data row twice.
+  ParseStats stats;
+  const EventLog parsed = from_csv(csv, ParseMode::Lenient, &stats);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].tag, parsed[1].tag);
+  EXPECT_EQ(stats.rows_ok, 2u);
+}
+
+TEST(EventIoFuzzTest, NanRssiRoundTripsStrictButIsLenientBad) {
+  const EventLog log{event(1.0, 7, 0, 0, std::numeric_limits<double>::quiet_NaN())};
+  const std::string csv = to_csv(log);
+  // Strict keeps historical behaviour: "nan" parses.
+  const EventLog strict = from_csv(csv);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_TRUE(std::isnan(strict[0].rssi.value()));
+  // Lenient quarantines it: NaN is sensor garbage.
+  ParseStats stats;
+  const EventLog lenient = from_csv(csv, ParseMode::Lenient, &stats);
+  EXPECT_TRUE(lenient.empty());
+  EXPECT_EQ(stats.rows_bad, 1u);
+  ASSERT_FALSE(stats.sample_errors.empty());
+}
+
+TEST(EventIoFuzzTest, MixedLineEndingsParseIdentically) {
+  Rng rng(3);
+  const EventLog log = random_log(rng, 12);
+  const std::string lf = to_csv(log);
+  // Re-terminate a pseudo-random subset of lines with CRLF.
+  std::string mixed;
+  std::size_t line_idx = 0;
+  for (char c : lf) {
+    if (c == '\n' && (line_idx++ % 3 == 0)) mixed += '\r';
+    mixed += c;
+  }
+  const EventLog a = from_csv(lf, ParseMode::Lenient, nullptr);
+  const EventLog b = from_csv(mixed, ParseMode::Lenient, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_EQ(a[i].rssi.value(), b[i].rssi.value());
+  }
+}
+
+TEST(EventIoFuzzTest, RandomManglingNeverThrowsLenientAndAccountsAllRows) {
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    std::string csv = to_csv(random_log(rng, n));
+    // Mangle a handful of bytes after the header, avoiding newline bytes so
+    // the row count stays known.
+    const std::size_t start = csv.find('\n') + 1;
+    for (int k = 0; k < 8 && start < csv.size(); ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(start),
+                          static_cast<std::int64_t>(csv.size()) - 1));
+      if (csv[pos] != '\n') {
+        csv[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      }
+    }
+    ParseStats stats;
+    EventLog parsed;
+    EXPECT_NO_THROW(parsed = from_csv(csv, ParseMode::Lenient, &stats));
+    EXPECT_EQ(stats.rows_ok + stats.rows_bad, n);
+    EXPECT_EQ(parsed.size(), stats.rows_ok);
+  }
+}
+
+TEST(EventIoFuzzTest, StrictStillThrowsOnBadRows) {
+  const std::string bad =
+      "time_s,tag,reader,antenna,rssi_dbm\n"
+      "1.0,5,0,0,-50\n"
+      "garbage row\n";
+  EXPECT_THROW(from_csv(bad), ConfigError);
+  // And the lenient parse of the same input keeps the good row.
+  ParseStats stats;
+  const EventLog parsed = from_csv(bad, ParseMode::Lenient, &stats);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(stats.rows_bad, 1u);
+}
+
+}  // namespace
+}  // namespace rfidsim::sys

@@ -1,0 +1,109 @@
+#include "system/uploader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rfidsim::sys {
+namespace {
+
+EventLog make_log(std::size_t n) {
+  EventLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    ReadEvent ev;
+    ev.time_s = 0.01 * static_cast<double>(i);
+    ev.tag = scene::TagId{i};
+    log.push_back(ev);
+  }
+  return log;
+}
+
+TEST(EventUploaderTest, LosslessChannelDeliversEverythingInOrder) {
+  EventUploader up(UploaderConfig{});
+  Rng rng(1);
+  const EventLog log = make_log(100);
+  const EventLog got = up.upload(log, rng);
+  ASSERT_EQ(got.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) EXPECT_EQ(got[i].tag, log[i].tag);
+  EXPECT_EQ(up.stats().batches, 4u);  // 100 events / batch_size 32.
+  EXPECT_EQ(up.stats().attempts, 4u);
+  EXPECT_EQ(up.stats().retries, 0u);
+  EXPECT_EQ(up.stats().events_lost, 0u);
+  EXPECT_EQ(up.stats().events_delivered, 100u);
+}
+
+TEST(EventUploaderTest, RetriesRecoverFromTransientLoss) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.max_retries = 16;  // Effectively always recovers: 0.3^17 ~ 1e-9.
+  EventUploader up(cfg);
+  Rng rng(2);
+  const EventLog log = make_log(320);
+  const EventLog got = up.upload(log, rng);
+  EXPECT_EQ(got.size(), log.size());
+  EXPECT_GT(up.stats().retries, 0u);
+  EXPECT_GT(up.stats().backoff_delay_s, 0.0);
+  EXPECT_EQ(up.stats().batches_lost, 0u);
+}
+
+TEST(EventUploaderTest, ExhaustedRetryBudgetDropsWholeBatches) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.9;
+  cfg.max_retries = 1;
+  cfg.batch_size = 10;
+  EventUploader up(cfg);
+  Rng rng(3);
+  const EventLog log = make_log(500);
+  const EventLog got = up.upload(log, rng);
+  EXPECT_LT(got.size(), log.size());
+  EXPECT_GT(up.stats().batches_lost, 0u);
+  EXPECT_EQ(up.stats().events_delivered + up.stats().events_lost, log.size());
+  EXPECT_EQ(got.size(), up.stats().events_delivered);
+  // Loss is batch-granular: delivered count is a multiple of batch size.
+  EXPECT_EQ(got.size() % cfg.batch_size, 0u);
+}
+
+TEST(EventUploaderTest, BackoffGrowsExponentially) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.999;  // Force the full retry ladder.
+  cfg.max_retries = 3;
+  cfg.initial_backoff_s = 0.1;
+  cfg.backoff_multiplier = 2.0;
+  cfg.batch_size = 8;
+  EventUploader up(cfg);
+  Rng rng(4);
+  (void)up.upload(make_log(8), rng);
+  // With (almost certainly) every attempt lost: 0.1 + 0.2 + 0.4.
+  EXPECT_NEAR(up.stats().backoff_delay_s, 0.7, 1e-9);
+  EXPECT_EQ(up.stats().attempts, 4u);
+}
+
+TEST(EventUploaderTest, DeterministicGivenSeed) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.max_retries = 2;
+  cfg.batch_size = 4;
+  const EventLog log = make_log(64);
+  EventUploader u1(cfg), u2(cfg);
+  Rng a(42), b(42);
+  const EventLog g1 = u1.upload(log, a);
+  const EventLog g2 = u2.upload(log, b);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_EQ(g1[i].tag, g2[i].tag);
+  EXPECT_EQ(u1.stats().retries, u2.stats().retries);
+}
+
+TEST(EventUploaderTest, RejectsBadConfig) {
+  UploaderConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(EventUploader{zero_batch}, ConfigError);
+  UploaderConfig certain_loss;
+  certain_loss.loss_probability = 1.0;
+  EXPECT_THROW(EventUploader{certain_loss}, ConfigError);
+  UploaderConfig shrink;
+  shrink.backoff_multiplier = 0.5;
+  EXPECT_THROW(EventUploader{shrink}, ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::sys

@@ -1,0 +1,201 @@
+#include "track/resilient_ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "fault/corruption.hpp"
+#include "system/event_io.hpp"
+#include "track/tracking.hpp"
+
+namespace rfidsim::track {
+namespace {
+
+sys::ReadEvent event(double t, std::uint64_t tag, std::size_t reader,
+                     std::size_t antenna, double rssi = -55.0) {
+  sys::ReadEvent ev;
+  ev.time_s = t;
+  ev.tag = scene::TagId{tag};
+  ev.reader_index = reader;
+  ev.antenna_index = antenna;
+  ev.rssi = DbmPower(rssi);
+  return ev;
+}
+
+sys::EventLog dense_log(std::size_t n) {
+  sys::EventLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    log.push_back(event(0.02 * static_cast<double>(i % 190), 1 + i % 12, i % 2, i % 2));
+  }
+  return log;
+}
+
+TEST(ResilientIngestTest, CleanLogPassesThroughUntouched) {
+  ResilientIngest ingest;
+  sys::EventLog log{event(0.1, 1, 0, 0), event(0.5, 2, 0, 0), event(0.9, 1, 0, 0)};
+  const IngestReport report = ingest.ingest(log, 0.0, 1.0);
+  EXPECT_EQ(report.accepted, 3u);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.reordered, 0u);
+  EXPECT_FALSE(report.degraded());
+}
+
+TEST(ResilientIngestTest, QuarantinesImplausibleRecordsWithoutThrowing) {
+  IngestConfig cfg;
+  cfg.reader_count = 2;
+  cfg.antenna_count = 2;
+  ResilientIngest ingest(cfg);
+  sys::EventLog log{
+      event(0.1, 1, 0, 0),
+      event(std::numeric_limits<double>::quiet_NaN(), 2, 0, 0),  // NaN time.
+      event(0.2, 3, 0, 0, 55.0),                                 // +55 dBm: absurd.
+      event(0.3, 4, 9, 0),                                       // No reader 9.
+      event(0.4, 5, 0, 7),                                       // No antenna 7.
+      event(99.0, 6, 0, 0),                                      // Outside window.
+      event(0.5, 7, 1, 1),
+  };
+  const IngestReport report = ingest.ingest(log, 0.0, 1.0);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.quarantined, 5u);
+  EXPECT_EQ(report.quarantine_samples.size(), 5u);
+}
+
+TEST(ResilientIngestTest, RegistryCatchesBitFlippedTags) {
+  ObjectRegistry registry;
+  const ObjectId box = registry.add_object("box");
+  registry.bind_tag(scene::TagId{1001}, box);
+
+  IngestConfig cfg;
+  cfg.registry = &registry;
+  ResilientIngest ingest(cfg);
+  sys::EventLog log{event(0.1, 1001, 0, 0), event(0.2, 1001 ^ 64, 0, 0)};
+  const IngestReport report = ingest.ingest(log, 0.0, 1.0);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+}
+
+TEST(ResilientIngestTest, CollapsesTransportDuplicates) {
+  ResilientIngest ingest;
+  sys::EventLog log{
+      event(0.100, 1, 0, 0), event(0.100, 1, 0, 0),   // Exact duplicate.
+      event(0.1005, 1, 0, 0),                         // Within dedup window.
+      event(0.200, 1, 0, 0),                          // A genuine re-read.
+      event(0.100, 1, 1, 0),                          // Other reader: kept.
+  };
+  const IngestReport report = ingest.ingest(log, 0.0, 1.0);
+  EXPECT_EQ(report.accepted, 3u);
+  EXPECT_EQ(report.duplicates, 2u);
+}
+
+TEST(ResilientIngestTest, RestoresOrderAndCountsInversions) {
+  ResilientIngest ingest;
+  sys::EventLog log{event(0.5, 1, 0, 0), event(0.1, 2, 0, 0), event(0.3, 3, 0, 0)};
+  const IngestReport report = ingest.ingest(log, 0.0, 1.0);
+  EXPECT_EQ(report.reordered, 2u);
+  ASSERT_EQ(report.events.size(), 3u);
+  EXPECT_LT(report.events[0].time_s, report.events[1].time_s);
+  EXPECT_LT(report.events[1].time_s, report.events[2].time_s);
+}
+
+TEST(ResilientIngestTest, DetectsSilenceGapsAndDeclaresReadersDown) {
+  IngestConfig cfg;
+  cfg.reader_count = 2;
+  cfg.silence_gap_s = 1.0;
+  ResilientIngest ingest(cfg);
+  // Reader 0 speaks throughout; reader 1 dies at t = 2.
+  sys::EventLog log;
+  for (int i = 0; i < 80; ++i) log.push_back(event(0.1 * i, 1, 0, 0));
+  for (int i = 0; i < 20; ++i) log.push_back(event(0.1 * i, 2, 1, 1));
+  const IngestReport report = ingest.ingest(log, 0.0, 8.0);
+  ASSERT_EQ(report.degraded_readers.size(), 1u);
+  EXPECT_EQ(report.degraded_readers[0], 1u);
+  EXPECT_TRUE(report.degraded());
+  bool found_tail_gap = false;
+  for (const SilenceGap& gap : report.gaps) {
+    if (gap.reader == 1 && gap.to_window_end) {
+      found_tail_gap = true;
+      EXPECT_NEAR(gap.begin_s, 1.9, 1e-9);
+      EXPECT_EQ(gap.end_s, 8.0);
+    }
+  }
+  EXPECT_TRUE(found_tail_gap);
+}
+
+TEST(ResilientIngestTest, KnownReaderThatNeverSpeaksIsDown) {
+  IngestConfig cfg;
+  cfg.reader_count = 2;
+  ResilientIngest ingest(cfg);
+  sys::EventLog log;
+  for (int i = 0; i < 40; ++i) log.push_back(event(0.1 * i, 1, 0, 0));
+  const IngestReport report = ingest.ingest(log, 0.0, 4.0);
+  ASSERT_EQ(report.degraded_readers.size(), 1u);
+  EXPECT_EQ(report.degraded_readers[0], 1u);
+}
+
+TEST(ResilientIngestTest, SurvivesHeavilyCorruptedCsv) {
+  // Acceptance criterion: >= 5% bad/dropped/duplicated rows, no throw,
+  // quarantine counters populated.
+  const sys::EventLog log = dense_log(1000);
+  const std::string csv = sys::to_csv(log);
+  fault::CorruptionConfig corr;
+  corr.drop_probability = 0.03;
+  corr.duplicate_probability = 0.03;
+  corr.corrupt_probability = 0.05;
+  corr.reorder_probability = 0.05;
+  Rng rng(2024);
+  fault::CorruptionStats cstats;
+  const std::string bad = fault::corrupt_csv(csv, corr, rng, &cstats);
+  ASSERT_GE(cstats.dropped + cstats.duplicated + cstats.corrupted, 50u);
+
+  IngestConfig cfg;
+  cfg.reader_count = 2;
+  cfg.antenna_count = 2;
+  ResilientIngest ingest(cfg);
+  IngestReport report;
+  ASSERT_NO_THROW(report = ingest.ingest_csv(bad, 0.0, 4.0));
+  EXPECT_GT(report.parse.rows_bad, 0u);
+  EXPECT_GT(report.duplicates, 0u);
+  EXPECT_GT(report.accepted, 800u);  // The vast majority survives.
+  EXPECT_EQ(report.accepted, report.events.size());
+  // Everything the corruptor injected is either parsed, parse-failed, or
+  // quarantined/deduped — nothing vanishes unaccounted.
+  EXPECT_EQ(report.parse.rows_ok,
+            report.accepted + report.duplicates + report.quarantined);
+}
+
+TEST(ResilientIngestTest, CsvPathMatchesInMemoryPathOnCleanInput) {
+  const sys::EventLog log = dense_log(200);
+  ResilientIngest ingest;
+  const IngestReport a = ingest.ingest(log, 0.0, 4.0);
+  const IngestReport b = ingest.ingest_csv(sys::to_csv(log), 0.0, 4.0);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].tag, b.events[i].tag);
+  }
+}
+
+TEST(ResilientIngestTest, WrongHeaderStillThrows) {
+  ResilientIngest ingest;
+  EXPECT_THROW(ingest.ingest_csv(std::string("not,a,log\n1,2,3\n"), 0.0, 1.0),
+               ConfigError);
+}
+
+TEST(ResilientIngestTest, RejectsBadConfig) {
+  IngestConfig inverted;
+  inverted.min_rssi_dbm = 0.0;
+  inverted.max_rssi_dbm = -10.0;
+  EXPECT_THROW(ResilientIngest{inverted}, ConfigError);
+  IngestConfig negative;
+  negative.dedup_window_s = -1.0;
+  EXPECT_THROW(ResilientIngest{negative}, ConfigError);
+  ResilientIngest ok;
+  EXPECT_THROW(ok.ingest({}, 1.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfidsim::track
