@@ -29,7 +29,7 @@ CleaningResult evaluate(const ObjectScenarioOptions& opt, const CalibrationProfi
       {sc.registry.objects().begin(), sc.registry.objects().end()}};
 
   CleaningResult result;
-  const RepeatedRuns runs = run_repeated(sc, 2 * reps, bench::kSeed);
+  const RepeatedRuns runs = run_repeated_parallel(sc, 2 * reps, bench::kSeed);
   for (std::size_t i = 0; i < reps; ++i) {
     // Two consecutive passes model two checkpoints of a route.
     const auto rep0 = analyzer.analyze(runs.logs[2 * i]);

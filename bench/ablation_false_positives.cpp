@@ -100,7 +100,7 @@ int main() {
     add_staging_pallet(sc);
 
     const std::size_t reps = 16;
-    const RepeatedRuns runs = run_repeated(sc, reps, bench::kSeed);
+    const RepeatedRuns runs = run_repeated_parallel(sc, reps, bench::kSeed);
     std::vector<sys::EventLog> passes;
     for (std::size_t p = 0; p < reps; ++p) {
       passes.push_back(relabel_fresh_cartons(runs.logs[p], p));

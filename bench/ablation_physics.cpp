@@ -23,7 +23,7 @@ double fig2_cliffness(const CalibrationProfile& cal) {
   for (int d = 1; d <= 9; ++d) {
     const Scenario sc = make_read_range_scenario(static_cast<double>(d), cal);
     const double mean =
-        summarize(distinct_tags_per_run(run_repeated(sc, 24, bench::kSeed + d))).mean;
+        summarize(distinct_tags_per_run(run_repeated_parallel(sc, 24, bench::kSeed + d))).mean;
     if (prev >= 0.0) worst_drop = std::max(worst_drop, (prev - mean) / 20.0);
     prev = mean;
   }
@@ -40,7 +40,7 @@ double table1_side_far(const CalibrationProfile& cal) {
 double fig4_at_10mm(const CalibrationProfile& cal) {
   // 10 mm spacing: inside the unsafe zone, where coupling dominates.
   const Scenario sc = make_intertag_scenario(0.010, kFigure3Orientations[1], cal);
-  return summarize(distinct_tags_per_run(run_repeated(sc, 10, bench::kSeed))).mean / 10.0;
+  return summarize(distinct_tags_per_run(run_repeated_parallel(sc, 10, bench::kSeed))).mean / 10.0;
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ void report_read_range(const CalibrationProfile& cal) {
   TextTable t({"distance (m)", "mean tags read (of 20)"});
   for (double d = 1.0; d <= 9.0; d += 1.0) {
     const Scenario sc = make_read_range_scenario(d, cal);
-    const RepeatedRuns runs = run_repeated(sc, 40, kSeed + static_cast<int>(d));
+    const RepeatedRuns runs = run_repeated_parallel(sc, 40, kSeed + static_cast<int>(d));
     const SampleSummary s = summarize(distinct_tags_per_run(runs));
     t.add_row({fixed_str(d, 0), fixed_str(s.mean, 1)});
   }
@@ -38,7 +38,7 @@ void report_intertag(const CalibrationProfile& cal) {
     std::vector<std::string> row{fixed_str(mm, 1) + " mm"};
     for (const auto& orientation : kFigure3Orientations) {
       const Scenario sc = make_intertag_scenario(mm * 1e-3, orientation, cal);
-      const RepeatedRuns runs = run_repeated(sc, 10, kSeed + orientation.case_number);
+      const RepeatedRuns runs = run_repeated_parallel(sc, 10, kSeed + orientation.case_number);
       const SampleSummary s = summarize(distinct_tags_per_run(runs));
       row.push_back(fixed_str(s.mean, 1));
     }
@@ -105,7 +105,7 @@ void report_human_locations(const CalibrationProfile& cal) {
     opt.subject_count = 2;
     opt.tag_spots = {r.spot};
     const Scenario sc = make_human_tracking_scenario(opt, cal);
-    const RepeatedRuns runs = run_repeated(sc, 20, kSeed);
+    const RepeatedRuns runs = run_repeated_parallel(sc, 20, kSeed);
     const auto per_obj = per_object_reliability(sc, runs);
     // Objects are registered in subject order: 1 = closer, 2 = farther.
     double closer = 0.0;

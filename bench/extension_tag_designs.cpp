@@ -40,7 +40,7 @@ int main() {
     const Scenario sc =
         make_intertag_scenario(0.020, kFigure3Orientations[0], cal, d.design);
     const SampleSummary s =
-        summarize(distinct_tags_per_run(run_repeated(sc, 12, bench::kSeed)));
+        summarize(distinct_tags_per_run(run_repeated_parallel(sc, 12, bench::kSeed)));
     t1.add_row({d.name, fixed_str(s.mean, 1), percent(s.mean / 10.0)});
   }
   std::fputs(t1.render().c_str(), stdout);

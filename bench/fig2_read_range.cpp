@@ -20,7 +20,7 @@ int main() {
                "upper quartile", "read reliability"});
   for (int d = 1; d <= 9; ++d) {
     const Scenario sc = make_read_range_scenario(static_cast<double>(d), cal);
-    const RepeatedRuns runs = run_repeated(sc, 40, bench::kSeed + d);
+    const RepeatedRuns runs = run_repeated_parallel(sc, 40, bench::kSeed + d);
     const SampleSummary s = summarize(distinct_tags_per_run(runs));
     t.add_row({std::to_string(d), fixed_str(s.mean, 1), fixed_str(s.lower_quartile, 1),
                fixed_str(s.upper_quartile, 1), percent(s.mean / 20.0)});

@@ -30,7 +30,7 @@ int main() {
     for (const auto& orientation : kFigure3Orientations) {
       const Scenario sc = make_intertag_scenario(mm * 1e-3, orientation, cal);
       const RepeatedRuns runs =
-          run_repeated(sc, 12, bench::kSeed + orientation.case_number);
+          run_repeated_parallel(sc, 12, bench::kSeed + orientation.case_number);
       const SampleSummary s = summarize(distinct_tags_per_run(runs));
       row.push_back(fixed_str(s.mean, 1) + " [" + fixed_str(s.lower_quartile, 0) + "," +
                     fixed_str(s.upper_quartile, 0) + "]");

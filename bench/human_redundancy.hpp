@@ -27,7 +27,7 @@ inline HumanResult measure_human(const HumanScenarioOptions& opt,
                                  std::size_t reps = 40) {
   const Scenario sc = make_human_tracking_scenario(opt, cal);
   const auto per_obj =
-      reliability::per_object_reliability(sc, reliability::run_repeated(sc, reps, kSeed));
+      reliability::per_object_reliability(sc, reliability::run_repeated_parallel(sc, reps, kSeed));
   HumanResult r;
   for (const auto& [obj, ci] : per_obj) {
     (obj.value == 1 ? r.closer : r.farther) = ci.estimate;

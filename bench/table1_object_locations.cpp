@@ -33,7 +33,7 @@ int main() {
     opt.tag_faces = {r.face};
     const Scenario sc = make_object_tracking_scenario(opt, cal);
     const std::size_t reps = 24;
-    const RepeatedRuns runs = run_repeated(sc, reps, bench::kSeed);
+    const RepeatedRuns runs = run_repeated_parallel(sc, reps, bench::kSeed);
     const double rel = mean_tag_reliability(sc, runs);
     sum += rel;
     const auto successes = static_cast<std::size_t>(rel * 12.0 * reps + 0.5);

@@ -24,7 +24,7 @@ Cell measure_two_subject(scene::BodySpot spot, const CalibrationProfile& cal,
   opt.subject_count = 2;
   opt.tag_spots = {spot};
   const Scenario sc = make_human_tracking_scenario(opt, cal);
-  const auto per_obj = per_object_reliability(sc, run_repeated(sc, reps, bench::kSeed));
+  const auto per_obj = per_object_reliability(sc, run_repeated_parallel(sc, reps, bench::kSeed));
   Cell cell;
   for (const auto& [obj, ci] : per_obj) {
     (obj.value == 1 ? cell.closer : cell.farther) = ci.estimate;

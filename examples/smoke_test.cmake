@@ -1,0 +1,25 @@
+# Smoke-test runner for example binaries (ctest -P script): the example
+# must exit 0 AND print something. A silently-succeeding example is a
+# broken example — each one exists to show output.
+#
+# Usage: cmake -DEXAMPLE_BIN=<path> -P smoke_test.cmake
+if(NOT DEFINED EXAMPLE_BIN)
+  message(FATAL_ERROR "smoke_test.cmake: pass -DEXAMPLE_BIN=<binary>")
+endif()
+
+execute_process(
+  COMMAND "${EXAMPLE_BIN}"
+  OUTPUT_VARIABLE example_stdout
+  ERROR_VARIABLE example_stderr
+  RESULT_VARIABLE example_rc
+)
+
+if(NOT example_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${EXAMPLE_BIN} exited with ${example_rc}\nstderr:\n${example_stderr}")
+endif()
+
+string(STRIP "${example_stdout}" stripped)
+if(stripped STREQUAL "")
+  message(FATAL_ERROR "${EXAMPLE_BIN} exited 0 but printed nothing to stdout")
+endif()

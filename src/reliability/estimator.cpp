@@ -1,9 +1,9 @@
 #include "reliability/estimator.hpp"
 
-#include <atomic>
-#include <thread>
+#include <memory>
 #include <unordered_set>
 
+#include "sweep/sweep.hpp"
 #include "system/portal.hpp"
 #include "track/tracking.hpp"
 
@@ -26,33 +26,30 @@ RepeatedRuns run_repeated(const Scenario& scenario, std::size_t repetitions,
 RepeatedRuns run_repeated_parallel(const Scenario& scenario, std::size_t repetitions,
                                    std::uint64_t seed, std::size_t threads,
                                    bool single_round) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-  }
-  threads = std::min(threads, std::max<std::size_t>(repetitions, 1));
-
   RepeatedRuns runs;
   runs.logs.resize(repetitions);
-  const Rng root(seed);
-  std::atomic<std::size_t> next{0};
-
-  auto worker = [&] {
-    // Each worker owns its simulator; PortalSimulator is not thread-safe
-    // but is cheap to construct.
-    sys::PortalSimulator sim(scenario.scene, scenario.portal);
-    for (std::size_t rep = next.fetch_add(1); rep < repetitions;
-         rep = next.fetch_add(1)) {
-      Rng rng = root.fork(rep);
-      runs.logs[rep] = single_round
-                           ? sim.run_single_round(scenario.portal.start_time_s, rng)
-                           : sim.run(rng);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // Cell rep's generator is sweep::cell_rng(seed, rep) == Rng(seed).fork(rep),
+  // the exact derivation of run_repeated's serial loop — which is why the
+  // two paths are byte-identical regardless of thread count (see
+  // tests/reliability/parallel_test.cpp). One simulator per lane: the run
+  // fully resets per-pass state, and the evaluator's static-geometry cache
+  // carried between cells holds first-evaluation results verbatim, so lane
+  // reuse cannot change a bit — it only keeps the cache warm.
+  std::vector<std::unique_ptr<sys::PortalSimulator>> sims;
+  sweep::parallel_for(
+      repetitions, sweep::SweepOptions{.threads = threads},
+      [&](std::size_t lanes) { sims.resize(lanes); },
+      [&](std::size_t rep, std::size_t lane) {
+        if (!sims[lane]) {
+          sims[lane] =
+              std::make_unique<sys::PortalSimulator>(scenario.scene, scenario.portal);
+        }
+        Rng rng = sweep::cell_rng(seed, rep);
+        runs.logs[rep] =
+            single_round
+                ? sims[lane]->run_single_round(scenario.portal.start_time_s, rng)
+                : sims[lane]->run(rng);
+      });
   return runs;
 }
 
@@ -127,12 +124,14 @@ double mean_object_reliability(const Scenario& scenario, const RepeatedRuns& run
 
 double measure_tag_reliability(const Scenario& scenario, std::size_t repetitions,
                                std::uint64_t seed) {
-  return mean_tag_reliability(scenario, run_repeated(scenario, repetitions, seed));
+  return mean_tag_reliability(scenario,
+                              run_repeated_parallel(scenario, repetitions, seed));
 }
 
 double measure_tracking_reliability(const Scenario& scenario, std::size_t repetitions,
                                     std::uint64_t seed) {
-  return mean_object_reliability(scenario, run_repeated(scenario, repetitions, seed));
+  return mean_object_reliability(scenario,
+                                 run_repeated_parallel(scenario, repetitions, seed));
 }
 
 }  // namespace rfidsim::reliability

@@ -31,11 +31,13 @@ struct RepeatedRuns {
 RepeatedRuns run_repeated(const Scenario& scenario, std::size_t repetitions,
                           std::uint64_t seed, bool single_round = false);
 
-/// Parallel variant: identical results to run_repeated (each repetition's
-/// RNG is a pure function of (seed, repetition index), so scheduling
-/// cannot change outcomes), spread across `threads` workers. `threads` of
-/// 0 uses the hardware concurrency. Useful for large sweeps; the paper
-/// benches stay on the serial path for simplicity.
+/// Sweep-backed parallel variant: byte-identical results to run_repeated
+/// (each repetition's RNG is a pure function of (seed, repetition index)
+/// per sweep::cell_rng, so scheduling cannot change outcomes), spread
+/// across `threads` workers of the rfidsim::sweep engine. `threads` of 0
+/// uses the shared hardware-concurrency pool. All paper benches run on
+/// this path; run_repeated stays as the serial reference the differential
+/// tests compare against.
 RepeatedRuns run_repeated_parallel(const Scenario& scenario, std::size_t repetitions,
                                    std::uint64_t seed, std::size_t threads = 0,
                                    bool single_round = false);
@@ -60,11 +62,13 @@ double mean_tag_reliability(const Scenario& scenario, const RepeatedRuns& runs);
 /// Mean tracking reliability over all objects.
 double mean_object_reliability(const Scenario& scenario, const RepeatedRuns& runs);
 
-/// Convenience: run + mean tag reliability in one call.
+/// Convenience: run + mean tag reliability in one call (sweep-backed,
+/// byte-identical to the serial path).
 double measure_tag_reliability(const Scenario& scenario, std::size_t repetitions,
                                std::uint64_t seed);
 
-/// Convenience: run + mean tracking reliability in one call.
+/// Convenience: run + mean tracking reliability in one call (sweep-backed,
+/// byte-identical to the serial path).
 double measure_tracking_reliability(const Scenario& scenario, std::size_t repetitions,
                                     std::uint64_t seed);
 

@@ -1,9 +1,11 @@
 #include "reliability/facility.hpp"
 
 #include <unordered_set>
+#include <vector>
 
 #include "common/error.hpp"
 #include "reliability/estimator.hpp"
+#include "sweep/sweep.hpp"
 #include "track/tracking.hpp"
 
 namespace rfidsim::reliability {
@@ -19,27 +21,33 @@ FacilitySimulator::FacilitySimulator(std::vector<FacilityCheckpoint> route,
           "FacilitySimulator: shipment needs at least one tag per case");
 }
 
-FacilityRun FacilitySimulator::run_shipment(std::uint64_t seed) const {
+FacilityRun FacilitySimulator::run_shipment(std::uint64_t seed, std::size_t threads) const {
   FacilityRun run;
   run.observations.checkpoint_count = route_.size();
   run.observations.detected.resize(route_.size());
 
-  const Rng root(seed);
-  for (std::size_t k = 0; k < route_.size(); ++k) {
-    ObjectScenarioOptions opt;
-    opt.tag_faces = shipment_.tag_faces;
-    opt.tag_design = shipment_.tag_design;
-    opt.portal = route_[k].portal;
-    opt.speed_mps = route_[k].speed_mps;
-    const Scenario sc = make_object_tracking_scenario(opt, calibration_);
-    run.case_count = sc.registry.object_count();
+  // Checkpoints are independent sweep cells: cell k derives its generator
+  // as sweep::cell_rng(seed, k) — the same Rng(seed).fork(k) the serial
+  // loop always used — and writes only slot k, so any thread count yields
+  // the identical shipment trace.
+  std::vector<std::size_t> case_counts(route_.size(), 0);
+  sweep::parallel_for(
+      route_.size(), sweep::SweepOptions{.threads = threads}, [&](std::size_t k) {
+        ObjectScenarioOptions opt;
+        opt.tag_faces = shipment_.tag_faces;
+        opt.tag_design = shipment_.tag_design;
+        opt.portal = route_[k].portal;
+        opt.speed_mps = route_[k].speed_mps;
+        const Scenario sc = make_object_tracking_scenario(opt, calibration_);
+        case_counts[k] = sc.registry.object_count();
 
-    sys::PortalSimulator sim(sc.scene, sc.portal);
-    Rng rng = root.fork(k);
-    const sys::EventLog log = sim.run(rng);
-    const track::TrackingAnalyzer analyzer(sc.registry);
-    run.observations.detected[k] = analyzer.analyze(log).objects_identified;
-  }
+        sys::PortalSimulator sim(sc.scene, sc.portal);
+        Rng rng = sweep::cell_rng(seed, k);
+        const sys::EventLog log = sim.run(rng);
+        const track::TrackingAnalyzer analyzer(sc.registry);
+        run.observations.detected[k] = analyzer.analyze(log).objects_identified;
+      });
+  run.case_count = case_counts.back();
   compute_metrics(run);
   return run;
 }

@@ -57,8 +57,12 @@ class FacilitySimulator {
   FacilitySimulator(std::vector<FacilityCheckpoint> route, ShipmentSpec shipment,
                     CalibrationProfile calibration);
 
-  /// Runs one shipment end to end. Deterministic per seed.
-  FacilityRun run_shipment(std::uint64_t seed) const;
+  /// Runs one shipment end to end, checkpoints spread across the sweep
+  /// engine (`threads` = 0 uses the shared pool, 1 forces serial).
+  /// Deterministic per seed: each checkpoint's randomness is a pure
+  /// function of (seed, checkpoint index), so the result is byte-identical
+  /// at any thread count.
+  FacilityRun run_shipment(std::uint64_t seed, std::size_t threads = 0) const;
 
   /// Applies the route constraint to a run's observations and recomputes
   /// the metrics (the back-end's cleaned view).

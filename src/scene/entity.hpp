@@ -63,6 +63,10 @@ class Entity {
   /// Entity origin pose at time t.
   Pose pose_at(double t_s) const { return trajectory_->pose_at(t_s); }
 
+  /// True iff this entity's pose (and hence every tag on it) is
+  /// time-invariant — the gate for the PathEvaluator static-geometry cache.
+  bool is_static() const { return trajectory_->is_static(); }
+
   /// World position of a tag centre at time t.
   Vec3 tag_position(std::size_t tag_index, double t_s) const;
   /// World direction of a tag's dipole axis at time t (unit vector).

@@ -22,6 +22,10 @@ class Trajectory {
   virtual Pose pose_at(double t_s) const = 0;
   /// Polymorphic copy, so scenes can be duplicated for parallel experiments.
   virtual std::unique_ptr<Trajectory> clone() const = 0;
+  /// True iff pose_at(t) is the same for every t. Gates the PathEvaluator
+  /// static-geometry cache (DESIGN.md §sweep): an implementation may only
+  /// return true when its pose is provably time-invariant.
+  virtual bool is_static() const { return false; }
 };
 
 /// An entity that never moves.
@@ -32,6 +36,7 @@ class StaticTrajectory final : public Trajectory {
   std::unique_ptr<Trajectory> clone() const override {
     return std::make_unique<StaticTrajectory>(*this);
   }
+  bool is_static() const override { return true; }
 
  private:
   Pose pose_;
@@ -50,6 +55,7 @@ class LinearTrajectory final : public Trajectory {
   std::unique_ptr<Trajectory> clone() const override {
     return std::make_unique<LinearTrajectory>(*this);
   }
+  bool is_static() const override { return velocity_.norm() == 0.0; }
 
  private:
   Pose start_;
@@ -73,6 +79,11 @@ class WalkingTrajectory final : public Trajectory {
   Pose pose_at(double t_s) const override;
   std::unique_ptr<Trajectory> clone() const override {
     return std::make_unique<WalkingTrajectory>(*this);
+  }
+  bool is_static() const override {
+    // A zero-velocity walker still sways and bobs in place.
+    return velocity_.norm() == 0.0 && gait_.sway_amplitude_m == 0.0 &&
+           gait_.bob_amplitude_m == 0.0;
   }
 
  private:

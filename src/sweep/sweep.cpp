@@ -1,0 +1,78 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace rfidsim::sweep {
+
+SweepEngine::SweepEngine(SweepOptions options) {
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void SweepEngine::run(std::size_t count,
+                      const std::function<void(std::size_t)>& body) {
+  run(
+      count, [](std::size_t) {},
+      [&body](std::size_t cell, std::size_t) { body(cell); });
+}
+
+void SweepEngine::run(std::size_t count,
+                      const std::function<void(std::size_t)>& setup,
+                      const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (!pool_ || count == 1) {
+    setup(1);
+    for (std::size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+
+  // Pull-based distribution: each dispatched worker task claims cells off a
+  // shared counter until the grid is exhausted. Which worker claims which
+  // cell is unspecified — and irrelevant, per the determinism contract.
+  const std::size_t lanes = std::min(pool_->thread_count(), count);
+  setup(lanes);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool_->submit([next, count, lane, &body] {
+      for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+        body(i, lane);
+      }
+    });
+  }
+  pool_->wait_idle();
+}
+
+SweepEngine& shared_engine() {
+  static SweepEngine engine{SweepOptions{}};
+  return engine;
+}
+
+void parallel_for(std::size_t count, const SweepOptions& options,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(
+      count, options, [](std::size_t) {},
+      [&body](std::size_t cell, std::size_t) { body(cell); });
+}
+
+void parallel_for(std::size_t count, const SweepOptions& options,
+                  const std::function<void(std::size_t)>& setup,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (options.threads == 0) {
+    shared_engine().run(count, setup, body);
+    return;
+  }
+  if (options.threads == 1 || count <= 1) {
+    setup(1);
+    for (std::size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+  SweepEngine dedicated{SweepOptions{.threads = options.threads}};
+  dedicated.run(count, setup, body);
+}
+
+}  // namespace rfidsim::sweep

@@ -1,0 +1,92 @@
+// Deterministic parallel sweep engine.
+//
+// Every paper artifact is a Monte Carlo grid — scenarios x repetitions of
+// a simulated pass — and the cells are mutually independent. This engine
+// runs such grids across a thread pool under one hard contract:
+//
+//   DETERMINISM CONTRACT: the randomness of cell i is a pure function of
+//   (root seed, i) — see cell_rng — and each cell writes only to its own
+//   result slot. Thread count, scheduling order, and work stealing can
+//   therefore never change a single simulated bit: sweep output is
+//   byte-identical to the serial loop `for i: body(i)`.
+//
+// The serial reference (reliability::run_repeated) derives repetition i's
+// generator as Rng(seed).fork(i); cell_rng is that same derivation, which
+// is what makes the parallel and serial paths comparable byte for byte
+// (tests/reliability/parallel_test.cpp holds the engine to it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace rfidsim::sweep {
+
+/// Execution knobs of a sweep. Only wall-clock behaviour — never results —
+/// depends on these.
+struct SweepOptions {
+  /// Worker threads; 0 means hardware concurrency, 1 forces the inline
+  /// serial path (no pool involved at all).
+  std::size_t threads = 0;
+};
+
+/// The per-cell generator of a sweep rooted at `seed`: a pure function of
+/// its arguments, independent of scheduling. Identical to the serial
+/// convention Rng(seed).fork(cell).
+inline Rng cell_rng(std::uint64_t seed, std::uint64_t cell) {
+  return Rng(seed).fork(cell);
+}
+
+/// Two-level variant for (scenario, repetition) grids: scenario s gets an
+/// independent sub-stream, and repetition r within it forks exactly like a
+/// single-scenario sweep of that sub-stream.
+inline Rng grid_cell_rng(std::uint64_t seed, std::uint64_t scenario,
+                         std::uint64_t repetition) {
+  return cell_rng(cell_rng(seed, scenario).seed(), repetition);
+}
+
+/// Reusable engine: one thread pool, any number of sweeps.
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  std::size_t thread_count() const { return pool_ ? pool_->thread_count() : 1; }
+
+  /// Invokes body(i) for every i in [0, count), spread over the pool.
+  /// `body` must honour the determinism contract (derive randomness from i,
+  /// write only slot i); it must not throw. Blocks until all cells finish.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Lane-aware variant: cells are pulled by `lanes = min(threads, count)`
+  /// workers and the body receives the worker's lane index, so callers can
+  /// reuse expensive per-worker state (e.g. one simulator per lane, with
+  /// its warm static-geometry cache). `setup(lanes)` runs once, before any
+  /// cell, on the calling thread. Per the determinism contract, lane state
+  /// may only carry caches/buffers that cannot change results — never
+  /// randomness.
+  void run(std::size_t count, const std::function<void(std::size_t)>& setup,
+           const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  ///< Null for the single-thread engine.
+};
+
+/// Process-wide engine at hardware concurrency, started on first use.
+/// Benches and estimators share it so a full bench run spins up one pool.
+SweepEngine& shared_engine();
+
+/// One-shot convenience: runs body over [0, count) with `options.threads`
+/// workers. threads == 0 borrows the shared engine; an explicit thread
+/// count gets a dedicated pool of exactly that many workers.
+void parallel_for(std::size_t count, const SweepOptions& options,
+                  const std::function<void(std::size_t)>& body);
+
+/// Lane-aware one-shot (see SweepEngine::run): body(cell, lane).
+void parallel_for(std::size_t count, const SweepOptions& options,
+                  const std::function<void(std::size_t)>& setup,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace rfidsim::sweep

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool.
+//
+// Workers are started once and reused across submissions, so sweeps that
+// dispatch thousands of cells (a full paper-table Monte Carlo grid) pay the
+// thread-creation cost once instead of per batch. The pool makes no
+// ordering promises — determinism is the sweep layer's job (every cell
+// derives all of its randomness from its own index, never from which
+// worker runs it or when).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfidsim::sweep {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means the hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw (a worker has nowhere to
+  /// deliver the exception); wrap fallible work and capture errors by
+  /// slot, the way parallel_for cells write into their own result index.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  ///< Queued + currently executing tasks.
+  bool stopping_ = false;
+};
+
+}  // namespace rfidsim::sweep

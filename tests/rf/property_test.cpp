@@ -1,0 +1,143 @@
+// Property and metamorphic tests for the RF layer: invariants that must
+// hold across whole parameter ranges, not just at calibrated spot values.
+// These are the guard rails under the static-geometry cache and the sweep
+// engine — a refactor that preserves the differential tests but bends the
+// physics monotonicity shows up here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/coupling.hpp"
+#include "rf/material.hpp"
+#include "rf/propagation.hpp"
+
+namespace rfidsim::rf {
+namespace {
+
+constexpr double kFreq = 915e6;
+
+TEST(PropagationPropertyTest, FreeSpacePathLossIsMonotoneInDistance) {
+  // Friis: strictly increasing loss with distance over the portal range.
+  double prev = free_space_path_loss(0.05, kFreq).value();
+  for (double d = 0.1; d <= 20.0; d += 0.1) {
+    const double loss = free_space_path_loss(d, kFreq).value();
+    ASSERT_GT(loss, prev) << "distance " << d;
+    prev = loss;
+  }
+}
+
+TEST(PropagationPropertyTest, FreeSpacePathLossIsMonotoneInFrequency) {
+  double prev = free_space_path_loss(3.0, 400e6).value();
+  for (double f = 500e6; f <= 6e9; f += 100e6) {
+    const double loss = free_space_path_loss(3.0, f).value();
+    ASSERT_GT(loss, prev) << "frequency " << f;
+    prev = loss;
+  }
+}
+
+TEST(PropagationPropertyTest, FreeSpacePathLossClampsTheNearField) {
+  // Below the 1 cm clamp the loss must stop decreasing: contact distances
+  // cannot keep manufacturing link margin.
+  EXPECT_EQ(free_space_path_loss(0.001, kFreq).value(),
+            free_space_path_loss(0.01, kFreq).value());
+  EXPECT_EQ(free_space_path_loss(0.0, kFreq).value(),
+            free_space_path_loss(0.01, kFreq).value());
+}
+
+TEST(PropagationPropertyTest, TwoRayGainStaysBetweenFloorAndCoherentSum) {
+  // |1 + Gamma e^{j phi}| is at most 1 + Gamma and the model clamps fades
+  // at floor_db: every geometry must land inside that band.
+  const TwoRayGround::Params params;
+  const TwoRayGround two_ray(params);
+  const double ceiling_db = 20.0 * std::log10(1.0 + params.reflection_coefficient);
+  for (double h_tx = 0.5; h_tx <= 2.0; h_tx += 0.5) {
+    for (double h_rx = 0.2; h_rx <= 2.0; h_rx += 0.3) {
+      for (double d = 0.5; d <= 12.0; d += 0.25) {
+        const double g = two_ray.gain(h_tx, h_rx, d, kFreq).value();
+        ASSERT_GE(g, params.floor_db) << h_tx << " " << h_rx << " " << d;
+        ASSERT_LE(g, ceiling_db + 1e-9) << h_tx << " " << h_rx << " " << d;
+      }
+    }
+  }
+}
+
+TEST(PropagationPropertyTest, ShadowFadingExceedProbabilityIsMonotone) {
+  const ShadowFading fading(4.0);
+  double prev = fading.exceed_probability(Decibel(-20.0));
+  for (double margin = -19.0; margin <= 20.0; margin += 1.0) {
+    const double p = fading.exceed_probability(Decibel(margin));
+    ASSERT_GE(p, prev) << "margin " << margin;
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    prev = p;
+  }
+  // Zero-sigma fading degenerates to a step function.
+  const ShadowFading off(0.0);
+  EXPECT_EQ(off.exceed_probability(Decibel(1.0)), 1.0);
+  EXPECT_EQ(off.exceed_probability(Decibel(-1.0)), 0.0);
+}
+
+TEST(CouplingPropertyTest, PairwiseLossIsNonNegativeAndMonotoneDecreasing) {
+  const CouplingParams params;
+  double prev = pairwise_coupling_loss(0.0, params).value();
+  EXPECT_LE(prev, params.contact_loss_db + 1e-9);
+  for (double s = 0.001; s <= 0.1; s += 0.001) {
+    const double loss = pairwise_coupling_loss(s, params).value();
+    ASSERT_GE(loss, 0.0) << "spacing " << s;
+    ASSERT_LE(loss, prev + 1e-12) << "spacing " << s;
+    prev = loss;
+  }
+}
+
+TEST(CouplingPropertyTest, LossVanishesBeyondTheSafeSpacing) {
+  // The negligible_db cutoff must produce an exact zero far out — this is
+  // the property the evaluator's coupling_neighbourhood_m pruning relies
+  // on to skip distant neighbours without changing any result.
+  const CouplingParams params;
+  const double safe = minimum_safe_spacing_m(params.negligible_db, params);
+  EXPECT_GT(safe, 0.0);
+  for (double s = safe * 1.01; s <= safe * 4.0; s += safe * 0.25) {
+    ASSERT_EQ(pairwise_coupling_loss(s, params).value(), 0.0) << "spacing " << s;
+  }
+  EXPECT_GT(pairwise_coupling_loss(safe * 0.5, params).value(), 0.0);
+}
+
+TEST(CouplingPropertyTest, AlignmentScalesTheLossDown) {
+  const CouplingParams params;
+  const double parallel = pairwise_coupling_loss(0.01, params, 1.0).value();
+  const double oblique = pairwise_coupling_loss(0.01, params, 0.5).value();
+  const double orthogonal = pairwise_coupling_loss(0.01, params, 0.0).value();
+  EXPECT_GT(parallel, oblique);
+  EXPECT_GT(oblique, orthogonal);
+  EXPECT_EQ(orthogonal, 0.0);
+}
+
+TEST(CouplingPropertyTest, TotalLossIsSuperadditiveButCapped) {
+  const CouplingParams params;
+  const double one = total_coupling_loss({0.01}, params).value();
+  const double two = total_coupling_loss({0.01, 0.01}, params).value();
+  EXPECT_GE(two, one);  // A second neighbour never helps.
+  // Piling on neighbours saturates at the detuning cap.
+  const std::vector<double> crowd(50, 0.001);
+  EXPECT_LE(total_coupling_loss(crowd, params).value(),
+            params.contact_loss_db * 1.5 + 1e-9);
+}
+
+TEST(MaterialPropertyTest, PenetrationLossIsNonNegativeAndMonotoneInChord) {
+  // Occlusion sums penetration_loss over body chords; the occlusion term
+  // can only ever be a loss because each summand is one.
+  for (const Material m : {Material::Air, Material::Cardboard, Material::Foam,
+                           Material::Plastic, Material::Metal, Material::Liquid,
+                           Material::HumanBody}) {
+    double prev = penetration_loss(m, 0.0).value();
+    EXPECT_GE(prev, 0.0);
+    for (double chord = 0.05; chord <= 1.0; chord += 0.05) {
+      const double loss = penetration_loss(m, chord).value();
+      ASSERT_GE(loss, prev - 1e-12) << "material " << static_cast<int>(m);
+      prev = loss;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfidsim::rf

@@ -1,0 +1,167 @@
+// Metamorphic tests for the PathEvaluator: transformations of the scene
+// with a provable effect on the physics. Unlike the spot checks in
+// path_evaluator_test.cpp, these hold over geometry families — the level
+// at which a refactor of the evaluator (like the static-geometry cache
+// split) could silently bend a term.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <variant>
+
+#include "rf/link_budget.hpp"
+#include "scene/path_evaluator.hpp"
+
+namespace rfidsim::scene {
+namespace {
+
+Pose pose_at(Vec3 position) {
+  Pose p;
+  p.position = position;
+  p.frame.forward = {1.0, 0.0, 0.0};
+  p.frame.up = {0.0, 0.0, 1.0};
+  return p;
+}
+
+/// One tagged carton at `tag_pos` facing +y, antenna across the lane.
+Scene carton_scene(Vec3 tag_pos, Vec3 antenna_pos) {
+  Scene s;
+  Entity carton("carton", BoxBody{{0.4, 0.4, 0.4}},
+                rf::Material::Cardboard,
+                std::make_unique<StaticTrajectory>(pose_at(tag_pos)));
+  TagMount m;
+  m.local_position = {0.0, 0.2, 0.0};
+  m.local_patch_normal = {0.0, 1.0, 0.0};
+  m.local_dipole_axis = {1.0, 0.0, 0.0};
+  carton.add_tag(Tag{TagId{1}, m});
+  s.entities.push_back(std::move(carton));
+  s.antennas.push_back(
+      Scene::make_antenna(antenna_pos, (tag_pos - antenna_pos).normalized()));
+  return s;
+}
+
+/// Mirrors a vector across the y = 0 plane.
+Vec3 mirror_y(Vec3 v) { return {v.x, -v.y, v.z}; }
+
+TEST(ScenePropertyTest, MirrorSymmetryPreservesPathTerms) {
+  // Reflecting the whole rig across y = 0 (tag on the -y side, antenna
+  // facing +y -> -y) is a rigid symmetry of every term in the model: the
+  // mirrored scene must produce the same PathTerms. The physics has no
+  // chirality; only the geometry does.
+  for (const double lane : {1.0, 2.5, 4.0}) {
+    const Vec3 tag_pos{0.3, 0.0, 1.0};
+    const Vec3 ant_pos{0.0, lane, 1.1};
+    const Scene scene = carton_scene(tag_pos, ant_pos);
+
+    Scene mirrored;
+    Entity carton("carton", BoxBody{{0.4, 0.4, 0.4}},
+                  rf::Material::Cardboard,
+                  std::make_unique<StaticTrajectory>(pose_at(mirror_y(tag_pos))));
+    TagMount m;
+    m.local_position = {0.0, -0.2, 0.0};
+    m.local_patch_normal = {0.0, -1.0, 0.0};
+    m.local_dipole_axis = {1.0, 0.0, 0.0};
+    carton.add_tag(Tag{TagId{1}, m});
+    mirrored.entities.push_back(std::move(carton));
+    mirrored.antennas.push_back(Scene::make_antenna(
+        mirror_y(ant_pos), (mirror_y(tag_pos) - mirror_y(ant_pos)).normalized()));
+
+    const PathEvaluator ev(scene, {});
+    const PathEvaluator ev_mirror(mirrored, {});
+    const rf::PathTerms a = ev.evaluate(0, {0, 0}, 0.0);
+    const rf::PathTerms b = ev_mirror.evaluate(0, {0, 0}, 0.0);
+    EXPECT_DOUBLE_EQ(a.distance_m, b.distance_m) << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.reader_gain.value(), b.reader_gain.value()) << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.tag_gain.value(), b.tag_gain.value()) << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.polarization_loss.value(), b.polarization_loss.value())
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.material_loss.value(), b.material_loss.value())
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.coupling_loss.value(), b.coupling_loss.value())
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.blockage_loss.value(), b.blockage_loss.value())
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.reflection_gain.value(), b.reflection_gain.value())
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(a.multipath_gain.value(), b.multipath_gain.value())
+        << "lane " << lane;
+  }
+}
+
+TEST(ScenePropertyTest, AddingABlockerNeverIncreasesDeliveredPower) {
+  // Occlusion and Fresnel blockage are non-negative by construction:
+  // interposing a body between tag and antenna can only cost power,
+  // whichever of the direct/scatter paths ends up selected.
+  const rf::LinkBudget budget;
+  for (const double lane : {2.0, 4.0, 6.0}) {
+    Scene open = carton_scene({0.0, 0.0, 1.0}, {0.0, lane, 1.0});
+    const double clear_dbm =
+        budget.forward(PathEvaluator(open, {}).evaluate(0, {0, 0}, 0.0))
+            .received.value();
+
+    Scene blocked = carton_scene({0.0, 0.0, 1.0}, {0.0, lane, 1.0});
+    blocked.entities.emplace_back(
+        "blocker", CylinderBody{.radius = 0.25, .height = 1.8},
+        rf::Material::HumanBody,
+        std::make_unique<StaticTrajectory>(pose_at({0.0, lane / 2.0, 1.0})));
+    const double blocked_dbm =
+        budget.forward(PathEvaluator(blocked, {}).evaluate(0, {0, 0}, 0.0))
+            .received.value();
+    EXPECT_LE(blocked_dbm, clear_dbm) << "lane " << lane;
+  }
+}
+
+TEST(ScenePropertyTest, GrazingBodyCostsLessThanBlockingBody) {
+  // A body near — but off — the ray eats Fresnel-zone margin; straddling
+  // the ray it occludes outright. Loss must be ordered: clear <= grazing
+  // <= blocking.
+  const double lane = 4.0;
+  auto received_with_body_at = [&](std::optional<Vec3> body) {
+    Scene s = carton_scene({0.0, 0.0, 1.0}, {0.0, lane, 1.0});
+    if (body) {
+      s.entities.emplace_back(
+          "body", CylinderBody{.radius = 0.25, .height = 1.8},
+          rf::Material::HumanBody,
+          std::make_unique<StaticTrajectory>(pose_at(*body)));
+    }
+    return rf::LinkBudget()
+        .forward(PathEvaluator(s, {}).evaluate(0, {0, 0}, 0.0))
+        .received.value();
+  };
+  const double clear = received_with_body_at(std::nullopt);
+  // Offset sideways so the cylinder misses the ray but grazes the zone
+  // (clearance 0.15 m < the 0.28 m Fresnel radius).
+  const double grazing = received_with_body_at(Vec3{0.4, lane / 2.0, 1.0});
+  const double blocking = received_with_body_at(Vec3{0.0, lane / 2.0, 1.0});
+  EXPECT_LE(grazing, clear);
+  EXPECT_LE(blocking, grazing);
+  EXPECT_LT(blocking, clear);
+}
+
+TEST(ScenePropertyTest, CouplingIsExactlyZeroBeyondTheNeighbourhood) {
+  // Neighbour tags farther than coupling_neighbourhood_m must contribute
+  // an exact zero (the pruning the evaluator applies is lossless).
+  EvaluatorParams params;
+  auto coupling_at = [&](double spacing) {
+    Scene s;
+    Entity board("board", std::monostate{}, rf::Material::Air,
+                 std::make_unique<StaticTrajectory>(pose_at({0.0, 0.0, 1.0})));
+    for (int i = 0; i < 2; ++i) {
+      TagMount m;
+      m.local_position = {spacing * i, 0.0, 0.0};
+      m.local_patch_normal = {0.0, 1.0, 0.0};
+      m.local_dipole_axis = {0.0, 0.0, 1.0};  // Parallel pair: worst case.
+      m.backing_material = rf::Material::Air;
+      board.add_tag(Tag{TagId{static_cast<std::uint64_t>(i + 1)}, m});
+    }
+    s.entities.push_back(std::move(board));
+    s.antennas.push_back(Scene::make_antenna({0.0, 2.0, 1.0}, {0.0, -1.0, 0.0}));
+    return PathEvaluator(s, params).evaluate(0, {0, 0}, 0.0).coupling_loss.value();
+  };
+  EXPECT_GT(coupling_at(0.01), 0.0);
+  EXPECT_EQ(coupling_at(params.coupling_neighbourhood_m * 1.01), 0.0);
+  EXPECT_EQ(coupling_at(params.coupling_neighbourhood_m * 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rfidsim::scene
