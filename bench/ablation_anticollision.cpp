@@ -72,7 +72,8 @@ double fast_pass_reliability(const CalibrationProfile& base, double initial_q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - Q-algorithm parameters",
                 "Frame too small = collisions; too large = empty slots. Both waste\n"
                 "the pass's time budget; mid-round adjustment recovers either way.");
@@ -88,6 +89,6 @@ int main() {
                  inv < 0 ? "incomplete" : fixed_str(inv, 2), percent(rel)});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

@@ -56,7 +56,8 @@ CleaningResult evaluate(const ObjectScenarioOptions& opt, const CalibrationProfi
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - back-end cleaning vs. physical redundancy",
                 "Accompany/route constraints (related work [6]) recover misses in\n"
                 "software; tag redundancy prevents them in the first place.");
@@ -79,7 +80,7 @@ int main() {
     const CleaningResult r = evaluate(opt, cal, reps);
     t.add_row({row.label, percent(r.raw), percent(r.accompany), percent(r.route)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nReading: accompany-cleaning already lifts weak placements dramatically\n"
       "(any box seen implies the pallet passed), but it changes the *semantics* —\n"

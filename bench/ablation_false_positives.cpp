@@ -82,7 +82,8 @@ double main_fraction(const sys::EventLog& log, std::size_t pass) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - false positives vs. reader power",
                 "Parked staging pallet 6 m downrange (12 tags); fresh cartons each\n"
                 "pass. Strays counted per pass; background list learned from the\n"
@@ -123,7 +124,7 @@ int main() {
                fixed_str(stray_raw / n, 1), fixed_str(stray_filtered / n, 1),
                percent(main_filtered / n)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nReading: lowering power trades main-lane reliability for fewer strays\n"
       "(the paper's §2.1 suggestion); the background list removes the parked\n"

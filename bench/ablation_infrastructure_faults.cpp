@@ -75,7 +75,8 @@ fault::FaultConfig reader_faults(double mtbf_s, double mttr_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner(
       "Ablation - infrastructure faults vs. redundancy schemes",
       "Beyond the paper: reader crashes, dead cables, jamming, corrupt\n"
@@ -95,7 +96,7 @@ int main() {
       baseline.push_back(measure(s, cal, {}));
       t.add_row({s.name, percent(baseline.back()), paper_rm[i++]});
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     const bool ranking_ok = baseline[3] >= baseline[2] && baseline[2] >= baseline[1] &&
                             baseline[1] >= baseline[0];
     std::printf("ranking 2a2t >= 1a2t >= 2a1t >= 1a1t: %s\n\n",
@@ -131,7 +132,7 @@ int main() {
       }
       t.add_row(row);
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf(
         "under brownouts the tag-redundant schemes hold at %s and %s (>= 95%%)\n"
         "while 2a/1t slides %s -> %s: both antennas share the reader's fate,\n"
@@ -183,7 +184,7 @@ int main() {
       t.add_row({percent(q), percent(measure(schemes()[1], cal, f)),
                  percent(measure(schemes()[3], cal, f)), percent(rc, 1)});
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf("\n");
   }
 
@@ -206,7 +207,7 @@ int main() {
       for (const Scheme& s : schemes()) row.push_back(percent(measure(s, cal, f)));
       t.add_row(row);
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf("\n");
   }
 
@@ -236,7 +237,7 @@ int main() {
                  fixed_str(st.downtime_s, 2), std::to_string(st.jammed_rounds),
                  std::to_string(st.dead_antenna_rounds)});
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf("\n");
   }
 
@@ -294,7 +295,7 @@ int main() {
                std::to_string(counts[1][0])});
     t.add_row({"readers healthy", std::to_string(counts[0][1]),
                std::to_string(counts[0][0])});
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf(
         "mean R_M: declared-down passes %s vs undeclared passes %s.\n"
         "the ingest stage flags exactly the damaged passes (no false alarms\n"
@@ -366,7 +367,7 @@ int main() {
     t.add_row({"tracking on clean log", percent(analyzer.tracking_fraction(clean))});
     t.add_row(
         {"tracking on ingested log", percent(analyzer.tracking_fraction(report.events))});
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
     std::printf("\n");
   }
 
@@ -404,7 +405,7 @@ int main() {
                  std::to_string(uploader.stats().batches_lost),
                  percent(analyzer.tracking_fraction(got))});
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(t);
   }
   return 0;
 }

@@ -45,7 +45,8 @@ double fig4_at_10mm(const CalibrationProfile& cal) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - physics model terms",
                 "Disable one term at a time; the probe that term explains collapses.");
   const CalibrationProfile base = bench::profile();
@@ -82,7 +83,7 @@ int main() {
     t.add_row({"no two-ray multipath", fixed_str(fig2_cliffness(cal), 2),
                percent(table1_side_far(cal)), percent(fig4_at_10mm(cal))});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nReading: without fading the range curve develops a hard step; without the\n"
       "scatter path far-side tags go silent; without coupling 10 mm spacing is\n"

@@ -41,7 +41,8 @@ scene::Scene grid_scene(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - inventory time vs. tag population",
                 "Paper: ~0.02 s per tag end to end on 2006-era hardware.");
   const CalibrationProfile cal = bench::profile();
@@ -71,7 +72,7 @@ int main() {
                std::to_string(sim.stats().total_slots),
                std::to_string(sim.stats().collision_slots)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nNote: the per-tag cost includes the 2006-era reader's per-round firmware\n"
       "overhead (LinkTiming::round_overhead_s); modern readers amortize far better.\n");

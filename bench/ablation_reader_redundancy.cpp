@@ -12,7 +12,8 @@
 using namespace rfidsim;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - reader-level redundancy and dense-reader mode",
                 "Paper: two co-channel readers severely reduce reliability;\n"
                 "dense-reader mode (channelization) removes the interference.");
@@ -42,6 +43,6 @@ int main() {
     t.add_row({r.label, percent(rel),
                (delta >= 0 ? "+" : "") + percent(delta)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

@@ -8,7 +8,8 @@
 using namespace rfidsim;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Ablation - conveyor/cart speed",
                 "Higher speed = shorter read window = fewer opportunities;\n"
                 "tag redundancy restores the margin.");
@@ -28,6 +29,6 @@ int main() {
         make_object_tracking_scenario(two, cal), 24, bench::kSeed);
     t.add_row({fixed_str(speed, 2), percent(r1), percent(r2)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

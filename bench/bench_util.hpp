@@ -3,10 +3,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliability/calibration.hpp"
 #include "reliability/estimator.hpp"
 #include "reliability/scenarios.hpp"
@@ -33,5 +37,74 @@ inline std::string pct_ci(double estimate, std::size_t successes, std::size_t tr
   (void)estimate;
   return percent(ci.estimate) + " [" + percent(ci.lower) + ", " + percent(ci.upper) + "]";
 }
+
+/// Renders a table to stdout with a trailing blank line — the one way
+/// every bench prints its results (was a copy-pasted fputs per table).
+inline void print_table(const TextTable& table) {
+  std::fputs(table.render().c_str(), stdout);
+}
+
+/// Per-binary harness: parses the flags every bench shares and, at end of
+/// main, writes the requested observability dumps. Usage:
+///
+///   int main(int argc, char** argv) {
+///     const bench::Session session(argc, argv);
+///     ... tables ...
+///   }
+///
+/// Flags (all optional):
+///   --metrics-dump <path>  Prometheus text exposition of the obs registry.
+///   --trace-dump <path>    Chrome trace_event JSON (enables span tracing).
+///   --obs-off              Run with observability disabled (overhead/
+///                          differential experiments).
+/// Remaining arguments are left for the bench in positional().
+class Session {
+ public:
+  Session(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto take_value = [&](std::string& out) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "bench: %s needs a path argument\n", arg.c_str());
+          std::exit(2);
+        }
+        out = argv[++i];
+      };
+      if (arg == "--metrics-dump") {
+        take_value(metrics_path_);
+      } else if (arg == "--trace-dump") {
+        take_value(trace_path_);
+        obs::set_trace_enabled(true);
+      } else if (arg == "--obs-off") {
+        obs::set_enabled(false);
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  ~Session() {
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      obs::registry().write_exposition(out);
+      std::printf("wrote metrics exposition to %s\n", metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      obs::write_chrome_trace(out);
+      std::printf("wrote Chrome trace to %s\n", trace_path_.c_str());
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::vector<std::string> positional_;
+};
 
 }  // namespace rfidsim::bench

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "reliability/estimator.hpp"
 #include "reliability/orientation.hpp"
@@ -26,7 +27,7 @@ void report_read_range(const CalibrationProfile& cal) {
     const SampleSummary s = summarize(distinct_tags_per_run(runs));
     t.add_row({fixed_str(d, 0), fixed_str(s.mean, 1)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 }
 
 void report_intertag(const CalibrationProfile& cal) {
@@ -44,7 +45,7 @@ void report_intertag(const CalibrationProfile& cal) {
     }
     t.add_row(row);
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 }
 
 void report_object_locations(const CalibrationProfile& cal) {
@@ -66,7 +67,7 @@ void report_object_locations(const CalibrationProfile& cal) {
     const double rel = measure_tag_reliability(sc, 12, kSeed);
     t.add_row({std::string(scene::box_face_name(r.face)), percent(rel), r.paper});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 }
 
 void report_human_locations(const CalibrationProfile& cal) {
@@ -87,7 +88,7 @@ void report_human_locations(const CalibrationProfile& cal) {
     const double rel = measure_tag_reliability(sc, 20, kSeed);
     t.add_row({std::string(scene::body_spot_name(r.spot)), percent(rel), r.paper});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 
   std::printf("\n--- Table 2: two subjects (paper: closer avg 75%%, farther avg 38%%) ---\n");
   TextTable t2({"location", "closer", "farther", "paper closer", "paper farther"});
@@ -116,12 +117,13 @@ void report_human_locations(const CalibrationProfile& cal) {
     t2.add_row({std::string(scene::body_spot_name(r.spot)), percent(closer),
                 percent(farther), r.p_close, r.p_far});
   }
-  std::fputs(t2.render().c_str(), stdout);
+  bench::print_table(t2);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   const CalibrationProfile cal = CalibrationProfile::paper2006();
   report_read_range(cal);
   report_intertag(cal);

@@ -49,7 +49,8 @@ Numbers evaluate(const ShipmentSpec& shipment, std::size_t weak_antennas,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Extension - end-to-end facility visibility",
                 "Four checkpoints (2-antenna docks, a fast 1-antenna aisle, staging);\n"
                 "full trace = case seen at EVERY checkpoint. Reliability compounds.");
@@ -92,7 +93,7 @@ int main() {
     t.add_row({"2 tags, front+side", "2", percent(n.full_trace),
                percent(n.cleaned_full_trace), percent(n.delivered)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nReading: per-checkpoint reliabilities compound — ~90%% stages end at ~70%%\n"
       "full traces, and a single bad placement (top) collapses to single digits,\n"

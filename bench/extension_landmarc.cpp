@@ -113,7 +113,8 @@ SampleSummary localization_errors(double grid_pitch_m, std::size_t k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Extension - LANDMARC localization (active reference tags)",
                 "6 m x 6 m room, 4 corner antennas, active tags; localization\n"
                 "error vs. neighbour count k and reference-grid pitch.\n"
@@ -130,6 +131,6 @@ int main() {
                  fixed_str(s.upper_quartile, 2)});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

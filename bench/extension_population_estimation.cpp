@@ -42,7 +42,8 @@ scene::Scene field(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Extension - tag population estimation from frame statistics",
                 "Vogt-style estimators on single Gen 2 frames (fixed Q = 7,\n"
                 "no mid-round adaptation so the frame statistics stay pure).");
@@ -83,7 +84,7 @@ int main() {
                std::to_string(lower), fixed_str(vogt, 1), fixed_str(empties, 1),
                std::to_string(gen2::recommended_q(empties))});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   std::printf(
       "\nReading: the empty-based estimator tracks truth until the frame saturates\n"
       "(few empties left), where the collision-factor estimate takes over; the\n"

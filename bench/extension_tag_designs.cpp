@@ -27,7 +27,8 @@ const struct {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Extension - tag designs (paper future work)",
                 "Dual dipoles cancel the orientation nulls; active tags erase the\n"
                 "power-up margin problem entirely.");
@@ -43,7 +44,7 @@ int main() {
         summarize(distinct_tags_per_run(run_repeated_parallel(sc, 12, bench::kSeed)));
     t1.add_row({d.name, fixed_str(s.mean, 1), percent(s.mean / 10.0)});
   }
-  std::fputs(t1.render().c_str(), stdout);
+  bench::print_table(t1);
 
   // Probe 2: the worst object placement of Table 1 (top of the box).
   std::printf("\nTable 1 worst placement (top of router box):\n");
@@ -56,7 +57,7 @@ int main() {
         make_object_tracking_scenario(opt, cal), 24, bench::kSeed);
     t2.add_row({d.name, percent(rel)});
   }
-  std::fputs(t2.render().c_str(), stdout);
+  bench::print_table(t2);
 
   // Probe 3: the blocked badge of Table 2 (far-side hip, single subject).
   std::printf("\nTable 2 worst badge spot (side farther from the antenna):\n");
@@ -69,6 +70,6 @@ int main() {
         make_human_tracking_scenario(opt, cal), 40, bench::kSeed);
     t3.add_row({d.name, percent(rel)});
   }
-  std::fputs(t3.render().c_str(), stdout);
+  bench::print_table(t3);
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace rfidsim;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Figure 2 - read reliability vs. distance",
                 "Paper: 20/20 at 1 m; gradual decline from 2 m to 9 m.");
   const CalibrationProfile cal = bench::profile();
@@ -25,6 +26,6 @@ int main() {
     t.add_row({std::to_string(d), fixed_str(s.mean, 1), fixed_str(s.lower_quartile, 1),
                fixed_str(s.upper_quartile, 1), percent(s.mean / 20.0)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

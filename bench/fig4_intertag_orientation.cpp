@@ -12,7 +12,8 @@
 using namespace rfidsim;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Figure 4 - inter-tag distance x orientation",
                 "Paper: reliable from 20-40 mm spacing depending on orientation;\n"
                 "perpendicular cases 1 and 5 are the worst.");
@@ -37,6 +38,6 @@ int main() {
     }
     t.add_row(row);
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

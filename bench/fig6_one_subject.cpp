@@ -12,7 +12,8 @@ using namespace rfidsim;
 using namespace rfidsim::bench;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   banner("Figure 6 - tracking one subject, redundancy sweep",
          "Paper: ~63% at 1 antenna/1 tag rising to ~100% at 4 tags or 2x2.");
   const CalibrationProfile cal = profile();
@@ -60,6 +61,6 @@ int main() {
                  percent(rc)});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

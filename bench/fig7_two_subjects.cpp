@@ -11,7 +11,8 @@ using namespace rfidsim;
 using namespace rfidsim::bench;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   banner("Figure 7 - tracking two subjects, redundancy sweep",
          "Paper: ~56% at 1 antenna/1 tag rising to ~95-100% at high redundancy.");
   const CalibrationProfile cal = profile();
@@ -55,6 +56,6 @@ int main() {
                  percent(rc)});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

@@ -1,4 +1,4 @@
-// Machine-readable performance baseline (BENCH_2.json).
+// Machine-readable performance baseline (BENCH_3.json).
 //
 // Times the three layers the sweep work optimises — raw path evaluation,
 // inventory rounds, and full Monte Carlo table sweeps — on this machine,
@@ -8,7 +8,11 @@
 // run once over the serial seed path and once through rfidsim::sweep, and
 // the two event streams are cross-checked for equality before any timing
 // is reported — a speedup that changed the physics would be a bug, not a
-// result.
+// result. Since PR 3 the same standard applies to observability: the
+// final section replays a full pass with metrics + tracing enabled and
+// again with both disabled, and the event streams must be byte-identical
+// (obs is feedback-free by contract, and this is where the contract is
+// enforced).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -53,7 +57,7 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const char* path, const std::vector<Entry>& entries,
-                bool sweep_matches_serial) {
+                bool sweep_matches_serial, bool obs_matches_disabled) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_baseline: cannot open %s for writing\n", path);
@@ -61,11 +65,13 @@ void write_json(const char* path, const std::vector<Entry>& entries,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"rfidsim-bench-v1\",\n");
-  std::fprintf(f, "  \"pr\": 2,\n");
+  std::fprintf(f, "  \"pr\": 3,\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"sweep_matches_serial\": %s,\n",
                sweep_matches_serial ? "true" : "false");
+  std::fprintf(f, "  \"obs_matches_disabled\": %s,\n",
+               obs_matches_disabled ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
@@ -107,10 +113,12 @@ bool logs_equal(const RepeatedRuns& a, const RepeatedRuns& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_2.json";
-  bench::banner("perf_baseline - sweep engine + static-geometry cache",
+  const bench::Session session(argc, argv);
+  const char* out_path =
+      session.positional().empty() ? "BENCH_3.json" : session.positional()[0].c_str();
+  bench::banner("perf_baseline - sweep engine, geometry cache, obs differential",
                 "Times path evaluation, inventory rounds and full-table sweeps;\n"
-                "writes the machine-readable record to BENCH_2.json.");
+                "writes the machine-readable record to BENCH_3.json.");
   const CalibrationProfile cal = bench::profile();
   std::vector<Entry> entries;
 
@@ -262,14 +270,53 @@ int main(int argc, char** argv) {
                        off_s / on_s, "identical passes, warm static-geometry cache"});
   }
 
+  // --- 6. Observability differential: metrics + tracing on vs all off. -----
+  // The obs contract is feedback-free: instrumentation may observe the
+  // simulation but never influence it. Replay the Table-1 front-face pass
+  // with everything on (including spans) and with everything off; the two
+  // event streams must match bit for bit or the record flags the breach.
+  bool obs_matches_disabled = true;
+  {
+    const bool saved_metrics = obs::enabled();
+    const bool saved_trace = obs::trace_enabled();
+    ObjectScenarioOptions opt;
+    opt.tag_faces = {scene::BoxFace::Front};
+    const Scenario sc = make_object_tracking_scenario(opt, cal);
+    constexpr std::size_t kReps = 8;
+
+    obs::set_enabled(true);
+    obs::set_trace_enabled(true);
+    RepeatedRuns with_obs;
+    const double on_s =
+        wall_seconds([&] { with_obs = run_repeated(sc, kReps, bench::kSeed); });
+
+    obs::set_enabled(false);
+    obs::set_trace_enabled(false);
+    RepeatedRuns without_obs;
+    const double off_s =
+        wall_seconds([&] { without_obs = run_repeated(sc, kReps, bench::kSeed); });
+
+    obs::set_enabled(saved_metrics);
+    obs::set_trace_enabled(saved_trace);
+
+    obs_matches_disabled = logs_equal(with_obs, without_obs);
+    entries.push_back({"full_pass_obs_off", off_s, kReps, "", 0.0,
+                       "Table 1 front face x8, observability disabled"});
+    entries.push_back({"full_pass_obs_on", on_s, kReps, "full_pass_obs_off",
+                       off_s / on_s, "same passes with metrics + trace spans on"});
+    std::printf("obs differential: event streams %s\n\n",
+                obs_matches_disabled ? "IDENTICAL with obs on/off"
+                                     : "MISMATCH (obs fed back into the sim, BUG)");
+  }
+
   TextTable t({"benchmark", "wall (s)", "cells", "vs baseline"});
   for (const Entry& e : entries) {
     t.add_row({e.name, std::to_string(e.wall_s), std::to_string(e.cells),
                e.baseline.empty() ? "-" : (std::to_string(e.speedup) + "x " + e.baseline)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 
-  write_json(out_path, entries, sweep_matches_serial);
+  write_json(out_path, entries, sweep_matches_serial, obs_matches_disabled);
   std::printf("\nwrote %s\n", out_path);
-  return sweep_matches_serial ? 0 : 1;
+  return (sweep_matches_serial && obs_matches_disabled) ? 0 : 1;
 }

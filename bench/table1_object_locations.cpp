@@ -10,7 +10,8 @@
 using namespace rfidsim;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Table 1 - read reliability for tags on objects",
                 "Paper: front 87%, side (closer) 83%, side (farther) 63%, top 29%;\n"
                 "average over all locations 63%.");
@@ -42,6 +43,6 @@ int main() {
                "[" + percent(ci.lower) + ", " + percent(ci.upper) + "]", r.paper});
   }
   t.add_row({"average", percent(sum / 4.0), "", "63%"});
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

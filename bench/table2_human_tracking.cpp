@@ -34,7 +34,8 @@ Cell measure_two_subject(scene::BodySpot spot, const CalibrationProfile& cal,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Table 2 - read reliability for tags on humans",
                 "Paper (1 subject): F/B 75%, side closer 90%, side farther 10%.\n"
                 "Paper (2 subjects): closer avg 75%, farther avg 38%.");
@@ -74,7 +75,7 @@ int main() {
   t.add_row({"average", percent(one_sum / 3.0) + " / 63%",
              percent(closer_sum / 3.0) + " / 75%",
              percent(farther_sum / 3.0) + " / 38%"});
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 
   std::printf(
       "\nNote: the paper attributes the closer-of-two subject out-reading a lone\n"

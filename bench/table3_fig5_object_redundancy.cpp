@@ -22,7 +22,8 @@ double measure(const ObjectScenarioOptions& opt, const CalibrationProfile& cal,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   bench::banner("Table 3 / Figure 5 - redundancy for object tracking",
                 "Paper: 1 ant+1 tag 80%; 2 ant+1 tag R_M 86%/R_C 96%;\n"
                 "1 ant+2 tags R_M 97%/R_C 97%; 2 ant+2 tags R_M 100%/R_C 99.9%.");
@@ -89,7 +90,7 @@ int main() {
         expected_reliability({p_front, p_front, p_side, p_side_far});
     t.add_row({"2", "2", "front + side", percent(rm), percent(rc, 1), "100%", "99.9%"});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
 
   // Figure 5 series: the four bar pairs.
   std::printf("\nFigure 5 series (measured vs calculated):\n");
@@ -117,6 +118,6 @@ int main() {
     f.add_row({"2 antennas, 2 tags", percent(measure(opt, cal)),
                percent(expected_reliability({p_front, p_front, p_side, p_side_far}))});
   }
-  std::fputs(f.render().c_str(), stdout);
+  bench::print_table(f);
   return 0;
 }

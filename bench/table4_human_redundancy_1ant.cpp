@@ -11,7 +11,8 @@ using namespace rfidsim;
 using namespace rfidsim::bench;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   banner("Table 4 - human tracking redundancy, 1 antenna",
          "Paper (1 subject): 2 F/B 100%/94%, 2 sides 93%/91%, 4 tags 100%/99.5%.\n"
          "Paper (2 subjects avg): 2 F/B 88%, 2 sides 72%, 4 tags 94%.");
@@ -53,6 +54,6 @@ int main() {
                percent(0.5 * (rm_two.closer + rm_two.farther)), percent(rc_two_avg),
                row.paper_one, row.paper_two_avg});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

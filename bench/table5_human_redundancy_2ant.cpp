@@ -11,7 +11,8 @@ using namespace rfidsim;
 using namespace rfidsim::bench;
 using namespace rfidsim::reliability;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
   banner("Table 5 - human tracking redundancy, 2 antennas",
          "Paper (1 subject): 1 F/B 80%/94%; 1 side 90%/91%; 2 F/B 100%/99.6%;\n"
          "2 sides 100%/99.2%; 4 tags 100%/100%.");
@@ -56,6 +57,6 @@ int main() {
                percent(0.5 * (rm_two.closer + rm_two.farther)), percent(rc_two_avg),
                row.paper_one, row.paper_two});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t);
   return 0;
 }

@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rfidsim::fault {
+
+namespace {
+
+/// Fault-injection registry hooks: what each sampled schedule will inject.
+void record_schedule_metrics(const FaultSchedule& sched) {
+  static const struct Metrics {
+    obs::Counter& schedules = obs::counter("fault.schedules_sampled");
+    obs::Counter& outages = obs::counter("fault.reader_outages");
+    obs::Counter& dead_antennas = obs::counter("fault.dead_antennas");
+    obs::Counter& bursts = obs::counter("fault.jamming_bursts");
+  } m;
+  m.schedules.add(1);
+  std::size_t outages = 0;
+  for (const auto& windows : sched.reader_outages()) outages += windows.size();
+  m.outages.add(outages);
+  std::size_t dead = 0;
+  for (const bool d : sched.dead_antennas()) dead += d ? 1 : 0;
+  m.dead_antennas.add(dead);
+  m.bursts.add(sched.jamming_bursts().size());
+}
+
+}  // namespace
 
 FaultSchedule FaultSchedule::sample(const FaultConfig& config, std::size_t reader_count,
                                     std::size_t antenna_count, double t0_s, double t1_s,
@@ -57,6 +80,9 @@ FaultSchedule FaultSchedule::sample(const FaultConfig& config, std::size_t reade
       t += dur;
     }
   }
+  // Count only schedules that could inject anything: the all-off default
+  // config samples one (empty) schedule per run and would drown the signal.
+  if (config.any_enabled() && obs::hooks_enabled()) record_schedule_metrics(sched);
   return sched;
 }
 

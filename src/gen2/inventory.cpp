@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rfidsim::gen2 {
+
+namespace {
+
+/// Per-round registry hooks: aggregate adds once per round, never per slot,
+/// so the MAC loop itself stays untouched.
+void record_round_metrics(const InventoryRoundResult& result) {
+  static const struct Metrics {
+    obs::Counter& rounds = obs::counter("gen2.rounds");
+    obs::Counter& total_slots = obs::counter("gen2.total_slots");
+    obs::Counter& empty_slots = obs::counter("gen2.empty_slots");
+    obs::Counter& collision_slots = obs::counter("gen2.collision_slots");
+    obs::Counter& success_slots = obs::counter("gen2.success_slots");
+    obs::Counter& singulations = obs::counter("gen2.singulations");
+    obs::Histogram& duration = obs::histogram(
+        "gen2.round_duration_seconds",
+        // Rounds run ~1 ms (empty) to ~1 s (huge populations).
+        obs::HistogramSpec{.first_upper_bound = 1e-3, .growth = 2.0, .buckets = 12});
+    obs::Gauge& final_q = obs::gauge("gen2.final_q");
+  } m;
+  m.rounds.add(1);
+  m.total_slots.add(result.total_slots);
+  m.empty_slots.add(result.empty_slots);
+  m.collision_slots.add(result.collision_slots);
+  m.success_slots.add(result.success_slots);
+  m.singulations.add(result.singulated.size());
+  m.duration.observe(result.duration_s);
+  m.final_q.set(result.final_q);
+}
+
+}  // namespace
 
 InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
                                                 const std::vector<TagLink>& links,
@@ -143,6 +174,7 @@ InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
   }
 
   result.final_q = qfp_;
+  if (obs::hooks_enabled()) record_round_metrics(result);
   return result;
 }
 

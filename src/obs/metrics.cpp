@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rfidsim::obs {
+
+namespace detail {
+
+namespace {
+EnvMode initial_mode() { return env_mode(std::getenv("RFIDSIM_OBS")); }
+}  // namespace
+
+std::atomic<bool>& metrics_flag() {
+  static std::atomic<bool> flag{initial_mode().metrics};
+  return flag;
+}
+
+std::atomic<bool>& trace_flag() {
+  static std::atomic<bool> flag{initial_mode().trace};
+  return flag;
+}
+
+}  // namespace detail
+
+EnvMode env_mode(const char* value) {
+  EnvMode mode;
+  if (value == nullptr) return mode;
+  const std::string v(value);
+  if (v == "off" || v == "0" || v == "false" || v == "OFF") {
+    mode.metrics = false;
+    mode.trace = false;
+  } else if (v == "trace") {
+    mode.trace = true;
+  }
+  return mode;
+}
+
+bool enabled() { return detail::metrics_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  detail::metrics_flag().store(on, std::memory_order_relaxed);
+}
+bool trace_enabled() { return detail::trace_flag().load(std::memory_order_relaxed); }
+void set_trace_enabled(bool on) {
+  detail::trace_flag().store(on, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : spec_(spec), counts_(spec.buckets + 1) {
+  require(spec.first_upper_bound > 0.0,
+          "Histogram: first bucket bound must be positive");
+  require(spec.growth > 1.0, "Histogram: bucket growth factor must exceed 1");
+  require(spec.buckets > 0, "Histogram: need at least one finite bucket");
+  edges_.reserve(spec.buckets);
+  double edge = spec.first_upper_bound;
+  for (std::size_t i = 0; i < spec.buckets; ++i) {
+    edges_.push_back(edge);
+    edge *= spec.growth;
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - edges_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  require(i < counts_.size(), "Histogram: bucket index out of range");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+enum class Kind { Counter, Gauge, Histogram };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Exposition name: rfidsim_ prefix, non-alphanumerics to '_'.
+std::string exposition_name(const std::string& name) {
+  std::string out = "rfidsim_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest-round-trip-ish double formatting for exposition values and
+/// bucket labels (%.9g keeps the log-scale edges unambiguous and stable).
+std::string num_str(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+struct Metric {
+  Kind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Metric, std::less<>> metrics;  ///< Sorted for export.
+
+  /// Finds or creates (payload included) under the registry lock, so
+  /// concurrent first lookups of one name are safe.
+  Metric& find_or_create(std::string_view name, Kind kind,
+                         const HistogramSpec* spec = nullptr) {
+    std::lock_guard lock(mutex);
+    const auto it = metrics.find(name);
+    if (it != metrics.end()) {
+      require(it->second.kind == kind,
+              "MetricsRegistry: '" + std::string(name) + "' already registered as " +
+                  kind_name(it->second.kind) + ", requested as " + kind_name(kind));
+      return it->second;
+    }
+    Metric m{.kind = kind, .counter = nullptr, .gauge = nullptr, .histogram = nullptr};
+    switch (kind) {
+      case Kind::Counter: m.counter = std::make_unique<Counter>(); break;
+      case Kind::Gauge: m.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram:
+        m.histogram = std::make_unique<Histogram>(spec ? *spec : HistogramSpec{});
+        break;
+    }
+    return metrics.emplace(std::string(name), std::move(m)).first->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *impl_->find_or_create(name, Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *impl_->find_or_create(name, Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramSpec& spec) {
+  return *impl_->find_or_create(name, Kind::Histogram, &spec).histogram;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = *impl_;
+  std::lock_guard lock(im.mutex);
+  for (auto& [name, m] : im.metrics) {
+    if (m.counter) m.counter->reset();
+    if (m.gauge) m.gauge->reset();
+    if (m.histogram) m.histogram->reset();
+  }
+}
+
+void MetricsRegistry::write_exposition(std::ostream& out) const {
+  Impl& im = *impl_;
+  std::lock_guard lock(im.mutex);
+  for (const auto& [name, m] : im.metrics) {
+    const std::string ename = exposition_name(name);
+    out << "# TYPE " << ename << ' ' << kind_name(m.kind) << '\n';
+    switch (m.kind) {
+      case Kind::Counter:
+        out << ename << ' ' << m.counter->value() << '\n';
+        break;
+      case Kind::Gauge:
+        out << ename << ' ' << num_str(m.gauge->value()) << '\n';
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.edges().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out << ename << "_bucket{le=\"" << num_str(h.edges()[i]) << "\"} "
+              << cumulative << '\n';
+        }
+        cumulative += h.bucket_count(h.edges().size());
+        out << ename << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+        out << ename << "_sum " << num_str(h.sum()) << '\n';
+        out << ename << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::exposition() const {
+  std::ostringstream out;
+  write_exposition(out);
+  return out.str();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace rfidsim::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace rfidsim::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's span ring. The writer thread and exporters synchronise on
+/// the ring's own mutex; uncontended in steady state (exports are rare).
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<TraceEvent> slots{std::vector<TraceEvent>(kTraceRingCapacity)};
+  std::uint64_t written = 0;  ///< Monotonic; slot index is written % capacity.
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& ev) {
+    std::lock_guard lock(mutex);
+    slots[written % kTraceRingCapacity] = ev;
+    ++written;
+  }
+
+  /// Oldest-to-newest copy of the retained events.
+  void snapshot(std::vector<TraceEvent>& out) {
+    std::lock_guard lock(mutex);
+    const std::uint64_t kept = std::min<std::uint64_t>(written, kTraceRingCapacity);
+    for (std::uint64_t i = written - kept; i < written; ++i) {
+      out.push_back(slots[i % kTraceRingCapacity]);
+    }
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex);
+    written = 0;
+  }
+};
+
+/// Registry of every thread's ring. Rings are shared_ptrs so spans from
+/// threads that have since exited still export.
+struct Recorder {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+
+  std::shared_ptr<ThreadRing> register_thread() {
+    auto ring = std::make_shared<ThreadRing>();
+    std::lock_guard lock(mutex);
+    ring->tid = static_cast<std::uint32_t>(rings.size());
+    rings.push_back(ring);
+    return ring;
+  }
+
+  std::vector<std::shared_ptr<ThreadRing>> all() {
+    std::lock_guard lock(mutex);
+    return rings;
+  }
+};
+
+Recorder& recorder() {
+  static Recorder instance;
+  return instance;
+}
+
+ThreadRing& thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = recorder().register_thread();
+  return *ring;
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!trace_hooks_enabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  start_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end = now_ns();
+  --t_depth;
+  ThreadRing& ring = thread_ring();
+  ring.push(TraceEvent{.name = name_,
+                       .start_ns = start_ns_,
+                       .duration_ns = end - start_ns_,
+                       .depth = depth_,
+                       .tid = ring.tid});
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  std::vector<TraceEvent> out;
+  for (const auto& ring : recorder().all()) ring->snapshot(out);
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.depth < b.depth;
+  });
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  std::uint64_t epoch = ~std::uint64_t{0};
+  for (const TraceEvent& ev : events) epoch = std::min(epoch, ev.start_ns);
+
+  out << std::fixed << std::setprecision(3);
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i > 0) out << ',';
+    // Span names are our own literals: no JSON escaping needed.
+    out << "{\"name\":\"" << ev.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << ev.tid << ",\"ts\":" << static_cast<double>(ev.start_ns - epoch) / 1e3
+        << ",\"dur\":" << static_cast<double>(ev.duration_ns) / 1e3 << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+void clear_trace() {
+  for (const auto& ring : recorder().all()) ring->clear();
+}
+
+}  // namespace rfidsim::obs

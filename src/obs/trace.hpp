@@ -1,0 +1,68 @@
+// rfidsim::obs — RAII trace spans over per-thread ring buffers.
+//
+// A TraceSpan brackets one unit of instrument work (a portal pass, a
+// sweep, an upload) with wall-clock timestamps and records it into a
+// fixed-capacity ring buffer owned by the recording thread, so the hot
+// path never contends with other threads (each ring has its own lock,
+// touched only by its writer and by exporters). The merged buffers export
+// as Chrome trace_event JSON (chrome://tracing, Perfetto) — metric values
+// go through MetricsRegistry instead (see metrics.hpp).
+//
+// Tracing is off by default (RFIDSIM_OBS=trace or set_trace_enabled(true)
+// turns it on) and obeys the same feedback-free contract as metrics: span
+// timestamps are wall-clock readings about the instrument and never feed
+// back into simulated state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rfidsim::obs {
+
+/// One completed span, as stored in a ring and returned by snapshots.
+struct TraceEvent {
+  const char* name = nullptr;  ///< Static string (span names are literals).
+  std::uint64_t start_ns = 0;  ///< steady_clock, process-relative.
+  std::uint64_t duration_ns = 0;
+  std::uint32_t depth = 0;  ///< Nesting depth within the recording thread.
+  std::uint32_t tid = 0;    ///< Recording thread's registration index.
+};
+
+/// Scoped wall-clock timer. `name` must outlive the recorder (pass string
+/// literals). Construction/destruction are a few nanoseconds when tracing
+/// is disabled (one relaxed load and a branch).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Events per thread ring; the newest events win once a ring wraps.
+inline constexpr std::size_t kTraceRingCapacity = 8192;
+
+/// Chronological snapshot of every thread's ring (merged, sorted by start
+/// time). Safe to call while other threads keep recording.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Chrome trace_event JSON ("X" complete events; ts/dur in microseconds,
+/// rebased so the earliest span starts at 0). Schema in EXPERIMENTS.md.
+void write_chrome_trace(std::ostream& out);
+std::string chrome_trace_json();
+
+/// Discards all recorded spans (ring registrations survive).
+void clear_trace();
+
+}  // namespace rfidsim::obs

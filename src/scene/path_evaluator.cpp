@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "rf/material.hpp"
 
 namespace rfidsim::scene {
@@ -28,6 +29,26 @@ PathEvaluator::PathEvaluator(const Scene& scene, EvaluatorParams params)
   }
 }
 
+PathEvaluator::~PathEvaluator() { flush_metrics(); }
+
+void PathEvaluator::flush_metrics() const {
+  if (obs::hooks_enabled()) {
+    static const struct Counters {
+      obs::Counter& full_hits = obs::counter("scene.path_cache.full_hits");
+      obs::Counter& full_misses = obs::counter("scene.path_cache.full_misses");
+      obs::Counter& pair_hits = obs::counter("scene.path_cache.pair_hits");
+      obs::Counter& pair_misses = obs::counter("scene.path_cache.pair_misses");
+      obs::Counter& bypassed = obs::counter("scene.path_cache.bypassed");
+    } c;
+    c.full_hits.add(cache_stats_.full_hits);
+    c.full_misses.add(cache_stats_.full_misses);
+    c.pair_hits.add(cache_stats_.pair_hits);
+    c.pair_misses.add(cache_stats_.pair_misses);
+    c.bypassed.add(cache_stats_.bypassed);
+  }
+  cache_stats_ = PathCacheStats{};
+}
+
 rf::PathTerms PathEvaluator::evaluate(std::size_t antenna_index, const TagAddress& tag,
                                       double t_s) const {
   require(antenna_index < scene_.antennas.size(),
@@ -37,6 +58,7 @@ rf::PathTerms PathEvaluator::evaluate(std::size_t antenna_index, const TagAddres
   require(tag.tag < entity.tags().size(), "PathEvaluator: tag index out of range");
 
   if (!params_.static_geometry_cache || !entity_static_[tag.entity]) {
+    ++cache_stats_.bypassed;
     return assemble(compute_pair_terms(antenna_index, tag, t_s), antenna_index, tag,
                     t_s);
   }
@@ -45,17 +67,23 @@ rf::PathTerms PathEvaluator::evaluate(std::size_t antenna_index, const TagAddres
   if (scene_static_) {
     // Nothing on this path can change with time: cache the whole result.
     if (!slot.full_ready) {
+      ++cache_stats_.full_misses;
       slot.full = assemble(compute_pair_terms(antenna_index, tag, t_s), antenna_index,
                            tag, t_s);
       slot.full_ready = true;
+    } else {
+      ++cache_stats_.full_hits;
     }
     return slot.full;
   }
   // The tag holds still but other bodies move: reuse the pair-local terms,
   // re-evaluate the cross-entity ones.
   if (!slot.pair_ready) {
+    ++cache_stats_.pair_misses;
     slot.pair = compute_pair_terms(antenna_index, tag, t_s);
     slot.pair_ready = true;
+  } else {
+    ++cache_stats_.pair_hits;
   }
   return assemble(slot.pair, antenna_index, tag, t_s);
 }

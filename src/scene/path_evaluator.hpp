@@ -89,6 +89,18 @@ struct EvaluatorParams {
   bool static_geometry_cache = true;
 };
 
+/// Static-geometry cache effectiveness tallies for one evaluator. Plain
+/// (non-atomic) counters — the evaluator is single-threaded by contract —
+/// kept cheap enough to maintain unconditionally; flush_metrics() folds
+/// them into the process-wide obs registry.
+struct PathCacheStats {
+  std::uint64_t full_hits = 0;    ///< Whole-result cache hits (static scene).
+  std::uint64_t full_misses = 0;  ///< First evaluation of a (antenna, tag) slot.
+  std::uint64_t pair_hits = 0;    ///< Pair-term reuse (static tag, moving scene).
+  std::uint64_t pair_misses = 0;
+  std::uint64_t bypassed = 0;  ///< Cache off or the tag's entity moves.
+};
+
 /// Evaluates rf::PathTerms for antenna/tag pairs at given times.
 ///
 /// Not thread-safe: the static-geometry cache mutates on evaluate(). Give
@@ -101,6 +113,11 @@ class PathEvaluator {
   /// no way to observe entity or antenna edits).
   PathEvaluator(const Scene& scene, EvaluatorParams params = {});
 
+  /// Flushes any unflushed cache tallies (see flush_metrics).
+  ~PathEvaluator();
+  PathEvaluator(const PathEvaluator&) = delete;
+  PathEvaluator& operator=(const PathEvaluator&) = delete;
+
   /// Full evaluation of one path at time `t_s`.
   rf::PathTerms evaluate(std::size_t antenna_index, const TagAddress& tag,
                          double t_s) const;
@@ -110,6 +127,14 @@ class PathEvaluator {
 
   /// True iff every entity in the scene is static (full-result caching).
   bool scene_static() const { return scene_static_; }
+
+  /// This evaluator's cache tallies since construction or the last flush.
+  const PathCacheStats& cache_stats() const { return cache_stats_; }
+
+  /// Adds the local tallies to the obs registry's scene.path_cache.*
+  /// counters (when observability is enabled) and zeroes them. Called by
+  /// the destructor; callers wanting mid-life dumps may call it directly.
+  void flush_metrics() const;
 
  private:
   /// Terms that depend only on the (static antenna, tag's own entity)
@@ -155,6 +180,7 @@ class PathEvaluator {
   std::vector<std::size_t> tag_offset_;  ///< Flat tag index base per entity.
   std::size_t tag_count_ = 0;
   mutable std::vector<CacheSlot> cache_; ///< [antenna * tag_count_ + flat tag].
+  mutable PathCacheStats cache_stats_;
 };
 
 }  // namespace rfidsim::scene

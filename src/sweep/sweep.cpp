@@ -4,7 +4,32 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rfidsim::sweep {
+
+namespace {
+
+/// Sweep-level registry hooks. Lane cell counts are tallied lane-locally
+/// and flushed once per sweep, so the cell loop adds no shared-state
+/// traffic; the histogram exposes lane imbalance (a lane that claimed far
+/// fewer cells than count/lanes was starved or slow).
+struct SweepMetrics {
+  obs::Counter& sweeps = obs::counter("sweep.sweeps");
+  obs::Counter& cells = obs::counter("sweep.cells");
+  obs::Counter& lane_tasks = obs::counter("sweep.lane_tasks");
+  obs::Histogram& cells_per_lane = obs::histogram(
+      "sweep.cells_per_lane",
+      obs::HistogramSpec{.first_upper_bound = 1.0, .growth = 4.0, .buckets = 10});
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics m;
+  return m;
+}
+
+}  // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) {
   std::size_t threads = options.threads;
@@ -25,6 +50,12 @@ void SweepEngine::run(std::size_t count,
                       const std::function<void(std::size_t)>& setup,
                       const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  const obs::TraceSpan span("sweep.run");
+  const bool record = obs::hooks_enabled();
+  if (record) {
+    sweep_metrics().sweeps.add(1);
+    sweep_metrics().cells.add(count);
+  }
   if (!pool_ || count == 1) {
     setup(1);
     for (std::size_t i = 0; i < count; ++i) body(i, 0);
@@ -38,9 +69,16 @@ void SweepEngine::run(std::size_t count,
   setup(lanes);
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    pool_->submit([next, count, lane, &body] {
+    pool_->submit([next, count, lane, &body, record] {
+      const obs::TraceSpan lane_span("sweep.lane");
+      std::size_t claimed = 0;
       for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
         body(i, lane);
+        ++claimed;
+      }
+      if (record) {
+        sweep_metrics().lane_tasks.add(1);
+        sweep_metrics().cells_per_lane.observe(static_cast<double>(claimed));
       }
     });
   }

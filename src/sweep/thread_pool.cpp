@@ -1,9 +1,30 @@
 #include "sweep/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace rfidsim::sweep {
+
+namespace {
+
+/// Pool-level registry hooks: queue depth (instantaneous) and the wall
+/// time workers spend parked waiting for work (includes idle stretches
+/// between sweeps — it measures the pool, not one sweep).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::counter("sweep.pool.tasks");
+  obs::Gauge& queue_depth = obs::gauge("sweep.pool.queue_depth");
+  obs::Gauge& idle_s = obs::gauge("sweep.pool.worker_idle_seconds");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,10 +47,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
+  }
+  if (obs::hooks_enabled()) {
+    pool_metrics().tasks.add(1);
+    pool_metrics().queue_depth.set(static_cast<double>(depth));
   }
   work_available_.notify_one();
 }
@@ -42,12 +69,22 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
+    const bool record = obs::hooks_enabled();
+    const auto park = std::chrono::steady_clock::now();
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
+    }
+    if (record) {
+      pool_metrics().queue_depth.set(static_cast<double>(depth));
+      pool_metrics().idle_s.add(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - park)
+              .count());
     }
     task();
     {

@@ -5,12 +5,28 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rfidsim::sys {
 
 namespace {
 constexpr const char* kHeader = "time_s,tag,reader,antenna,rssi_dbm";
+
+/// Parser registry hooks: the global tally of good/dropped rows. This is
+/// what makes lenient-parse drops visible by default — previously they
+/// only existed in the optional ParseStats out-parameter, so a caller
+/// that passed nullptr silently discarded corrupt rows with no trace.
+void record_parse_metrics(const ParseStats& stats) {
+  static const struct Metrics {
+    obs::Counter& rows_ok = obs::counter("sys.read_csv.rows_ok");
+    obs::Counter& rows_bad = obs::counter("sys.read_csv.rows_bad");
+    obs::Counter& parses = obs::counter("sys.read_csv.parses");
+  } m;
+  m.rows_ok.add(stats.rows_ok);
+  m.rows_bad.add(stats.rows_bad);
+  m.parses.add(1);
 }
+}  // namespace
 
 void write_csv(std::ostream& out, const EventLog& log) {
   out << kHeader << '\n';
@@ -78,6 +94,7 @@ EventLog read_csv(std::istream& in, ParseMode mode, ParseStats* stats) {
     ++local.rows_ok;
     log.push_back(ev);
   }
+  if (obs::hooks_enabled()) record_parse_metrics(local);
   if (stats) *stats = local;
   return log;
 }

@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rf/link_budget.hpp"
 
 namespace rfidsim::sys {
@@ -15,6 +17,22 @@ namespace {
 double exceed_probability(double margin_db, double sigma_db) {
   if (sigma_db <= 0.0) return margin_db > 0.0 ? 1.0 : 0.0;
   return 0.5 * std::erfc(-margin_db / (sigma_db * std::numbers::sqrt2));
+}
+
+/// Portal-level registry hooks (one add per reader round / fault event).
+struct PortalMetrics {
+  obs::Counter& rounds = obs::counter("sys.portal.rounds");
+  obs::Counter& read_events = obs::counter("sys.portal.read_events");
+  obs::Counter& crashes = obs::counter("sys.portal.reader_crashes");
+  obs::Gauge& downtime_s = obs::gauge("sys.portal.reader_downtime_seconds");
+  obs::Counter& jammed_rounds = obs::counter("sys.portal.jammed_rounds");
+  obs::Counter& dead_antenna_rounds = obs::counter("sys.portal.dead_antenna_rounds");
+  obs::Counter& passes = obs::counter("sys.portal.passes");
+};
+
+PortalMetrics& portal_metrics() {
+  static PortalMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -149,6 +167,10 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
     const double up = fault_schedule_.reader_up_after(r, rt.clock_s);
     ++rstats.crashes;
     rstats.downtime_s += up - rt.clock_s;
+    if (obs::hooks_enabled()) {
+      portal_metrics().crashes.add(1);
+      portal_metrics().downtime_s.add(up - rt.clock_s);
+    }
     rt.clock_s = up;
     rt.engine.reset_q();
     return;
@@ -180,6 +202,14 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
     log.push_back(ev);
   }
 
+  if (obs::hooks_enabled()) {
+    PortalMetrics& m = portal_metrics();
+    m.rounds.add(1);
+    m.read_events.add(round.singulated.size());
+    if (fault_schedule_.jamming_loss_db(t) > 0.0) m.jammed_rounds.add(1);
+    if (fault_schedule_.antenna_dead(antenna)) m.dead_antenna_rounds.add(1);
+  }
+
   ++stats_.rounds;
   stats_.total_slots += round.total_slots;
   stats_.collision_slots += round.collision_slots;
@@ -202,6 +232,8 @@ constexpr std::uint64_t kFaultStreamLabel = 0xFA1757ULL;
 }  // namespace
 
 EventLog PortalSimulator::run(Rng& rng) {
+  const obs::TraceSpan span("sys.portal.run");
+  if (obs::hooks_enabled()) portal_metrics().passes.add(1);
   stats_ = PortalRunStats{};
   stats_.per_reader.resize(readers_.size());
   Rng fault_rng = rng.fork(kFaultStreamLabel);
@@ -233,6 +265,7 @@ EventLog PortalSimulator::run(Rng& rng) {
 }
 
 EventLog PortalSimulator::run_single_round(double t_s, Rng& rng) {
+  const obs::TraceSpan span("sys.portal.run_single_round");
   stats_ = PortalRunStats{};
   stats_.per_reader.resize(readers_.size());
   Rng fault_rng = rng.fork(kFaultStreamLabel);

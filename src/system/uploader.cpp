@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rfidsim::sys {
+
+namespace {
+
+/// Upload-channel registry hooks. The per-instance UploadStats struct
+/// remains the per-uploader view (its accessors are unchanged); these are
+/// the cross-instance totals the old ad-hoc fields could never give —
+/// before, retry/backoff churn was invisible unless the caller remembered
+/// to poll stats() on every uploader it created.
+struct UploaderMetrics {
+  obs::Counter& batches = obs::counter("sys.uploader.batches");
+  obs::Counter& attempts = obs::counter("sys.uploader.attempts");
+  obs::Counter& retries = obs::counter("sys.uploader.retries");
+  obs::Counter& batches_lost = obs::counter("sys.uploader.batches_lost");
+  obs::Counter& events_delivered = obs::counter("sys.uploader.events_delivered");
+  obs::Counter& events_lost = obs::counter("sys.uploader.events_lost");
+  obs::Gauge& backoff_s = obs::gauge("sys.uploader.backoff_seconds");
+};
+
+UploaderMetrics& uploader_metrics() {
+  static UploaderMetrics m;
+  return m;
+}
+
+}  // namespace
 
 EventUploader::EventUploader(UploaderConfig config) : config_(config) {
   require(config_.batch_size > 0, "EventUploader: batch size must be positive");
@@ -17,6 +43,8 @@ EventUploader::EventUploader(UploaderConfig config) : config_(config) {
 }
 
 EventLog EventUploader::upload(const EventLog& log, Rng& rng) {
+  const obs::TraceSpan span("sys.uploader.upload");
+  const UploadStats before = stats_;
   EventLog delivered;
   delivered.reserve(log.size());
 
@@ -47,6 +75,17 @@ EventLog EventUploader::upload(const EventLog& log, Rng& rng) {
       ++stats_.batches_lost;
       stats_.events_lost += end - begin;
     }
+  }
+
+  if (obs::hooks_enabled()) {
+    UploaderMetrics& m = uploader_metrics();
+    m.batches.add(stats_.batches - before.batches);
+    m.attempts.add(stats_.attempts - before.attempts);
+    m.retries.add(stats_.retries - before.retries);
+    m.batches_lost.add(stats_.batches_lost - before.batches_lost);
+    m.events_delivered.add(stats_.events_delivered - before.events_delivered);
+    m.events_lost.add(stats_.events_lost - before.events_lost);
+    m.backoff_s.add(stats_.backoff_delay_s - before.backoff_delay_s);
   }
   return delivered;
 }

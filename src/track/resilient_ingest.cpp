@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rfidsim::track {
 
@@ -20,6 +22,28 @@ struct StreamKey {
   std::size_t antenna;
   auto operator<=>(const StreamKey&) const = default;
 };
+
+/// Ingest registry hooks: one aggregate add per digested pass.
+void record_ingest_metrics(const IngestReport& report) {
+  static const struct Metrics {
+    obs::Counter& passes = obs::counter("track.ingest.passes");
+    obs::Counter& accepted = obs::counter("track.ingest.accepted");
+    obs::Counter& duplicates = obs::counter("track.ingest.duplicates");
+    obs::Counter& quarantined = obs::counter("track.ingest.quarantined");
+    obs::Counter& reordered = obs::counter("track.ingest.reordered");
+    obs::Counter& gaps = obs::counter("track.ingest.silence_gaps");
+    obs::Counter& degraded_readers = obs::counter("track.ingest.degraded_readers");
+    obs::Counter& degraded_passes = obs::counter("track.ingest.degraded_passes");
+  } m;
+  m.passes.add(1);
+  m.accepted.add(report.accepted);
+  m.duplicates.add(report.duplicates);
+  m.quarantined.add(report.quarantined);
+  m.reordered.add(report.reordered);
+  m.gaps.add(report.gaps.size());
+  m.degraded_readers.add(report.degraded_readers.size());
+  if (report.degraded()) m.degraded_passes.add(1);
+}
 
 }  // namespace
 
@@ -34,6 +58,7 @@ ResilientIngest::ResilientIngest(IngestConfig config) : config_(std::move(config
 
 IngestReport ResilientIngest::ingest(const sys::EventLog& raw, double window_begin_s,
                                      double window_end_s) const {
+  const obs::TraceSpan span("track.ingest");
   require(window_end_s >= window_begin_s, "ResilientIngest: inverted pass window");
 
   IngestReport report;
@@ -130,6 +155,7 @@ IngestReport ResilientIngest::ingest(const sys::EventLog& raw, double window_beg
       report.degraded_readers.push_back(r);
     }
   }
+  if (obs::hooks_enabled()) record_ingest_metrics(report);
   return report;
 }
 

@@ -45,6 +45,28 @@ TEST(SummarizeTest, InterpolatedQuartiles) {
   EXPECT_DOUBLE_EQ(s.upper_quartile, 3.25);
 }
 
+TEST(SummarizeTest, AllEqualSampleCollapsesToThatValue) {
+  const SampleSummary s = summarize({7.5, 7.5, 7.5, 7.5, 7.5, 7.5});
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.mean, 7.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 7.5);
+  EXPECT_EQ(s.lower_quartile, 7.5);
+  EXPECT_EQ(s.median, 7.5);
+  EXPECT_EQ(s.upper_quartile, 7.5);
+  EXPECT_EQ(s.max, 7.5);
+}
+
+TEST(SummarizeTest, TwoValuesInterpolateEveryQuantile) {
+  // numpy.percentile([1, 3], [25, 50, 75]) = [1.5, 2, 2.5].
+  const SampleSummary s = summarize({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.lower_quartile, 1.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.upper_quartile, 2.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
 TEST(SummarizeTest, StddevMatchesDefinition) {
   const SampleSummary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
   // Sample stddev (n-1) of this classic set is ~2.138.
@@ -136,6 +158,16 @@ TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
   rs.add(42.0);
   EXPECT_EQ(rs.mean(), 42.0);
   EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, AllEqualObservationsHaveZeroVariance) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.add(0.1);  // 0.1 is not exactly representable.
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.1);
+  // Welford keeps catastrophic cancellation out: exactly zero, not 1e-18.
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rfidsim::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAllLand) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.value(), 4000.0);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesInclusiveUpperBounds) {
+  // Edges: 1, 2, 4, 8 (+Inf overflow at index 4).
+  const Histogram h({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 4});
+  ASSERT_EQ(h.edges().size(), 4u);
+  Histogram hist({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 4});
+  hist.observe(0.5);   // <= 1 -> bucket 0.
+  hist.observe(1.0);   // Edge values are inclusive -> bucket 0.
+  hist.observe(1.001); // -> bucket 1.
+  hist.observe(8.0);   // Last finite edge -> bucket 3.
+  hist.observe(9.0);   // Overflow -> +Inf bucket.
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 0u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+  EXPECT_EQ(hist.bucket_count(4), 1u);  // +Inf.
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.001 + 8.0 + 9.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  const Histogram h({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 3});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  for (std::size_t i = 0; i <= h.edges().size(); ++i) EXPECT_EQ(h.bucket_count(i), 0u);
+}
+
+TEST(HistogramTest, SingleObservationLandsInExactlyOneBucket) {
+  Histogram h({.first_upper_bound = 1.0, .growth = 10.0, .buckets = 3});
+  h.observe(5.0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= h.edges().size(); ++i) total += h.bucket_count(i);
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);  // (1, 10].
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+}
+
+TEST(HistogramTest, AllEqualObservationsStackInOneBucket) {
+  Histogram h({.first_upper_bound = 0.001, .growth = 2.0, .buckets = 8});
+  for (int i = 0; i < 100; ++i) h.observe(0.01);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.bucket_count(4), 100u);  // 0.008 < 0.01 <= 0.016.
+  EXPECT_DOUBLE_EQ(h.sum(), 100 * 0.01);
+}
+
+TEST(HistogramTest, ResetZeroesCountsButKeepsEdges) {
+  Histogram h({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 4});
+  h.observe(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.edges().size(), 4u);
+}
+
+// The edges must be exactly the result of repeated IEEE-754 double
+// multiplication — the golden values below pin that down so any change
+// (powers, long double, reassociation) shows up as a bucket-boundary
+// break instead of silent drift between platforms or builds.
+TEST(HistogramTest, DefaultSpecEdgesAreBitExact) {
+  const Histogram h({});  // first 1e-6, growth 4, 16 buckets.
+  ASSERT_EQ(h.edges().size(), 16u);
+  // 4x growth shifts the exponent: mantissa is constant.
+  EXPECT_EQ(h.edges()[0], 0x1.0c6f7a0b5ed8dp-20);   // 1e-6.
+  EXPECT_EQ(h.edges()[5], 0x1.0c6f7a0b5ed8dp-10);   // 1.024e-3.
+  EXPECT_EQ(h.edges()[10], 0x1.0c6f7a0b5ed8dp+0);   // 1.048576.
+  EXPECT_EQ(h.edges()[15], 0x1.0c6f7a0b5ed8dp+10);  // 1073.741824.
+}
+
+TEST(HistogramTest, NonDyadicGrowthEdgesAreBitExact) {
+  const Histogram h({.first_upper_bound = 0.001, .growth = 2.5, .buckets = 6});
+  EXPECT_EQ(h.edges()[0], 0x1.0624dd2f1a9fcp-10);
+  EXPECT_EQ(h.edges()[1], 0x1.47ae147ae147bp-9);
+  EXPECT_EQ(h.edges()[2], 0x1.999999999999ap-8);
+  EXPECT_EQ(h.edges()[3], 0x1p-6);  // 0.001 * 2.5^3 rounds to exactly 1/64.
+  EXPECT_EQ(h.edges()[5], 0x1.9p-4);
+}
+
+TEST(HistogramTest, InvalidSpecsThrow) {
+  EXPECT_THROW(Histogram({.first_upper_bound = 0.0}), ConfigError);
+  EXPECT_THROW(Histogram({.first_upper_bound = -1.0}), ConfigError);
+  EXPECT_THROW(Histogram({.growth = 1.0}), ConfigError);
+  EXPECT_THROW(Histogram({.buckets = 0}), ConfigError);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("layer.signal");
+  Counter& b = reg.counter("layer.signal");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("layer.level");
+  Gauge& g2 = reg.gauge("layer.level");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("layer.durations");
+  Histogram& h2 = reg.histogram("layer.durations");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, KindConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("layer.signal");
+  EXPECT_THROW(reg.gauge("layer.signal"), ConfigError);
+  EXPECT_THROW(reg.histogram("layer.signal"), ConfigError);
+  reg.histogram("layer.durations");
+  EXPECT_THROW(reg.counter("layer.durations"), ConfigError);
+}
+
+TEST(MetricsRegistryTest, HistogramSpecAppliesOnFirstCreationOnly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {.first_upper_bound = 1.0, .growth = 2.0, .buckets = 3});
+  Histogram& again = reg.histogram("h", {.first_upper_bound = 9.0, .growth = 9.0, .buckets = 9});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.edges().size(), 3u);
+  EXPECT_EQ(again.edges()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(7);
+  Gauge& g = reg.gauge("g");
+  g.set(1.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(&reg.counter("c"), &c);  // Same handle survives the reset.
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationOfOneNameIsSafe) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> handles(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, &handles, t] {
+      Counter& c = reg.counter("contended.name");
+      c.add(100);
+      handles[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (Counter* h : handles) EXPECT_EQ(h, handles[0]);
+  EXPECT_EQ(reg.counter("contended.name").value(), 800u);
+}
+
+// Golden exposition dump: pins name mangling, TYPE lines, sort order,
+// cumulative histogram buckets, the +Inf terminator and number formatting
+// all at once. Update deliberately or not at all.
+TEST(MetricsRegistryTest, ExpositionGolden) {
+  MetricsRegistry reg;
+  reg.counter("gen2.rounds").add(3);
+  reg.gauge("sweep.pool.queue_depth").set(2.5);
+  Histogram& h =
+      reg.histogram("gen2.round_duration_seconds",
+                    {.first_upper_bound = 0.001, .growth = 10.0, .buckets = 3});
+  h.observe(0.0005);
+  h.observe(0.02);
+  h.observe(0.02);
+  h.observe(5.0);  // Overflows into +Inf.
+  const std::string expected =
+      "# TYPE rfidsim_gen2_round_duration_seconds histogram\n"
+      "rfidsim_gen2_round_duration_seconds_bucket{le=\"0.001\"} 1\n"
+      "rfidsim_gen2_round_duration_seconds_bucket{le=\"0.01\"} 1\n"
+      "rfidsim_gen2_round_duration_seconds_bucket{le=\"0.1\"} 3\n"
+      "rfidsim_gen2_round_duration_seconds_bucket{le=\"+Inf\"} 4\n"
+      "rfidsim_gen2_round_duration_seconds_sum 5.0405\n"
+      "rfidsim_gen2_round_duration_seconds_count 4\n"
+      "# TYPE rfidsim_gen2_rounds counter\n"
+      "rfidsim_gen2_rounds 3\n"
+      "# TYPE rfidsim_sweep_pool_queue_depth gauge\n"
+      "rfidsim_sweep_pool_queue_depth 2.5\n";
+  EXPECT_EQ(reg.exposition(), expected);
+  std::ostringstream out;
+  reg.write_exposition(out);
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(EnvModeTest, ParsesTheDocumentedValues) {
+  EXPECT_TRUE(env_mode(nullptr).metrics);
+  EXPECT_FALSE(env_mode(nullptr).trace);
+  for (const char* off : {"off", "0", "false", "OFF"}) {
+    EXPECT_FALSE(env_mode(off).metrics) << off;
+    EXPECT_FALSE(env_mode(off).trace) << off;
+  }
+  EXPECT_TRUE(env_mode("trace").metrics);
+  EXPECT_TRUE(env_mode("trace").trace);
+  EXPECT_TRUE(env_mode("anything-else").metrics);
+  EXPECT_FALSE(env_mode("anything-else").trace);
+}
+
+TEST(GlobalRegistryTest, ShorthandsHitTheProcessWideInstance) {
+  Counter& c = counter("obs_test.shorthand");
+  EXPECT_EQ(&c, &registry().counter("obs_test.shorthand"));
+}
+
+}  // namespace
+}  // namespace rfidsim::obs

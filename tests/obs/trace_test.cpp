@@ -1,0 +1,179 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rfidsim::obs {
+namespace {
+
+/// When the subsystem is compiled out (-DRFIDSIM_OBS=OFF) spans are inert
+/// no matter what the runtime switches say; the recording tests then
+/// assert exactly that instead of skipping.
+#ifdef RFIDSIM_OBS_DISABLED
+constexpr bool kCompiledOut = true;
+#else
+constexpr bool kCompiledOut = false;
+#endif
+
+/// Every test runs with a clean slate and restores the global switches:
+/// the obs flags are process-wide and other suites in this binary depend
+/// on their defaults.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_metrics_ = enabled();
+    saved_trace_ = trace_enabled();
+    set_enabled(true);
+    set_trace_enabled(true);
+    clear_trace();
+  }
+  void TearDown() override {
+    clear_trace();
+    set_trace_enabled(saved_trace_);
+    set_enabled(saved_metrics_);
+  }
+
+ private:
+  bool saved_metrics_ = false;
+  bool saved_trace_ = false;
+};
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepths) {
+  {
+    const TraceSpan outer("outer");
+    {
+      const TraceSpan middle("middle");
+      const TraceSpan inner("inner");
+    }
+  }
+  std::vector<TraceEvent> events = trace_snapshot();
+  if (kCompiledOut) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  ASSERT_EQ(events.size(), 3u);
+  // Snapshot is sorted by start time: outer, middle, inner.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 2u);
+  // Inner spans close before (or with) their parents.
+  EXPECT_LE(events[2].start_ns + events[2].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+  // Sibling-after-nested restarts at the parent's depth + 1.
+  {
+    const TraceSpan outer("outer2");
+    const TraceSpan sibling("sibling");
+  }
+  events = trace_snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[4].depth, 1u);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  set_trace_enabled(false);
+  { const TraceSpan span("invisible"); }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST_F(TraceTest, MetricsMasterSwitchAlsoGatesTracing) {
+  set_enabled(false);  // Tracing requires the master switch too.
+  { const TraceSpan span("invisible"); }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableDoesNotRecord) {
+  // The gate is checked at construction; a span that was alive when
+  // tracing got switched off still completes without recording garbage.
+  {
+    set_trace_enabled(false);
+    const TraceSpan span("started-disabled");
+    set_trace_enabled(true);
+  }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST_F(TraceTest, RingOverflowKeepsTheNewestSpans) {
+  for (std::size_t i = 0; i < 100; ++i) {
+    const TraceSpan span("old");
+  }
+  for (std::size_t i = 0; i < kTraceRingCapacity; ++i) {
+    const TraceSpan span("new");
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  if (kCompiledOut) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  ASSERT_EQ(events.size(), kTraceRingCapacity);
+  for (const TraceEvent& ev : events) EXPECT_STREQ(ev.name, "new");
+}
+
+TEST_F(TraceTest, ThreadsMergeWithDistinctTids) {
+  std::thread a([] {
+    const TraceSpan span("thread-a");
+  });
+  a.join();
+  std::thread b([] {
+    const TraceSpan span("thread-b");
+  });
+  b.join();
+  { const TraceSpan span("main-thread"); }
+
+  const std::vector<TraceEvent> events = trace_snapshot();
+  if (kCompiledOut) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  ASSERT_EQ(events.size(), 3u);
+  std::set<std::uint32_t> tids;
+  std::set<std::string> names;
+  for (const TraceEvent& ev : events) {
+    tids.insert(ev.tid);
+    names.insert(ev.name);
+  }
+  EXPECT_EQ(tids.size(), 3u);  // Rings survive thread exit, tids distinct.
+  EXPECT_EQ(names, (std::set<std::string>{"thread-a", "thread-b", "main-thread"}));
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  {
+    const TraceSpan outer("pass");
+    const TraceSpan inner("round");
+  }
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  if (kCompiledOut) {
+    EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+    return;
+  }
+  EXPECT_NE(json.find("\"name\":\"pass\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Timestamps are rebased: the earliest span starts at 0.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_EQ(json.find("e+"), std::string::npos) << "ts must not be scientific";
+}
+
+TEST_F(TraceTest, ClearTraceEmptiesEveryRing) {
+  { const TraceSpan span("gone"); }
+  std::thread t([] { const TraceSpan span("gone-too"); });
+  t.join();
+  clear_trace();
+  EXPECT_TRUE(trace_snapshot().empty());
+  // Rings keep working after a clear.
+  { const TraceSpan span("back"); }
+  EXPECT_EQ(trace_snapshot().size(), kCompiledOut ? 0u : 1u);
+}
+
+}  // namespace
+}  // namespace rfidsim::obs
