@@ -406,6 +406,88 @@ int main(int argc, char** argv) {
                  percent(analyzer.tracking_fraction(got))});
     }
     bench::print_table(t);
+    std::printf("\n");
+  }
+
+  // ---------------------------------------------------------------- 9 --
+  // Online reliability monitor: streaming estimators over the pass stream
+  // and detection latency for every injected reader fault. The first
+  // passes are fault-free (the monitor must stay silent), then reader
+  // crash faults switch on and the drift/silence detectors must notice —
+  // the latency is counted in passes between fault onset and the alert.
+  std::printf("[9] Online monitor: detection latency per injected reader fault\n");
+  {
+    ObjectScenarioOptions opt;
+    opt.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+    opt.portal.antenna_count = 2;
+    opt.portal.reader_count = 2;
+    const Scenario sc = make_object_tracking_scenario(opt, cal);
+    Scenario sc_faulted = make_object_tracking_scenario(opt, cal);
+    // Heavy crash/restart cycling: most of each faulted pass loses one
+    // reader for seconds at a time.
+    sc_faulted.portal.faults = reader_faults(1.5, 2.0);
+
+    constexpr std::size_t kHealthyPasses = 12;
+    constexpr std::size_t kTotalPasses = 28;
+    const std::size_t reader_count = sc.portal.readers.size();
+
+    sys::PortalSimulator sim_ok(sc.scene, sc.portal);
+    sys::PortalSimulator sim_bad(sc_faulted.scene, sc_faulted.portal);
+    obs::ReliabilityMonitor monitor;
+    monitor.set_log(&obs::structured_log());  // Narrates under --log-dump.
+
+    std::vector<std::size_t> onset_pass(reader_count, kTotalPasses);
+    std::vector<double> onset_downtime(reader_count, 0.0);
+    std::size_t healthy_alerts = 0;
+    Rng rng(bench::kSeed);
+    for (std::size_t pass = 0; pass < kTotalPasses; ++pass) {
+      const bool fault_phase = pass >= kHealthyPasses;
+      sys::PortalSimulator& sim = fault_phase ? sim_bad : sim_ok;
+      Rng run_rng = rng.fork(pass);
+      const sys::EventLog log = sim.run(run_rng);
+      if (fault_phase) {
+        for (std::size_t r = 0; r < reader_count; ++r) {
+          const double down = sim.fault_schedule().reader_downtime_s(r);
+          if (down > 0.0 && onset_pass[r] == kTotalPasses) {
+            onset_pass[r] = pass;
+            onset_downtime[r] = down;
+          }
+        }
+      }
+      monitor.observe_pass(sim.pass_observation(log));
+      if (!fault_phase) healthy_alerts = monitor.alerts().size();
+    }
+
+    TextTable t({"reader", "fault onset (pass)", "downtime then (s)", "first alert",
+                 "alert pass", "latency (passes)"});
+    for (std::size_t r = 0; r < reader_count; ++r) {
+      if (onset_pass[r] == kTotalPasses) {
+        t.add_row({std::to_string(r), "no fault injected", "-", "-", "-", "-"});
+        continue;
+      }
+      // The earliest alert of any type for this reader at or after onset.
+      const obs::Alert* first = nullptr;
+      for (const obs::Alert& a : monitor.alerts()) {
+        if (a.reader == static_cast<int>(r) && a.pass >= onset_pass[r] &&
+            (first == nullptr || a.pass < first->pass)) {
+          first = &a;
+        }
+      }
+      t.add_row({std::to_string(r), std::to_string(onset_pass[r]),
+                 fixed_str(onset_downtime[r], 2),
+                 first ? obs::alert_type_name(first->type) : "NOT DETECTED",
+                 first ? std::to_string(first->pass) : "-",
+                 first ? std::to_string(first->pass - onset_pass[r]) : "-"});
+    }
+    bench::print_table(t);
+    std::printf(
+        "alerts during the %zu fault-free passes: %zu (the no-false-alarm\n"
+        "contract; tests/obs/monitor_detection_test.cpp holds it across seeds).\n"
+        "windowed observed R_C %s vs independence-model prediction %s -\n"
+        "the crash-correlated misses drag the observed rate below what the\n"
+        "paper's R_C = 1-prod(1-P_i) composition expects from per-reader rates.\n",
+        kHealthyPasses, healthy_alerts, percent(monitor.observed_rc()).c_str(),
+        percent(monitor.predicted_rc()).c_str());
   }
   return 0;
 }

@@ -1,0 +1,426 @@
+// bench_regress — perf-trajectory gate over rfidsim-bench-v1 records.
+//
+//   bench_regress <baseline.json> <candidate.json> [--thresholds <file>]
+//
+// Compares the candidate perf record (the newer run) against the baseline
+// (an older checked-in BENCH_*.json) metric by metric and exits non-zero
+// when any metric regressed past its threshold — CI runs it along the
+// checked-in trajectory (BENCH_2 -> BENCH_3 -> current run) so a slowdown
+// has to answer for itself in the PR that introduced it, not three PRs
+// later when someone happens to read the numbers.
+//
+// Threshold file: one rule per line, '#' starts a comment. <name> is a
+// benchmark name or '*' (the fallback when no named rule matches).
+//
+//   wall <name|*> <max_ratio>       candidate wall_s / baseline wall_s
+//                                   must be <= max_ratio
+//   speedup <name|*> <min_fraction> candidate speedup must be >=
+//                                   min_fraction * baseline speedup
+//   allow-missing <name>            candidate may drop this benchmark
+//
+// Without a threshold file the built-in fallbacks apply (wall * 2.0,
+// speedup * 0.5 — generous, because CI wall clocks are noisy; pin named
+// metrics tighter where it matters). Benchmarks new in the candidate are
+// reported but never fail; benchmarks missing from the candidate fail
+// unless allow-missing'd. The records' own correctness verdicts
+// (sweep_matches_serial, obs_matches_disabled) must be true wherever
+// present — a fast record of a wrong simulation is not a baseline.
+//
+// The JSON reader below is deliberately minimal: it parses the subset of
+// JSON that perf_baseline.cpp emits (objects, arrays, strings with
+// backslash escapes, numbers, booleans) and nothing more. No third-party
+// dependency for a 20-line schema.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace {
+
+// --- Minimal JSON value + recursive-descent parser. ------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out)) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing content after top-level value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    error_ = std::string(what) + " near byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        c = text_[pos_++];
+        // perf_baseline only ever emits \" and \\; pass anything else
+        // through verbatim rather than rejecting the file.
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      out.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string_body(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        if (!value(out.object[key])) return false;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+        if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+      while (true) {
+        out.array.emplace_back();
+        if (!value(out.array.back())) return false;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+        if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string_body(out.string);
+    }
+    if (c == 't') { out.kind = JsonValue::Kind::kBool; out.boolean = true; return literal("true"); }
+    if (c == 'f') { out.kind = JsonValue::Kind::kBool; out.boolean = false; return literal("false"); }
+    if (c == 'n') { out.kind = JsonValue::Kind::kNull; return literal("null"); }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      out.kind = JsonValue::Kind::kNumber;
+      char* end = nullptr;
+      out.number = std::strtod(text_.c_str() + pos_, &end);
+      if (end == text_.c_str() + pos_) return fail("bad number");
+      pos_ = static_cast<std::size_t>(end - text_.c_str());
+      return true;
+    }
+    return fail("unexpected character");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- The bench record and threshold rules. ---------------------------------
+
+struct BenchEntry {
+  std::string name;
+  double wall_s = 0.0;
+  double cells = 0.0;
+  double speedup = 0.0;
+  bool has_speedup = false;
+};
+
+struct BenchRecord {
+  std::string path;
+  std::map<std::string, BenchEntry> entries;
+  std::vector<std::string> order;  ///< Names in file order, for stable output.
+  std::vector<std::pair<std::string, bool>> verdicts;  ///< Correctness booleans.
+};
+
+bool load_record(const std::string& path, BenchRecord& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_regress: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).parse(root, error) ||
+      root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "bench_regress: %s: %s\n", path.c_str(),
+                 error.empty() ? "top-level value is not an object" : error.c_str());
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->string != "rfidsim-bench-v1") {
+    std::fprintf(stderr, "bench_regress: %s: schema is not rfidsim-bench-v1\n",
+                 path.c_str());
+    return false;
+  }
+  for (const char* key : {"sweep_matches_serial", "obs_matches_disabled"}) {
+    if (const JsonValue* v = root.find(key);
+        v != nullptr && v->kind == JsonValue::Kind::kBool) {
+      out.verdicts.emplace_back(key, v->boolean);
+    }
+  }
+  const JsonValue* benches = root.find("benchmarks");
+  if (benches == nullptr || benches->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "bench_regress: %s: missing benchmarks array\n", path.c_str());
+    return false;
+  }
+  out.path = path;
+  for (const JsonValue& item : benches->array) {
+    BenchEntry e;
+    if (const JsonValue* v = item.find("name")) e.name = v->string;
+    if (const JsonValue* v = item.find("wall_s")) e.wall_s = v->number;
+    if (const JsonValue* v = item.find("cells")) e.cells = v->number;
+    if (const JsonValue* v = item.find("speedup")) {
+      e.speedup = v->number;
+      e.has_speedup = true;
+    }
+    if (e.name.empty() || e.wall_s <= 0.0) {
+      std::fprintf(stderr, "bench_regress: %s: benchmark entry without name/wall_s\n",
+                   path.c_str());
+      return false;
+    }
+    out.order.push_back(e.name);
+    out.entries[e.name] = e;
+  }
+  return true;
+}
+
+struct Thresholds {
+  std::map<std::string, double> wall;      ///< name -> max wall ratio.
+  std::map<std::string, double> speedup;   ///< name -> min speedup fraction.
+  std::map<std::string, bool> allow_missing;
+
+  double wall_limit(const std::string& name) const {
+    if (const auto it = wall.find(name); it != wall.end()) return it->second;
+    if (const auto it = wall.find("*"); it != wall.end()) return it->second;
+    return 2.0;
+  }
+  double speedup_limit(const std::string& name) const {
+    if (const auto it = speedup.find(name); it != speedup.end()) return it->second;
+    if (const auto it = speedup.find("*"); it != speedup.end()) return it->second;
+    return 0.5;
+  }
+  bool missing_ok(const std::string& name) const {
+    return allow_missing.count(name) != 0;
+  }
+};
+
+bool load_thresholds(const std::string& path, Thresholds& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_regress: cannot open threshold file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string kind, name;
+    if (!(fields >> kind)) continue;  // Blank / comment-only line.
+    if (!(fields >> name)) {
+      std::fprintf(stderr, "bench_regress: %s:%zu: rule needs a benchmark name\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    if (kind == "allow-missing") {
+      out.allow_missing[name] = true;
+      continue;
+    }
+    double limit = 0.0;
+    if (!(fields >> limit) || limit <= 0.0) {
+      std::fprintf(stderr, "bench_regress: %s:%zu: rule needs a positive limit\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    if (kind == "wall") {
+      out.wall[name] = limit;
+    } else if (kind == "speedup") {
+      out.speedup[name] = limit;
+    } else {
+      std::fprintf(stderr,
+                   "bench_regress: %s:%zu: unknown rule '%s' "
+                   "(expected wall, speedup, or allow-missing)\n",
+                   path.c_str(), lineno, kind.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string threshold_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--thresholds") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_regress: --thresholds needs a path\n");
+        return 2;
+      }
+      threshold_path = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_regress <baseline.json> <candidate.json> "
+                 "[--thresholds <file>]\n");
+    return 2;
+  }
+
+  BenchRecord baseline, candidate;
+  if (!load_record(positional[0], baseline)) return 2;
+  if (!load_record(positional[1], candidate)) return 2;
+  Thresholds thresholds;
+  if (!threshold_path.empty() && !load_thresholds(threshold_path, thresholds)) return 2;
+
+  std::printf("bench_regress: %s -> %s\n\n", baseline.path.c_str(),
+              candidate.path.c_str());
+
+  std::size_t failures = 0;
+  for (const auto& [key, ok] : candidate.verdicts) {
+    if (!ok) {
+      std::printf("FAIL %s: candidate record reports %s = false\n",
+                  candidate.path.c_str(), key.c_str());
+      ++failures;
+    }
+  }
+  for (const auto& [key, ok] : baseline.verdicts) {
+    if (!ok) {
+      std::printf("FAIL %s: baseline record reports %s = false\n",
+                  baseline.path.c_str(), key.c_str());
+      ++failures;
+    }
+  }
+
+  rfidsim::TextTable table(
+      {"benchmark", "check", "baseline", "candidate", "limit", "verdict"});
+  for (const std::string& name : baseline.order) {
+    const BenchEntry& base = baseline.entries[name];
+    const auto cand_it = candidate.entries.find(name);
+    if (cand_it == candidate.entries.end()) {
+      const bool ok = thresholds.missing_ok(name);
+      table.add_row({name, "present", "yes", "MISSING", "-",
+                     ok ? "allowed" : "FAIL"});
+      if (!ok) ++failures;
+      continue;
+    }
+    const BenchEntry& cand = cand_it->second;
+
+    if (base.cells != cand.cells) {
+      // The workload itself changed size; a wall-clock ratio would compare
+      // apples to oranges, so report and move on.
+      table.add_row({name, "cells", fmt(base.cells), fmt(cand.cells), "-",
+                     "workload changed, wall skipped"});
+    } else {
+      const double ratio = cand.wall_s / base.wall_s;
+      const double limit = thresholds.wall_limit(name);
+      const bool ok = ratio <= limit;
+      table.add_row({name, "wall ratio", fmt(base.wall_s) + "s",
+                     fmt(cand.wall_s) + "s", "<= " + fmt(limit),
+                     ok ? fmt(ratio) + " ok" : fmt(ratio) + " FAIL"});
+      if (!ok) ++failures;
+    }
+
+    if (base.has_speedup && cand.has_speedup) {
+      const double fraction = thresholds.speedup_limit(name);
+      const double floor = fraction * base.speedup;
+      const bool ok = cand.speedup >= floor;
+      table.add_row({name, "speedup", fmt(base.speedup) + "x",
+                     fmt(cand.speedup) + "x", ">= " + fmt(floor),
+                     ok ? "ok" : "FAIL"});
+      if (!ok) ++failures;
+    }
+  }
+  for (const std::string& name : candidate.order) {
+    if (baseline.entries.count(name) == 0) {
+      table.add_row({name, "present", "-", "new", "-", "new benchmark"});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (failures != 0) {
+    std::printf("\nbench_regress: %zu regression%s past threshold\n", failures,
+                failures == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("\nbench_regress: no regressions past thresholds\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "obs/metrics.hpp"
+#include "obs/structured_log.hpp"
 #include "obs/trace.hpp"
 #include "reliability/calibration.hpp"
 #include "reliability/estimator.hpp"
@@ -55,6 +56,8 @@ inline void print_table(const TextTable& table) {
 /// Flags (all optional):
 ///   --metrics-dump <path>  Prometheus text exposition of the obs registry.
 ///   --trace-dump <path>    Chrome trace_event JSON (enables span tracing).
+///   --log-dump <path>      JSON-lines structured log (obs::structured_log()
+///                          writes there for the whole bench run).
 ///   --obs-off              Run with observability disabled (overhead/
 ///                          differential experiments).
 /// Remaining arguments are left for the bench in positional().
@@ -75,11 +78,17 @@ class Session {
       } else if (arg == "--trace-dump") {
         take_value(trace_path_);
         obs::set_trace_enabled(true);
+      } else if (arg == "--log-dump") {
+        take_value(log_path_);
       } else if (arg == "--obs-off") {
         obs::set_enabled(false);
       } else {
         positional_.push_back(arg);
       }
+    }
+    if (!log_path_.empty()) {
+      log_stream_.open(log_path_);
+      obs::structured_log().set_sink(&log_stream_);
     }
   }
 
@@ -94,6 +103,13 @@ class Session {
       obs::write_chrome_trace(out);
       std::printf("wrote Chrome trace to %s\n", trace_path_.c_str());
     }
+    if (!log_path_.empty()) {
+      obs::structured_log().set_sink(nullptr);
+      std::printf("wrote structured log to %s (%llu records, %llu rate-dropped)\n",
+                  log_path_.c_str(),
+                  static_cast<unsigned long long>(obs::structured_log().emitted()),
+                  static_cast<unsigned long long>(obs::structured_log().dropped()));
+    }
   }
 
   Session(const Session&) = delete;
@@ -104,6 +120,8 @@ class Session {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string log_path_;
+  std::ofstream log_stream_;
   std::vector<std::string> positional_;
 };
 

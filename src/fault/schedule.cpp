@@ -1,6 +1,7 @@
 #include "fault/schedule.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -19,7 +20,17 @@ void record_schedule_metrics(const FaultSchedule& sched) {
   } m;
   m.schedules.add(1);
   std::size_t outages = 0;
-  for (const auto& windows : sched.reader_outages()) outages += windows.size();
+  char label[24];
+  for (std::size_t r = 0; r < sched.reader_outages().size(); ++r) {
+    const std::size_t count = sched.reader_outages()[r].size();
+    outages += count;
+    // Per-reader breakdown as labelled children of the same family. Not
+    // cached: schedules sample once per run, far off the round loop.
+    if (count > 0) {
+      std::snprintf(label, sizeof label, "r%zu", r);
+      obs::counter("fault.reader_outages", {{"reader", label}}).add(count);
+    }
+  }
   m.outages.add(outages);
   std::size_t dead = 0;
   for (const bool d : sched.dead_antennas()) dead += d ? 1 : 0;

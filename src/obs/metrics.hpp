@@ -133,6 +133,15 @@ class Histogram {
   std::uint64_t bucket_count(std::size_t i) const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Interpolated quantile estimate for q in [0, 1] (throws ConfigError
+  /// outside). Inside the bracketing bucket the value is interpolated
+  /// *geometrically* between the bucket's edges — the natural convention
+  /// for log-scale buckets, where a rank fraction f maps to
+  /// lo * (hi/lo)^f (bucket 0's lower edge is first_upper_bound/growth).
+  /// Ranks past the last finite edge clamp to it (the +Inf bucket has no
+  /// upper bound to interpolate toward); an empty histogram yields 0.
+  /// Pinned by golden hexfloat tests (tests/obs/metrics_test.cpp).
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -141,6 +150,15 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> counts_;  ///< edges + overflow.
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+/// One label key/value pair of a labelled metric. Keys are plain
+/// identifiers ([a-zA-Z_][a-zA-Z0-9_]*); values are arbitrary strings —
+/// the exposition escapes `\`, `"` and newline per the Prometheus text
+/// format.
+struct Label {
+  std::string_view key;
+  std::string_view value;
 };
 
 /// Named metrics, one namespace per registry. The process-wide instance
@@ -161,12 +179,26 @@ class MetricsRegistry {
   /// `spec` applies on first creation only.
   Histogram& histogram(std::string_view name, const HistogramSpec& spec = {});
 
+  /// Labelled variants: one child metric per distinct label set of a
+  /// family ("sys.portal.reader_rounds" + {reader="0"}). Labels are
+  /// canonicalised by key order, so lookup order never mints a second
+  /// child. All children of a family share one kind — mixing kinds within
+  /// a family throws ConfigError, exactly as re-registering a plain name
+  /// under a different kind does.
+  Counter& counter(std::string_view name, std::initializer_list<Label> labels);
+  Gauge& gauge(std::string_view name, std::initializer_list<Label> labels);
+  Histogram& histogram(std::string_view name, std::initializer_list<Label> labels,
+                       const HistogramSpec& spec = {});
+
   /// Zeroes every registered metric (registrations survive).
   void reset();
 
-  /// Prometheus-style text exposition, metrics sorted by name. Dotted
-  /// names are exported as rfidsim_<name with '.' -> '_'>; histograms get
-  /// the conventional _bucket{le=...}/_sum/_count series.
+  /// Prometheus-style text exposition, metrics sorted by name (children
+  /// of a labelled family sorted by label set under one # TYPE line).
+  /// Dotted names are exported as rfidsim_<name with '.' -> '_'>;
+  /// histograms get the conventional _bucket{le=...}/_sum/_count series
+  /// plus summary-style `# rfidsim_x{quantile="..."}` comment lines for
+  /// p50/p95/p99 (comments, so strict parsers skip them).
   void write_exposition(std::ostream& out) const;
   std::string exposition() const;
 
@@ -185,5 +217,16 @@ inline Gauge& gauge(std::string_view name) { return registry().gauge(name); }
 inline Histogram& histogram(std::string_view name, const HistogramSpec& spec = {}) {
   return registry().histogram(name, spec);
 }
+inline Counter& counter(std::string_view name, std::initializer_list<Label> labels) {
+  return registry().counter(name, labels);
+}
+inline Gauge& gauge(std::string_view name, std::initializer_list<Label> labels) {
+  return registry().gauge(name, labels);
+}
+
+/// Prometheus label-value escaping (`\` -> `\\`, `"` -> `\"`, newline ->
+/// `\n`), as write_exposition applies to every label value. Exposed for
+/// the structured log and tests.
+std::string escape_label_value(std::string_view value);
 
 }  // namespace rfidsim::obs

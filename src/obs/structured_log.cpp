@@ -1,0 +1,154 @@
+#include "obs/structured_log.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace rfidsim::obs {
+
+namespace {
+
+/// Same formatting as the metrics exposition: %.9g keeps values
+/// unambiguous and stable across platforms.
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_field_value(std::string& out, const LogField& f) {
+  switch (f.kind) {
+    case LogField::Kind::kString:
+      out.push_back('"');
+      append_json_escaped(out, f.str);
+      out.push_back('"');
+      break;
+    case LogField::Kind::kDouble:
+      append_num(out, f.num);
+      break;
+    case LogField::Kind::kInt:
+      out += std::to_string(f.int_num);
+      break;
+    case LogField::Kind::kUInt:
+      out += std::to_string(f.uint_num);
+      break;
+    case LogField::Kind::kBool:
+      out += f.flag ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+void append_json_escaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+StructuredLog::StructuredLog(LogRateLimit limits) : limits_(limits) {}
+
+void StructuredLog::new_window() {
+  window_counts_.clear();
+  window_total_ = 0;
+}
+
+void StructuredLog::reset() {
+  new_window();
+  dropped_ = 0;
+  emitted_ = 0;
+}
+
+bool StructuredLog::log(LogLevel level, std::string_view component,
+                        std::string_view event, double sim_time_s,
+                        std::initializer_list<LogField> fields) {
+  // Master switch first: compiled out (constant false) or runtime-off,
+  // the sink records nothing — not even rate-limit accounting, so the
+  // disabled configuration has zero state drift.
+  if (!hooks_enabled()) return false;
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return false;
+
+  // Deterministic rate limiting: budgets per (component, event) key and
+  // per window, advanced only by explicit new_window() calls.
+  if (limits_.total_per_window > 0 && window_total_ >= limits_.total_per_window) {
+    ++dropped_;
+    obs::counter("obs.log.dropped_records").add(1);
+    return false;
+  }
+  if (limits_.per_key_per_window > 0) {
+    std::string key(component);
+    key.push_back('\x1f');
+    key.append(event);
+    std::size_t& used = window_counts_[std::move(key)];
+    if (used >= limits_.per_key_per_window) {
+      ++dropped_;
+      obs::counter("obs.log.dropped_records").add(1);
+      return false;
+    }
+    ++used;
+  }
+  ++window_total_;
+
+  if (sink_ == nullptr) return false;
+
+  std::string line;
+  line.reserve(128);
+  line += "{\"lvl\":\"";
+  line += log_level_name(level);
+  line += "\",\"comp\":\"";
+  append_json_escaped(line, component);
+  line += "\",\"event\":\"";
+  append_json_escaped(line, event);
+  line.push_back('"');
+  if (sim_time_s >= 0.0) {
+    line += ",\"t_s\":";
+    append_num(line, sim_time_s);
+  }
+  if (wall_clock_) {
+    line += ",\"wall_ns\":";
+    line += std::to_string(trace_now_ns());
+  }
+  for (const LogField& f : fields) {
+    line += ",\"";
+    append_json_escaped(line, f.key);
+    line += "\":";
+    append_field_value(line, f);
+  }
+  line += "}\n";
+  *sink_ << line;
+  ++emitted_;
+  obs::counter("obs.log.records").add(1);
+  return true;
+}
+
+StructuredLog& structured_log() {
+  static StructuredLog instance;
+  return instance;
+}
+
+}  // namespace rfidsim::obs

@@ -10,14 +10,14 @@
 
 namespace rfidsim::obs {
 
-namespace {
-
-std::uint64_t now_ns() {
+std::uint64_t trace_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+namespace {
 
 /// One thread's span ring. The writer thread and exporters synchronise on
 /// the ring's own mutex; uncontended in steady state (exports are rare).
@@ -86,12 +86,12 @@ TraceSpan::TraceSpan(const char* name) : name_(name) {
   if (!trace_hooks_enabled()) return;
   active_ = true;
   depth_ = t_depth++;
-  start_ns_ = now_ns();
+  start_ns_ = trace_now_ns();
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
-  const std::uint64_t end = now_ns();
+  const std::uint64_t end = trace_now_ns();
   --t_depth;
   ThreadRing& ring = thread_ring();
   ring.push(TraceEvent{.name = name_,

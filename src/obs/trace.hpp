@@ -53,6 +53,11 @@ class TraceSpan {
 /// Events per thread ring; the newest events win once a ring wraps.
 inline constexpr std::size_t kTraceRingCapacity = 8192;
 
+/// The clock TraceSpan stamps spans with: steady_clock nanoseconds,
+/// process-relative. Shared with the structured log's opt-in wall_ns
+/// field so every wall-clock reading in an obs dump is on one timeline.
+std::uint64_t trace_now_ns();
+
 /// Chronological snapshot of every thread's ring (merged, sorted by start
 /// time). Safe to call while other threads keep recording.
 std::vector<TraceEvent> trace_snapshot();

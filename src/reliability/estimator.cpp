@@ -50,6 +50,12 @@ RepeatedRuns run_repeated_parallel(const Scenario& scenario, std::size_t repetit
                 ? sims[lane]->run_single_round(scenario.portal.start_time_s, rng)
                 : sims[lane]->run(rng);
       });
+  // Lane completion: fold each lane simulator's batched evaluator tallies
+  // into the registry now rather than at destruction, so registry dumps
+  // taken right after a sweep see the whole sweep.
+  for (const auto& sim : sims) {
+    if (sim) sim->flush_obs();
+  }
   return runs;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -36,6 +38,25 @@ PortalMetrics& portal_metrics() {
 }
 
 }  // namespace
+
+const PortalSimulator::ReaderHooks& PortalSimulator::reader_hooks(std::size_t r) {
+  if (reader_hooks_.empty()) {
+    reader_hooks_.reserve(readers_.size());
+    char label[24];
+    for (std::size_t i = 0; i < readers_.size(); ++i) {
+      std::snprintf(label, sizeof label, "r%zu", i);
+      reader_hooks_.push_back(ReaderHooks{
+          .rounds = &obs::counter("sys.portal.rounds", {{"reader", label}}),
+          .read_events = &obs::counter("sys.portal.read_events", {{"reader", label}}),
+          .crashes = &obs::counter("sys.portal.reader_crashes", {{"reader", label}}),
+          .jammed_rounds = &obs::counter("sys.portal.jammed_rounds", {{"reader", label}}),
+          .dead_antenna_rounds =
+              &obs::counter("sys.portal.dead_antenna_rounds", {{"reader", label}}),
+      });
+    }
+  }
+  return reader_hooks_[r];
+}
 
 PortalSimulator::PortalSimulator(const scene::Scene& scene, PortalConfig config)
     : scene_(scene),
@@ -170,6 +191,7 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
     if (obs::hooks_enabled()) {
       portal_metrics().crashes.add(1);
       portal_metrics().downtime_s.add(up - rt.clock_s);
+      reader_hooks(r).crashes->add(1);
     }
     rt.clock_s = up;
     rt.engine.reset_q();
@@ -204,10 +226,19 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
 
   if (obs::hooks_enabled()) {
     PortalMetrics& m = portal_metrics();
+    const ReaderHooks& rh = reader_hooks(r);
     m.rounds.add(1);
+    rh.rounds->add(1);
     m.read_events.add(round.singulated.size());
-    if (fault_schedule_.jamming_loss_db(t) > 0.0) m.jammed_rounds.add(1);
-    if (fault_schedule_.antenna_dead(antenna)) m.dead_antenna_rounds.add(1);
+    rh.read_events->add(round.singulated.size());
+    if (fault_schedule_.jamming_loss_db(t) > 0.0) {
+      m.jammed_rounds.add(1);
+      rh.jammed_rounds->add(1);
+    }
+    if (fault_schedule_.antenna_dead(antenna)) {
+      m.dead_antenna_rounds.add(1);
+      rh.dead_antenna_rounds->add(1);
+    }
   }
 
   ++stats_.rounds;
@@ -262,6 +293,28 @@ EventLog PortalSimulator::run(Rng& rng) {
   std::sort(log.begin(), log.end(),
             [](const ReadEvent& a, const ReadEvent& b) { return a.time_s < b.time_s; });
   return log;
+}
+
+obs::PassObservation PortalSimulator::pass_observation(const EventLog& log) const {
+  obs::PassObservation out;
+  out.window_begin_s = config_.start_time_s;
+  out.window_end_s = config_.end_time_s;
+  out.objects_total = tags_.size();
+  out.readers.resize(readers_.size());
+  for (std::size_t r = 0; r < readers_.size() && r < stats_.per_reader.size(); ++r) {
+    out.readers[r].rounds = stats_.per_reader[r].rounds;
+  }
+  std::unordered_set<scene::TagId> all;
+  std::vector<std::unordered_set<scene::TagId>> per_reader(readers_.size());
+  for (const ReadEvent& ev : log) {
+    all.insert(ev.tag);
+    if (ev.reader_index < per_reader.size()) per_reader[ev.reader_index].insert(ev.tag);
+  }
+  out.objects_identified = all.size();
+  for (std::size_t r = 0; r < per_reader.size(); ++r) {
+    out.readers[r].objects_seen = per_reader[r].size();
+  }
+  return out;
 }
 
 EventLog PortalSimulator::run_single_round(double t_s, Rng& rng) {

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "fault/schedule.hpp"
 #include "gen2/interference.hpp"
+#include "obs/monitor.hpp"
 #include "rf/propagation.hpp"
 #include "scene/path_evaluator.hpp"
 #include "scene/scene.hpp"
@@ -110,6 +111,19 @@ class PortalSimulator {
   /// assessment see which readers/antennas were actually down.
   const fault::FaultSchedule& fault_schedule() const { return fault_schedule_; }
 
+  /// Summarises the most recent run as one monitor observation: per-reader
+  /// rounds from stats(), per-reader and portal-wide distinct-tag counts
+  /// from `log` (pass it the log that run just returned). Feedback-free —
+  /// reads simulator state only — and independent of the obs switches, so
+  /// monitor detection stays available with hooks compiled out.
+  obs::PassObservation pass_observation(const EventLog& log) const;
+
+  /// Flushes batched observability tallies (the path evaluator's cache
+  /// counters) into the process-wide registry. The evaluator's destructor
+  /// does this too; sweep lanes that keep simulators alive call it at lane
+  /// completion so mid-sweep registry dumps are complete.
+  void flush_obs() const { evaluator_.flush_metrics(); }
+
  private:
   struct ReaderRuntime {
     ReaderConfig config;
@@ -147,6 +161,18 @@ class PortalSimulator {
   /// fresh per-pass tag offsets.
   void reset_pass_state(Rng& rng);
 
+  /// Per-reader labelled registry counters ({reader="rN"} children of the
+  /// sys.portal.* families). Resolved once per simulator on first use with
+  /// hooks enabled, so the round loop never takes the registry lock.
+  struct ReaderHooks {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* read_events = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* jammed_rounds = nullptr;
+    obs::Counter* dead_antenna_rounds = nullptr;
+  };
+  const ReaderHooks& reader_hooks(std::size_t r);
+
   const scene::Scene& scene_;
   PortalConfig config_;
   scene::PathEvaluator evaluator_;
@@ -156,6 +182,7 @@ class PortalSimulator {
   std::vector<double> pass_offset_db_;            ///< Per-tag, per-run.
   fault::FaultSchedule fault_schedule_;           ///< Sampled per run.
   PortalRunStats stats_;
+  std::vector<ReaderHooks> reader_hooks_;         ///< Lazy; see reader_hooks().
 };
 
 }  // namespace rfidsim::sys

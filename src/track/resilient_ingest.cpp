@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -173,6 +174,32 @@ IngestReport ResilientIngest::ingest_csv(const std::string& csv,
                                          double window_end_s) const {
   std::istringstream in(csv);
   return ingest_csv(in, window_begin_s, window_end_s);
+}
+
+obs::PassObservation monitor_observation(const IngestReport& report,
+                                         std::size_t reader_count,
+                                         std::size_t objects_total,
+                                         double window_begin_s, double window_end_s) {
+  obs::PassObservation out;
+  out.window_begin_s = window_begin_s;
+  out.window_end_s = window_end_s;
+  out.objects_total = objects_total;
+  out.readers.resize(reader_count);
+  std::set<std::uint64_t> all;
+  std::vector<std::set<std::uint64_t>> per_reader(reader_count);
+  for (const sys::ReadEvent& ev : report.events) {
+    all.insert(ev.tag.value);
+    if (ev.reader_index < reader_count) {
+      per_reader[ev.reader_index].insert(ev.tag.value);
+      ++out.readers[ev.reader_index].rounds;
+    }
+  }
+  out.objects_identified = std::min<std::uint64_t>(all.size(), objects_total);
+  for (std::size_t r = 0; r < reader_count; ++r) {
+    out.readers[r].objects_seen =
+        std::min<std::uint64_t>(per_reader[r].size(), objects_total);
+  }
+  return out;
 }
 
 }  // namespace rfidsim::track

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/monitor.hpp"
 #include "system/event_io.hpp"
 #include "system/events.hpp"
 #include "track/registry.hpp"
@@ -103,5 +104,20 @@ class ResilientIngest {
  private:
   IngestConfig config_;
 };
+
+/// Summarises one ingested pass as a monitor observation, built purely
+/// from what survived the middleware — the production-side counterpart of
+/// sys::PortalSimulator::pass_observation (which reads ground truth).
+/// Per-reader "rounds" are accepted-event counts: the ingest stage cannot
+/// see inventory rounds, but relative event volume carries the same
+/// degradation signal (a reader whose stream collapses against its peers
+/// drifts, one that goes silent reports zero and trips the silence alert).
+/// `objects_total` is the expected distinct-tag count for the window
+/// (manifest or registry size); seen/identified counts are clamped to it.
+/// Feedback-free: reads the report only.
+obs::PassObservation monitor_observation(const IngestReport& report,
+                                         std::size_t reader_count,
+                                         std::size_t objects_total,
+                                         double window_begin_s, double window_end_s);
 
 }  // namespace rfidsim::track

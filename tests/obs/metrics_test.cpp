@@ -211,6 +211,9 @@ TEST(MetricsRegistryTest, ExpositionGolden) {
       "rfidsim_gen2_round_duration_seconds_bucket{le=\"+Inf\"} 4\n"
       "rfidsim_gen2_round_duration_seconds_sum 5.0405\n"
       "rfidsim_gen2_round_duration_seconds_count 4\n"
+      "# rfidsim_gen2_round_duration_seconds{quantile=\"0.5\"} 0.0316227766\n"
+      "# rfidsim_gen2_round_duration_seconds{quantile=\"0.95\"} 0.1\n"
+      "# rfidsim_gen2_round_duration_seconds{quantile=\"0.99\"} 0.1\n"
       "# TYPE rfidsim_gen2_rounds counter\n"
       "rfidsim_gen2_rounds 3\n"
       "# TYPE rfidsim_sweep_pool_queue_depth gauge\n"
@@ -219,6 +222,120 @@ TEST(MetricsRegistryTest, ExpositionGolden) {
   std::ostringstream out;
   reg.write_exposition(out);
   EXPECT_EQ(out.str(), expected);
+}
+
+// Golden hexfloat pins for the log-bucket quantile interpolation: a rank
+// fraction f inside a bucket maps to lo * (hi/lo)^f. The chosen loads
+// make the interpolants mathematically exact powers of 2 and 4^(3/4), so
+// any change to the interpolation (linear instead of geometric, different
+// lower edge for bucket 0, off-by-one ranks) breaks bit-exactly.
+TEST(HistogramQuantileTest, LogBucketInterpolationGolden) {
+  Histogram h({.first_upper_bound = 1e-3, .growth = 4.0, .buckets = 8});
+  // 20 obs in (0.001, 0.004], 60 in (0.004, 0.016], 20 in (0.016, 0.064].
+  for (int i = 0; i < 100; ++i) h.observe(0.002 * (1 + i % 10));
+  EXPECT_EQ(h.quantile(0.5), 0x1.0624dd2f1a9fcp-7);    // 0.004 * 4^0.5 = 0.008.
+  EXPECT_EQ(h.quantile(0.95), 0x1.72ba43fff3718p-5);   // 0.016 * 4^0.75.
+  EXPECT_EQ(h.quantile(0.99), 0x1.e92d917a58c5cp-5);   // 0.016 * 4^0.9.
+}
+
+TEST(HistogramQuantileTest, BracketBucketEdgesAndEmpty) {
+  Histogram one({.first_upper_bound = 1.0, .growth = 4.0, .buckets = 4});
+  one.observe(2.0);
+  one.observe(3.0);
+  // Both obs sit in bucket 1 (1, 4]: rank fraction 0.25 -> 1 * 4^0.25.
+  EXPECT_EQ(one.quantile(0.25), 0x1.6a09e667f3bcdp+0);  // sqrt(2).
+  EXPECT_EQ(one.quantile(0.0), 1.0);   // Lower edge of the bracketing bucket.
+  EXPECT_EQ(one.quantile(1.0), 4.0);   // Upper edge.
+
+  const Histogram empty({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 3});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_THROW(one.quantile(-0.01), ConfigError);
+  EXPECT_THROW(one.quantile(1.01), ConfigError);
+}
+
+TEST(HistogramQuantileTest, OverflowMassClampsToLastFiniteEdge) {
+  Histogram h({.first_upper_bound = 1.0, .growth = 2.0, .buckets = 3});  // 1, 2, 4.
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_EQ(h.quantile(0.5), 4.0);
+  EXPECT_EQ(h.quantile(0.99), 4.0);
+}
+
+TEST(LabelTest, EscapeLabelValueHandlesBackslashQuoteNewline) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(LabelTest, SameLabelsReturnSameHandleRegardlessOfOrder) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("portal.reader_rounds", {{"reader", "0"}, {"site", "x"}});
+  Counter& b = reg.counter("portal.reader_rounds", {{"site", "x"}, {"reader", "0"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("portal.reader_rounds", {{"reader", "1"}, {"site", "x"}});
+  EXPECT_NE(&a, &other);
+  // The plain (unlabelled) metric of the family is yet another child.
+  Counter& plain = reg.counter("portal.reader_rounds");
+  EXPECT_NE(&plain, &a);
+  EXPECT_EQ(&plain, &reg.counter("portal.reader_rounds"));
+}
+
+TEST(LabelTest, KindMustAgreeAcrossTheWholeFamily) {
+  MetricsRegistry reg;
+  reg.counter("layer.signal", {{"reader", "0"}});
+  EXPECT_THROW(reg.gauge("layer.signal"), ConfigError);
+  EXPECT_THROW(reg.gauge("layer.signal", {{"reader", "1"}}), ConfigError);
+  EXPECT_THROW(reg.histogram("layer.signal", {{"reader", "0"}}), ConfigError);
+  // A *different* family whose name shares a prefix is unaffected.
+  reg.gauge("layer.signal_level");
+  reg.gauge("layer.sig");
+}
+
+TEST(LabelTest, DuplicateLabelKeysThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("x", {{"k", "1"}, {"k", "2"}}), ConfigError);
+  EXPECT_THROW(reg.counter("x", {{"", "1"}}), ConfigError);
+}
+
+// Labelled exposition golden: one # TYPE line per family, children
+// sorted by label set right after the plain sample, escaped values, and
+// histogram children splicing `le` after their labels.
+TEST(LabelTest, ExpositionGroupsFamiliesAndEscapesValues) {
+  MetricsRegistry reg;
+  reg.counter("sys.portal.reader_rounds", {{"reader", "0"}}).add(10);
+  reg.counter("sys.portal.reader_rounds", {{"reader", "1"}}).add(20);
+  reg.counter("sys.portal.rounds").add(30);
+  reg.gauge("obs.rate", {{"stream", "a\"b\\c\nd"}}).set(0.5);
+  Histogram& h = reg.histogram("obs.lat", {{"reader", "0"}},
+                               {.first_upper_bound = 1.0, .growth = 2.0, .buckets = 2});
+  h.observe(1.5);
+  const std::string expected =
+      "# TYPE rfidsim_obs_lat histogram\n"
+      "rfidsim_obs_lat_bucket{reader=\"0\",le=\"1\"} 0\n"
+      "rfidsim_obs_lat_bucket{reader=\"0\",le=\"2\"} 1\n"
+      "rfidsim_obs_lat_bucket{reader=\"0\",le=\"+Inf\"} 1\n"
+      "rfidsim_obs_lat_sum{reader=\"0\"} 1.5\n"
+      "rfidsim_obs_lat_count{reader=\"0\"} 1\n"
+      "# rfidsim_obs_lat{reader=\"0\",quantile=\"0.5\"} 1.41421356\n"
+      "# rfidsim_obs_lat{reader=\"0\",quantile=\"0.95\"} 1.93187266\n"
+      "# rfidsim_obs_lat{reader=\"0\",quantile=\"0.99\"} 1.98618499\n"
+      "# TYPE rfidsim_obs_rate gauge\n"
+      "rfidsim_obs_rate{stream=\"a\\\"b\\\\c\\nd\"} 0.5\n"
+      "# TYPE rfidsim_sys_portal_reader_rounds counter\n"
+      "rfidsim_sys_portal_reader_rounds{reader=\"0\"} 10\n"
+      "rfidsim_sys_portal_reader_rounds{reader=\"1\"} 20\n"
+      "# TYPE rfidsim_sys_portal_rounds counter\n"
+      "rfidsim_sys_portal_rounds 30\n";
+  EXPECT_EQ(reg.exposition(), expected);
+}
+
+TEST(LabelTest, GlobalShorthandsResolveLabelledChildren) {
+  Counter& c = counter("obs_test.labelled", {{"k", "v"}});
+  EXPECT_EQ(&c, &registry().counter("obs_test.labelled", {{"k", "v"}}));
+  Gauge& g = gauge("obs_test.labelled_gauge", {{"k", "v"}});
+  EXPECT_EQ(&g, &registry().gauge("obs_test.labelled_gauge", {{"k", "v"}}));
 }
 
 TEST(EnvModeTest, ParsesTheDocumentedValues) {

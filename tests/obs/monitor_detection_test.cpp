@@ -1,0 +1,119 @@
+// End-to-end detection behaviour of the reliability monitor against the
+// real portal simulator: no false alarms over fault-free pass streams,
+// and a pinned detection latency under the PR-1 reader crash/restart
+// schedule. The monitor's detection path is plain arithmetic outside the
+// obs hook gates, so every test here passes unchanged with
+// -DRFIDSIM_OBS=OFF — that invariance is itself part of the contract
+// (see monitor.hpp, Determinism).
+#include "obs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/schedule.hpp"
+#include "reliability/scenarios.hpp"
+#include "system/portal.hpp"
+
+namespace rfidsim::obs {
+namespace {
+
+// The bench seed (DSN 2007): the latency golden below must match the
+// numbers ablation_infrastructure_faults section [9] prints.
+constexpr std::uint64_t kSeed = 20070625;
+
+reliability::Scenario monitor_scenario(double reader_mtbf_s, double reader_mttr_s) {
+  reliability::ObjectScenarioOptions opt;
+  opt.tag_faces = {scene::BoxFace::Front, scene::BoxFace::SideNear};
+  opt.portal.antenna_count = 2;
+  opt.portal.reader_count = 2;
+  reliability::Scenario sc = reliability::make_object_tracking_scenario(
+      opt, reliability::CalibrationProfile::paper2006());
+  if (reader_mtbf_s > 0.0) {
+    sc.portal.faults.reader.mtbf_s = reader_mtbf_s;
+    sc.portal.faults.reader.mttr_s = reader_mttr_s;
+  }
+  return sc;
+}
+
+// With healthy infrastructure the monitor must never speak: estimator
+// noise across 100 independently seeded sweeps of the real simulator
+// stays inside the drift thresholds and the divergence margin.
+TEST(MonitorDetectionTest, FaultFreeSweepsRaiseNoAlertsAcrossOneHundredSeeds) {
+  const reliability::Scenario sc = monitor_scenario(0.0, 0.0);
+  sys::PortalSimulator sim(sc.scene, sc.portal);
+  ReliabilityMonitor monitor;
+
+  const Rng root(kSeed);
+  constexpr std::size_t kSweeps = 100;
+  for (std::size_t pass = 0; pass < kSweeps; ++pass) {
+    Rng rng = root.fork(pass);
+    const sys::EventLog log = sim.run(rng);
+    monitor.observe_pass(sim.pass_observation(log));
+  }
+
+  EXPECT_EQ(monitor.passes(), kSweeps);
+  EXPECT_TRUE(monitor.alerts().empty())
+      << monitor.alerts().size() << " alert(s) on a fault-free stream; first: "
+      << alert_type_name(monitor.alerts().front().type) << " at pass "
+      << monitor.alerts().front().pass;
+  // The independence model must also agree with observation when its
+  // assumptions hold — fault-free passes are exactly that regime.
+  EXPECT_NEAR(monitor.predicted_rc(), monitor.observed_rc(), 0.25);
+}
+
+// The ablation_infrastructure_faults section [9] run, pinned: 12 healthy
+// passes, then the heavy crash/restart schedule (MTBF 1.5 s, MTTR 2 s)
+// switches on. Both readers fault on the first degraded pass and the
+// CUSUM over round deficits must fire a reader_degraded alert for each
+// within a bounded, byte-stable number of passes.
+TEST(MonitorDetectionTest, ReaderCrashScheduleDetectionLatencyGolden) {
+  const reliability::Scenario healthy = monitor_scenario(0.0, 0.0);
+  const reliability::Scenario faulted = monitor_scenario(1.5, 2.0);
+  constexpr std::size_t kHealthyPasses = 12;
+  constexpr std::size_t kTotalPasses = 28;
+  const std::size_t reader_count = healthy.portal.readers.size();
+  ASSERT_EQ(reader_count, 2u);
+
+  sys::PortalSimulator sim_ok(healthy.scene, healthy.portal);
+  sys::PortalSimulator sim_bad(faulted.scene, faulted.portal);
+  ReliabilityMonitor monitor;
+
+  std::vector<std::size_t> onset_pass(reader_count, kTotalPasses);
+  std::size_t healthy_alerts = 0;
+  const Rng root(kSeed);
+  for (std::size_t pass = 0; pass < kTotalPasses; ++pass) {
+    const bool fault_phase = pass >= kHealthyPasses;
+    sys::PortalSimulator& sim = fault_phase ? sim_bad : sim_ok;
+    Rng rng = root.fork(pass);
+    const sys::EventLog log = sim.run(rng);
+    if (fault_phase) {
+      for (std::size_t r = 0; r < reader_count; ++r) {
+        if (sim.fault_schedule().reader_downtime_s(r) > 0.0 &&
+            onset_pass[r] == kTotalPasses) {
+          onset_pass[r] = pass;
+        }
+      }
+    }
+    monitor.observe_pass(sim.pass_observation(log));
+    if (!fault_phase) healthy_alerts = monitor.alerts().size();
+  }
+
+  EXPECT_EQ(healthy_alerts, 0u) << "alert fired during the fault-free phase";
+  for (std::size_t r = 0; r < reader_count; ++r) {
+    SCOPED_TRACE("reader " + std::to_string(r));
+    // This schedule faults both readers on the very first degraded pass.
+    ASSERT_EQ(onset_pass[r], kHealthyPasses);
+    const Alert* alert =
+        monitor.first_alert(AlertType::kReaderDegraded, static_cast<int>(r));
+    ASSERT_NE(alert, nullptr) << "fault never detected";
+    EXPECT_EQ(alert->detector, "cusum");
+    // The golden latency: six passes from onset, matching the ablation's
+    // section [9] table. A drift here means the detectors, the deficit
+    // signal, or the simulator's fault sampling changed.
+    EXPECT_EQ(alert->pass, 18u);
+    EXPECT_GT(alert->value, monitor.config().cusum.threshold);
+  }
+}
+
+}  // namespace
+}  // namespace rfidsim::obs

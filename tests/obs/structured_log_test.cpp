@@ -1,0 +1,180 @@
+#include "obs/structured_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rfidsim::obs {
+namespace {
+
+/// With -DRFIDSIM_OBS=OFF the sink's master switch is a constant false:
+/// the same tests then assert that nothing ever reaches the stream.
+#ifdef RFIDSIM_OBS_DISABLED
+constexpr bool kHooksLive = false;
+#else
+constexpr bool kHooksLive = true;
+#endif
+
+class StructuredLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(saved_); }
+
+  bool saved_ = false;
+};
+
+TEST_F(StructuredLogTest, EmitsOneJsonObjectPerLineWithFieldsInOrder) {
+  std::ostringstream out;
+  StructuredLog log;
+  log.set_sink(&out);
+  const bool wrote =
+      log.log(LogLevel::kWarn, "obs.monitor", "reader_degraded", 2.25,
+              {{"reader", 1}, {"cusum", 0.75}, {"degraded", true}, {"why", "miss"}});
+  EXPECT_EQ(wrote, kHooksLive);
+  if (kHooksLive) {
+    EXPECT_EQ(out.str(),
+              "{\"lvl\":\"warn\",\"comp\":\"obs.monitor\","
+              "\"event\":\"reader_degraded\",\"t_s\":2.25,"
+              "\"reader\":1,\"cusum\":0.75,\"degraded\":true,\"why\":\"miss\"}\n");
+    EXPECT_EQ(log.emitted(), 1u);
+  } else {
+    EXPECT_TRUE(out.str().empty());
+    EXPECT_EQ(log.emitted(), 0u);
+  }
+}
+
+TEST_F(StructuredLogTest, OmitsSimTimeWhenNegativeAndEscapesStrings) {
+  std::ostringstream out;
+  StructuredLog log;
+  log.set_sink(&out);
+  log.log(LogLevel::kInfo, "bench", "note", -1.0, {{"msg", "a\"b\\c\nd\te"}});
+  if (kHooksLive) {
+    EXPECT_EQ(out.str(),
+              "{\"lvl\":\"info\",\"comp\":\"bench\",\"event\":\"note\","
+              "\"msg\":\"a\\\"b\\\\c\\nd\\te\"}\n");
+  } else {
+    EXPECT_TRUE(out.str().empty());
+  }
+}
+
+TEST_F(StructuredLogTest, AppendJsonEscapedHandlesControlCharacters) {
+  std::string out;
+  append_json_escaped(out, std::string_view("\x01\x1f ok", 5));
+  EXPECT_EQ(out, "\\u0001\\u001f ok");
+}
+
+TEST_F(StructuredLogTest, LevelFilterDropsSilentlyWithoutRateAccounting) {
+  std::ostringstream out;
+  StructuredLog log;
+  log.set_sink(&out);
+  log.set_min_level(LogLevel::kWarn);
+  EXPECT_FALSE(log.log(LogLevel::kDebug, "c", "e", 0.0));
+  EXPECT_FALSE(log.log(LogLevel::kInfo, "c", "e", 0.0));
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_EQ(log.dropped(), 0u);  // Level filtering is not rate limiting.
+  EXPECT_EQ(log.log(LogLevel::kError, "c", "e", 0.0), kHooksLive);
+}
+
+TEST_F(StructuredLogTest, PerKeyBudgetRefillsOnNewWindow) {
+  std::ostringstream out;
+  StructuredLog log({.per_key_per_window = 2, .total_per_window = 0});
+  log.set_sink(&out);
+  EXPECT_EQ(log.log(LogLevel::kInfo, "c", "a", 0.0), kHooksLive);
+  EXPECT_EQ(log.log(LogLevel::kInfo, "c", "a", 0.0), kHooksLive);
+  EXPECT_FALSE(log.log(LogLevel::kInfo, "c", "a", 0.0));  // Over budget.
+  // A different (component, event) key has its own budget.
+  EXPECT_EQ(log.log(LogLevel::kInfo, "c", "b", 0.0), kHooksLive);
+  EXPECT_EQ(log.dropped(), kHooksLive ? 1u : 0u);
+  log.new_window();
+  EXPECT_EQ(log.log(LogLevel::kInfo, "c", "a", 0.0), kHooksLive);
+  EXPECT_EQ(log.emitted(), kHooksLive ? 4u : 0u);
+}
+
+TEST_F(StructuredLogTest, TotalBudgetCapsTheWholeWindow) {
+  std::ostringstream out;
+  StructuredLog log({.per_key_per_window = 0, .total_per_window = 3});
+  log.set_sink(&out);
+  for (int i = 0; i < 5; ++i) log.log(LogLevel::kInfo, "c", "e", 0.0);
+  EXPECT_EQ(log.emitted(), kHooksLive ? 3u : 0u);
+  EXPECT_EQ(log.dropped(), kHooksLive ? 2u : 0u);
+}
+
+TEST_F(StructuredLogTest, DropsAreMirroredIntoTheRegistry) {
+  Counter& dropped = counter("obs.log.dropped_records");
+  const std::uint64_t before = dropped.value();
+  StructuredLog log({.per_key_per_window = 1, .total_per_window = 0});
+  std::ostringstream out;
+  log.set_sink(&out);
+  log.log(LogLevel::kInfo, "c", "e", 0.0);
+  log.log(LogLevel::kInfo, "c", "e", 0.0);
+  EXPECT_EQ(dropped.value() - before, kHooksLive ? 1u : 0u);
+}
+
+TEST_F(StructuredLogTest, RuntimeDisableSilencesEverything) {
+  set_enabled(false);
+  std::ostringstream out;
+  StructuredLog log;
+  log.set_sink(&out);
+  EXPECT_FALSE(log.log(LogLevel::kError, "c", "e", 0.0));
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(StructuredLogTest, NullSinkStillAccountsRateBudget) {
+  StructuredLog log({.per_key_per_window = 1, .total_per_window = 0});
+  EXPECT_FALSE(log.log(LogLevel::kInfo, "c", "e", 0.0));  // No sink: not emitted.
+  EXPECT_FALSE(log.log(LogLevel::kInfo, "c", "e", 0.0));  // Now over budget too.
+  EXPECT_EQ(log.dropped(), kHooksLive ? 1u : 0u);
+}
+
+TEST_F(StructuredLogTest, ResetClearsTallies) {
+  StructuredLog log({.per_key_per_window = 1, .total_per_window = 0});
+  std::ostringstream out;
+  log.set_sink(&out);
+  log.log(LogLevel::kInfo, "c", "e", 0.0);
+  log.log(LogLevel::kInfo, "c", "e", 0.0);
+  log.reset();
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_EQ(log.log(LogLevel::kInfo, "c", "e", 0.0), kHooksLive);
+}
+
+TEST_F(StructuredLogTest, WallClockFieldIsOptInAndMonotoneWithTraceClock) {
+  std::ostringstream out;
+  StructuredLog log;
+  log.set_sink(&out);
+  log.set_wall_clock(true);
+  const std::uint64_t before = trace_now_ns();
+  log.log(LogLevel::kInfo, "c", "e", 1.0);
+  const std::uint64_t after = trace_now_ns();
+  if (kHooksLive) {
+    const std::string line = out.str();
+    const auto pos = line.find("\"wall_ns\":");
+    ASSERT_NE(pos, std::string::npos);
+    const std::uint64_t stamp = std::stoull(line.substr(pos + 10));
+    EXPECT_GE(stamp, before);
+    EXPECT_LE(stamp, after);
+  }
+}
+
+TEST_F(StructuredLogTest, ProcessWideInstanceIsSingleton) {
+  EXPECT_EQ(&structured_log(), &structured_log());
+}
+
+TEST(LogLevelTest, NamesAreLowerCase) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace rfidsim::obs
