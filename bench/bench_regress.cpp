@@ -217,7 +217,8 @@ bool load_record(const std::string& path, BenchRecord& out) {
                  path.c_str());
     return false;
   }
-  for (const char* key : {"sweep_matches_serial", "obs_matches_disabled"}) {
+  for (const char* key :
+       {"sweep_matches_serial", "obs_matches_disabled", "fleet_digest_matches"}) {
     if (const JsonValue* v = root.find(key);
         v != nullptr && v->kind == JsonValue::Kind::kBool) {
       out.verdicts.emplace_back(key, v->boolean);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -60,6 +61,10 @@ inline void print_table(const TextTable& table) {
 ///                          writes there for the whole bench run).
 ///   --obs-off              Run with observability disabled (overhead/
 ///                          differential experiments).
+///   --threads <n>          Worker-thread request for benches with a
+///                          parallel path (0 = the shared sweep engine's
+///                          default). Benches read it via threads().
+///   --seed <u64>           Scenario seed override; defaults to kSeed.
 /// Remaining arguments are left for the bench in positional().
 class Session {
  public:
@@ -73,6 +78,20 @@ class Session {
         }
         out = argv[++i];
       };
+      auto take_number = [&](const char* what) -> std::uint64_t {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "bench: %s needs a %s argument\n", arg.c_str(), what);
+          std::exit(2);
+        }
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+        if (end == argv[i] || *end != '\0') {
+          std::fprintf(stderr, "bench: %s: '%s' is not a valid %s\n", arg.c_str(),
+                       argv[i], what);
+          std::exit(2);
+        }
+        return static_cast<std::uint64_t>(v);
+      };
       if (arg == "--metrics-dump") {
         take_value(metrics_path_);
       } else if (arg == "--trace-dump") {
@@ -82,6 +101,10 @@ class Session {
         take_value(log_path_);
       } else if (arg == "--obs-off") {
         obs::set_enabled(false);
+      } else if (arg == "--threads") {
+        threads_ = static_cast<std::size_t>(take_number("thread count"));
+      } else if (arg == "--seed") {
+        seed_ = take_number("seed");
       } else {
         positional_.push_back(arg);
       }
@@ -116,8 +139,14 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   const std::vector<std::string>& positional() const { return positional_; }
+  /// --threads value; 0 (default) = borrow the shared sweep engine.
+  std::size_t threads() const { return threads_; }
+  /// --seed value; kSeed unless overridden.
+  std::uint64_t seed() const { return seed_; }
 
  private:
+  std::size_t threads_ = 0;
+  std::uint64_t seed_ = kSeed;
   std::string metrics_path_;
   std::string trace_path_;
   std::string log_path_;

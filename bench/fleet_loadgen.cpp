@@ -1,0 +1,349 @@
+// fleet_loadgen — million-event load generator for the fleet store
+// (BENCH_FLEET.json).
+//
+// Drives >= 1M synthetic read events from four facilities through
+// fleet::TrackingStore under increasing thread counts, with obs on and
+// off, and with the batch arrival order reversed — and requires every
+// configuration to produce the bit-identical store digest and query
+// answers before any timing is trusted (the store's determinism contract,
+// enforced the same way perf_baseline enforces sweep_matches_serial).
+// The record lands in the same rfidsim-bench-v1 trajectory: bench_regress
+// gates BENCH_FLEET.json -> current run in CI.
+//
+// The event stream is generated directly (a pure function of --seed)
+// rather than through the portal simulator: the store is the unit under
+// test here, and this machine should spend its wall clock on ingest, not
+// on RF physics. Batches carry realistic transport damage — ~2% are
+// re-delivered whole (duplicates) and ~10% arrive after their pass window
+// (late timeline repairs) — so the timed path is the defended path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fleet/query.hpp"
+#include "fleet/store.hpp"
+#include "track/manifest.hpp"
+#include "track/registry.hpp"
+
+using namespace rfidsim;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Entry {
+  std::string name;
+  double wall_s = 0.0;
+  std::size_t cells = 0;
+  std::string baseline;
+  double speedup = 0.0;
+  std::string note;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const char* path, const std::vector<Entry>& entries,
+                bool fleet_digest_matches) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fleet_loadgen: cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"rfidsim-bench-v1\",\n");
+  std::fprintf(f, "  \"pr\": 5,\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"fleet_digest_matches\": %s,\n",
+               fleet_digest_matches ? "true" : "false");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"wall_s\": %.6f, \"cells\": %zu",
+                 json_escape(e.name).c_str(), e.wall_s, e.cells);
+    if (!e.baseline.empty()) {
+      std::fprintf(f, ", \"baseline\": \"%s\", \"speedup\": %.3f",
+                   json_escape(e.baseline).c_str(), e.speedup);
+    }
+    if (!e.note.empty()) std::fprintf(f, ", \"note\": \"%s\"", json_escape(e.note).c_str());
+    std::fprintf(f, "}%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// Workload shape: 4 facilities x 25 passes x 25 batches x 500 events
+// = 1,250,000 events over 20,000 tags (~62 sightings per timeline).
+constexpr std::uint32_t kFacilities = 4;
+constexpr std::size_t kPasses = 25;
+constexpr std::size_t kBatchesPerPass = 25;
+constexpr std::size_t kEventsPerBatch = 500;
+constexpr std::uint64_t kTagCount = 20000;
+constexpr double kPassWindowS = 10.0;
+
+/// Generates the full batch sequence — a pure function of `seed`. Each
+/// (facility, pass) gets a forked stream, so the content is independent
+/// of generation order.
+std::vector<fleet::FacilityBatch> generate_batches(std::uint64_t seed) {
+  std::vector<fleet::FacilityBatch> batches;
+  batches.reserve(kFacilities * kPasses * kBatchesPerPass + 64);
+  const Rng root(seed);
+  for (std::uint32_t facility = 0; facility < kFacilities; ++facility) {
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+      Rng rng = root.fork(facility * 1000 + pass);
+      const double begin_s = static_cast<double>(pass) * kPassWindowS;
+      for (std::size_t b = 0; b < kBatchesPerPass; ++b) {
+        fleet::FacilityBatch batch;
+        batch.facility = facility;
+        batch.events.reserve(kEventsPerBatch);
+        for (std::size_t e = 0; e < kEventsPerBatch; ++e) {
+          sys::ReadEvent ev;
+          ev.tag = scene::TagId{
+              static_cast<std::uint64_t>(rng.uniform_int(1, kTagCount))};
+          ev.time_s = begin_s + rng.uniform(0.0, kPassWindowS);
+          ev.reader_index = static_cast<std::size_t>(rng.uniform_int(0, 2));
+          ev.antenna_index = static_cast<std::size_t>(rng.uniform_int(0, 3));
+          batch.events.push_back(ev);
+        }
+        batch.sent_time_s = begin_s + kPassWindowS;
+        // ~10% of batches arrive after the window (retry backoff): their
+        // sightings repair timelines that later passes already extended.
+        batch.arrival_time_s = rng.bernoulli(0.1)
+                                   ? batch.sent_time_s + 2.0 * kPassWindowS
+                                   : batch.sent_time_s;
+        batches.push_back(std::move(batch));
+      }
+    }
+  }
+  // ~2% of batches are re-delivered whole at the end of the stream; the
+  // store must absorb them as pure duplicates.
+  const std::size_t original = batches.size();
+  for (std::size_t b = 0; b < original; b += 50) batches.push_back(batches[b]);
+  return batches;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+/// Digest over a deterministic sample of query answers: locate over every
+/// 37th tag at three probe times, plus one manifest reconciliation. Must
+/// be bit-identical across every store configuration.
+std::uint64_t query_digest(const fleet::TrackingStore& store,
+                           const track::ObjectRegistry& registry) {
+  fleet::QueryService query(store, registry);
+  fleet::FacilityModel model;
+  model.reader_read_rates = {0.8, 0.7, 0.6};
+  model.reader_live = {true, true, true};
+  for (std::uint32_t f = 0; f < kFacilities; ++f) query.set_facility_model(f, model);
+
+  std::uint64_t hash = kFnvOffset;
+  const double horizon = static_cast<double>(kPasses) * kPassWindowS;
+  for (std::uint64_t tag = 1; tag <= kTagCount; tag += 37) {
+    for (const double t : {horizon * 0.25, horizon * 0.5, horizon}) {
+      const fleet::LocateResult r = query.locate(scene::TagId{tag}, t);
+      hash = fnv1a(hash, r.found ? 1 : 0);
+      hash = fnv1a(hash, r.facility);
+      hash = fnv1a(hash, bits_of(r.time_s));
+      hash = fnv1a(hash, bits_of(r.confidence));
+    }
+  }
+  track::Manifest manifest;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    manifest.expected.insert(registry.objects()[i]);
+  }
+  const fleet::MissingReport report =
+      query.missing(manifest, 0, horizon - kPassWindowS, horizon);
+  hash = fnv1a(hash, report.present.size());
+  hash = fnv1a(hash, report.missed_reads.size());
+  hash = fnv1a(hash, report.absent.size());
+  hash = fnv1a(hash, report.unexpected.size());
+  for (const fleet::Reconciliation& item : report.items) {
+    hash = fnv1a(hash, item.object.value);
+    hash = fnv1a(hash, static_cast<std::uint64_t>(item.verdict));
+    hash = fnv1a(hash, bits_of(item.posterior_present));
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Session session(argc, argv);
+  const char* out_path = session.positional().empty()
+                             ? "BENCH_FLEET.json"
+                             : session.positional()[0].c_str();
+  bench::banner("fleet_loadgen - sharded store ingest + query determinism",
+                "Drives 1.25M events from 4 facilities through the fleet store\n"
+                "at several thread counts; digests must match bit for bit.");
+
+  const std::vector<fleet::FacilityBatch> batches = generate_batches(session.seed());
+  std::size_t total_events = 0;
+  for (const auto& b : batches) total_events += b.events.size();
+  std::printf("generated %zu batches, %zu events (seed %llu)\n\n", batches.size(),
+              total_events, static_cast<unsigned long long>(session.seed()));
+
+  track::ObjectRegistry registry;
+  for (std::uint64_t i = 1; i <= kTagCount; ++i) {
+    const track::ObjectId object = registry.add_object("obj-" + std::to_string(i));
+    registry.bind_tag(scene::TagId{i}, object);
+  }
+
+  std::vector<Entry> entries;
+  bool have_serial = false;
+  std::uint64_t serial_digest = 0;
+  std::uint64_t serial_query = 0;
+  bool fleet_digest_matches = true;
+  double serial_s = 0.0;
+
+  auto run_ingest = [&](const std::string& name, std::size_t threads,
+                        const std::string& note,
+                        const std::vector<fleet::FacilityBatch>& input) {
+    fleet::StoreConfig config;
+    config.threads = threads;
+    fleet::TrackingStore store(config);
+    const double wall = wall_seconds([&] { store.ingest(input); });
+    const std::uint64_t digest = store.digest();
+    const std::uint64_t qdigest = query_digest(store, registry);
+    if (!have_serial) {
+      have_serial = true;
+      serial_digest = digest;
+      serial_query = qdigest;
+      serial_s = wall;
+      entries.push_back({name, wall, total_events, "", 0.0, note});
+    } else {
+      fleet_digest_matches =
+          fleet_digest_matches && digest == serial_digest && qdigest == serial_query;
+      entries.push_back({name, wall, total_events, "fleet_ingest_serial",
+                         serial_s / wall, note});
+    }
+    std::printf("%-24s %.3fs  digest %016llx  queries %016llx\n", name.c_str(), wall,
+                static_cast<unsigned long long>(digest),
+                static_cast<unsigned long long>(qdigest));
+    return store.stats();
+  };
+
+  const fleet::StoreStats stats =
+      run_ingest("fleet_ingest_serial", 1, "1.25M events, 1 thread", batches);
+  run_ingest("fleet_ingest_2t", 2, "same batches, 2 threads", batches);
+  run_ingest("fleet_ingest_4t", 4, "same batches, 4 threads", batches);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw > 4) {
+    run_ingest("fleet_ingest_" + std::to_string(hw) + "t", hw,
+               "same batches, hardware concurrency", batches);
+  }
+  if (session.threads() > 0 && session.threads() != 1 && session.threads() != 2 &&
+      session.threads() != 4 && session.threads() != hw) {
+    run_ingest("fleet_ingest_" + std::to_string(session.threads()) + "t",
+               session.threads(), "same batches, --threads override", batches);
+  }
+
+  // Arrival-order invariance: the identical multiset of batches, reversed.
+  {
+    std::vector<fleet::FacilityBatch> reversed(batches.rbegin(), batches.rend());
+    run_ingest("fleet_ingest_reversed", 1, "same batches, arrival order reversed",
+               reversed);
+  }
+
+  // Obs differential: hooks off must change nothing but the wall clock.
+  {
+    const bool saved = obs::enabled();
+    obs::set_enabled(false);
+    run_ingest("fleet_ingest_obs_off", 1, "1 thread, observability disabled",
+               batches);
+    obs::set_enabled(saved);
+  }
+
+  // Query throughput on the serially-built store.
+  {
+    fleet::TrackingStore store;
+    store.ingest(batches);
+    fleet::QueryService query(store, registry);
+    fleet::FacilityModel model;
+    model.reader_read_rates = {0.8, 0.7, 0.6};
+    model.reader_live = {true, true, true};
+    for (std::uint32_t f = 0; f < kFacilities; ++f) query.set_facility_model(f, model);
+
+    constexpr std::size_t kLocates = 200000;
+    double sink = 0.0;
+    const double horizon = static_cast<double>(kPasses) * kPassWindowS;
+    const double locate_s = wall_seconds([&] {
+      for (std::size_t i = 0; i < kLocates; ++i) {
+        const std::uint64_t tag = 1 + (i * 7919) % kTagCount;
+        sink += query.locate(scene::TagId{tag}, horizon).time_s;
+      }
+    });
+    entries.push_back({"fleet_query_locate", locate_s, kLocates, "", 0.0,
+                       "point locate over 20k timelines"});
+
+    track::Manifest manifest;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      manifest.expected.insert(registry.objects()[i]);
+    }
+    constexpr std::size_t kRecons = 20;
+    std::size_t verdicts = 0;
+    const double missing_s = wall_seconds([&] {
+      for (std::size_t i = 0; i < kRecons; ++i) {
+        const fleet::MissingReport report = query.missing(
+            manifest, static_cast<fleet::FacilityId>(i % kFacilities),
+            horizon - kPassWindowS, horizon);
+        verdicts += report.items.size();
+      }
+    });
+    entries.push_back({"fleet_query_missing", missing_s, verdicts, "", 0.0,
+                       "2000-object manifest reconciliation x20"});
+    if (sink == 42.0) std::puts("");
+  }
+
+  std::printf("\nstore: %llu accepted, %llu duplicates, %llu repairs, "
+              "%llu late batches; digests %s\n\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.duplicates),
+              static_cast<unsigned long long>(stats.repairs),
+              static_cast<unsigned long long>(stats.late_batches),
+              fleet_digest_matches ? "IDENTICAL across all configurations"
+                                   : "MISMATCH (determinism contract broken, BUG)");
+
+  TextTable t({"benchmark", "wall (s)", "cells", "vs baseline"});
+  for (const Entry& e : entries) {
+    t.add_row({e.name, std::to_string(e.wall_s), std::to_string(e.cells),
+               e.baseline.empty() ? "-" : (std::to_string(e.speedup) + "x " + e.baseline)});
+  }
+  bench::print_table(t);
+
+  write_json(out_path, entries, fleet_digest_matches);
+  std::printf("\nwrote %s\n", out_path);
+  return fleet_digest_matches ? 0 : 1;
+}

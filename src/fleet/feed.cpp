@@ -1,0 +1,116 @@
+#include "fleet/feed.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rfidsim::fleet {
+
+namespace {
+
+/// Feed registry hooks: per-pass aggregates across all feeds.
+void record_feed_metrics(const FeedPassResult& result) {
+  static const struct Metrics {
+    obs::Counter& passes = obs::counter("fleet.feed.passes");
+    obs::Counter& batches = obs::counter("fleet.feed.batches");
+    obs::Counter& quarantined = obs::counter("fleet.feed.quarantined");
+    obs::Counter& late = obs::counter("fleet.feed.late_batches");
+    obs::Counter& lost = obs::counter("fleet.feed.lost_batches");
+  } m;
+  m.passes.add(1);
+  m.batches.add(result.batches.size());
+  m.quarantined.add(result.quarantined);
+  m.late.add(result.late_batches);
+  m.lost.add(result.lost_batches);
+}
+
+}  // namespace
+
+FacilityFeed::FacilityFeed(FeedConfig config)
+    : config_(std::move(config)),
+      uploader_(config_.uploader),
+      ingest_(config_.ingest),
+      monitor_(config_.monitor) {
+  require(config_.ingest.reader_count > 0,
+          "FacilityFeed: ingest.reader_count must be set (the monitor needs "
+          "the reader roster)");
+}
+
+FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
+                                          double window_begin_s,
+                                          double window_end_s, Rng& rng) {
+  const obs::TraceSpan span("fleet.feed.pass");
+  require(window_end_s >= window_begin_s, "FacilityFeed: inverted pass window");
+
+  FeedPassResult result;
+  const std::size_t batches_before = uploader_.stats().batches_lost;
+  std::vector<sys::DeliveredBatch> delivered = uploader_.upload_batches(raw, rng);
+  result.lost_batches = uploader_.stats().batches_lost - batches_before;
+
+  // Per-batch validation: the same record rules ingest() applies, so the
+  // store only ever sees plausible sightings. On-time batches additionally
+  // feed the pass-level union below.
+  sys::EventLog on_time;
+  for (sys::DeliveredBatch& db : delivered) {
+    FacilityBatch batch;
+    batch.facility = config_.facility;
+    batch.sent_time_s = db.sent_time_s;
+    batch.arrival_time_s = db.arrival_time_s;
+    batch.events.reserve(db.events.size());
+    for (const sys::ReadEvent& ev : db.events) {
+      if (!track::validate_event(ev, config_.ingest, window_begin_s, window_end_s)) {
+        ++result.quarantined;
+        continue;
+      }
+      batch.events.push_back(ev);
+    }
+    if (batch.events.empty()) continue;
+    if (batch.arrival_time_s > window_end_s) {
+      ++result.late_batches;
+    } else {
+      on_time.insert(on_time.end(), batch.events.begin(), batch.events.end());
+    }
+    result.batches.push_back(std::move(batch));
+  }
+
+  // Pass-level union over what arrived in time: dedup and silence signals,
+  // then one monitor observation. A reader whose batches all slid past the
+  // window end looks silent here — deliberately: that is the latency
+  // degradation the confidence model must reflect.
+  result.report = ingest_.ingest(on_time, window_begin_s, window_end_s);
+  last_degraded_ = result.report.degraded_readers;
+  monitor_.observe_pass(track::monitor_observation(
+      result.report, config_.ingest.reader_count, config_.objects_total,
+      window_begin_s, window_end_s));
+
+  if (obs::hooks_enabled()) record_feed_metrics(result);
+  return result;
+}
+
+FeedPassResult FacilityFeed::ingest_pass(TrackingStore& store,
+                                         const sys::EventLog& raw,
+                                         double window_begin_s, double window_end_s,
+                                         Rng& rng) {
+  FeedPassResult result = process_pass(raw, window_begin_s, window_end_s, rng);
+  store.ingest(result.batches);
+  return result;
+}
+
+FacilityModel FacilityFeed::model() const {
+  FacilityModel model;
+  const std::size_t readers = config_.ingest.reader_count;
+  model.reader_read_rates.resize(readers, 0.0);
+  model.reader_live.assign(readers, true);
+  for (std::size_t r = 0; r < readers && r < monitor_.reader_count(); ++r) {
+    model.reader_read_rates[r] = monitor_.reader_read_rate(r);
+  }
+  for (const std::size_t r : last_degraded_) {
+    if (r < readers) model.reader_live[r] = false;
+  }
+  return model;
+}
+
+}  // namespace rfidsim::fleet

@@ -1,0 +1,102 @@
+// rfidsim::fleet — one facility's feed into the fleet store.
+//
+// Each simulated facility pushes its pass logs through the same production
+// path the single-portal stack models: the buffered uploader (batch loss,
+// retry backoff — sys::EventUploader) followed by resilient ingest
+// validation (track::validate_event / track::ResilientIngest). FacilityFeed
+// bundles that path per facility and splits its output two ways:
+//
+//   Batches -> store   Every delivered batch is validated record by record
+//                      and forwarded with its flush and arrival times as a
+//                      FacilityBatch. *All* delivered batches reach the
+//                      store, however late: the store's sorted-idempotent
+//                      insert repairs timelines retroactively, which is the
+//                      whole point of keeping them.
+//   Pass -> monitor    The pass-level quality signals (transport dedup,
+//                      silence gaps, degraded readers) come from one union
+//                      ResilientIngest::ingest over the batches that
+//                      arrived *inside* the pass window. Batches whose
+//                      arrival slid past the window end — the uploader's
+//                      retry backoff made visible — are excluded: the
+//                      online monitor can only score what the backend had
+//                      when the pass closed. That is exactly how transport
+//                      latency degrades the live per-reader read rates
+//                      (and thus query confidence) without ever touching
+//                      the stored truth.
+//
+// model() snapshots the feed's current reliability view for the query
+// layer: the monitor's windowed per-reader read rates, with readers the
+// last pass declared silent masked out (degraded-mode masking as in
+// reliability::expected_reliability_grid_degraded).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/query.hpp"
+#include "fleet/store.hpp"
+#include "obs/monitor.hpp"
+#include "system/uploader.hpp"
+#include "track/resilient_ingest.hpp"
+
+namespace rfidsim::fleet {
+
+struct FeedConfig {
+  FacilityId facility = 0;
+  /// Expected distinct objects per pass window (manifest or registry
+  /// size); the monitor's read-rate denominator.
+  std::size_t objects_total = 0;
+  sys::UploaderConfig uploader;
+  track::IngestConfig ingest;
+  obs::MonitorConfig monitor;
+};
+
+/// Everything one pass produced on its way to the store.
+struct FeedPassResult {
+  /// Validated delivered batches, in delivery order — ready for
+  /// TrackingStore::ingest. Includes late arrivals.
+  std::vector<FacilityBatch> batches;
+  /// Pass-level union ingest over the on-time batches (dedup, silence
+  /// gaps, degraded readers — the monitor's view of the pass).
+  track::IngestReport report;
+  std::size_t quarantined = 0;   ///< Records rejected by per-batch validation.
+  std::size_t late_batches = 0;  ///< Delivered after the window closed.
+  std::size_t lost_batches = 0;  ///< Dropped by the upload hop entirely.
+};
+
+/// One facility's upload + validation + monitoring pipeline. Stateful:
+/// the uploader's stats, the ingest pipeline, and the reliability monitor
+/// persist across passes. Feed passes in time order from one thread.
+class FacilityFeed {
+ public:
+  explicit FacilityFeed(FeedConfig config);
+
+  /// Pushes one pass's raw reader log through the upload hop and
+  /// validation, folds the on-time result into the monitor, and returns
+  /// the store-ready batches. Deterministic given `rng`'s state.
+  FeedPassResult process_pass(const sys::EventLog& raw, double window_begin_s,
+                              double window_end_s, Rng& rng);
+
+  /// process_pass() plus TrackingStore::ingest of the batches.
+  FeedPassResult ingest_pass(TrackingStore& store, const sys::EventLog& raw,
+                             double window_begin_s, double window_end_s, Rng& rng);
+
+  /// Current reliability view for the query layer: monitor read rates with
+  /// last pass's silent readers masked dead.
+  FacilityModel model() const;
+
+  const obs::ReliabilityMonitor& monitor() const { return monitor_; }
+  obs::ReliabilityMonitor& monitor() { return monitor_; }
+  const sys::UploadStats& upload_stats() const { return uploader_.stats(); }
+  const FeedConfig& config() const { return config_; }
+
+ private:
+  FeedConfig config_;
+  sys::EventUploader uploader_;
+  track::ResilientIngest ingest_;
+  obs::ReliabilityMonitor monitor_;
+  std::vector<std::size_t> last_degraded_;  ///< Readers silent in last pass.
+};
+
+}  // namespace rfidsim::fleet

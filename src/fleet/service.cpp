@@ -1,0 +1,41 @@
+#include "fleet/service.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rfidsim::fleet {
+
+FleetService::FleetService(const track::ObjectRegistry& registry,
+                           StoreConfig store_config, QueryConfig query_config)
+    : registry_(registry),
+      store_(store_config),
+      query_(store_, registry_, query_config) {}
+
+FacilityId FleetService::add_facility(FeedConfig config) {
+  const FacilityId id = static_cast<FacilityId>(feeds_.size());
+  config.facility = id;
+  feeds_.push_back(std::make_unique<FacilityFeed>(std::move(config)));
+  return id;
+}
+
+FacilityFeed& FleetService::feed(FacilityId facility) {
+  require(facility < feeds_.size(), "FleetService: unknown facility");
+  return *feeds_[facility];
+}
+
+const FacilityFeed& FleetService::feed(FacilityId facility) const {
+  require(facility < feeds_.size(), "FleetService: unknown facility");
+  return *feeds_[facility];
+}
+
+FeedPassResult FleetService::ingest_pass(FacilityId facility, const sys::EventLog& raw,
+                                         double window_begin_s, double window_end_s,
+                                         Rng& rng) {
+  FacilityFeed& f = feed(facility);
+  FeedPassResult result = f.ingest_pass(store_, raw, window_begin_s, window_end_s, rng);
+  query_.set_facility_model(facility, f.model());
+  return result;
+}
+
+}  // namespace rfidsim::fleet

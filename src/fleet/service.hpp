@@ -1,0 +1,58 @@
+// rfidsim::fleet — the assembled tracking backend.
+//
+// FleetService wires the pieces into the shape an application would
+// deploy: one sharded TrackingStore, one FacilityFeed per facility, and
+// one QueryService answering locate/inventory/missing over the store.
+// After every ingested pass the service refreshes that facility's
+// reliability model from its feed's monitor, so query confidence always
+// reflects the latest windowed per-reader read rates and silence state —
+// the online loop the paper's static model lacks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/feed.hpp"
+#include "fleet/query.hpp"
+#include "fleet/store.hpp"
+#include "track/registry.hpp"
+
+namespace rfidsim::fleet {
+
+/// Owns the store, the feeds, and the query layer. The registry must
+/// outlive the service. Not movable: QueryService holds references.
+class FleetService {
+ public:
+  FleetService(const track::ObjectRegistry& registry, StoreConfig store_config = {},
+               QueryConfig query_config = {});
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  /// Registers one facility; returns its id. The id is assigned by the
+  /// service (config.facility is overwritten) so store rows and feed
+  /// always agree.
+  FacilityId add_facility(FeedConfig config);
+
+  std::size_t facility_count() const { return feeds_.size(); }
+  FacilityFeed& feed(FacilityId facility);
+  const FacilityFeed& feed(FacilityId facility) const;
+
+  /// Runs one pass of `facility`'s raw log through its feed into the
+  /// store, then refreshes the facility's query-side reliability model.
+  FeedPassResult ingest_pass(FacilityId facility, const sys::EventLog& raw,
+                             double window_begin_s, double window_end_s, Rng& rng);
+
+  const TrackingStore& store() const { return store_; }
+  QueryService& query() { return query_; }
+  const QueryService& query() const { return query_; }
+
+ private:
+  const track::ObjectRegistry& registry_;
+  TrackingStore store_;
+  QueryService query_;
+  std::vector<std::unique_ptr<FacilityFeed>> feeds_;
+};
+
+}  // namespace rfidsim::fleet

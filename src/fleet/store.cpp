@@ -1,0 +1,234 @@
+#include "fleet/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sweep/sweep.hpp"
+
+namespace rfidsim::fleet {
+
+namespace {
+
+/// SplitMix64 finalizer: spreads EPCs across shards independently of how
+/// the simulation allocated them (sequential ids would otherwise pile
+/// consecutive tags into the same shard).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+/// Sightings travel through the routing phase paired with their EPC (the
+/// timeline key carries the EPC once stored, so Sighting itself omits it).
+struct RoutedSighting {
+  std::uint64_t epc = 0;
+  Sighting sighting;
+};
+
+}  // namespace
+
+bool sighting_less(const Sighting& a, const Sighting& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.facility != b.facility) return a.facility < b.facility;
+  if (a.reader != b.reader) return a.reader < b.reader;
+  return a.antenna < b.antenna;
+}
+
+TrackingStore::TrackingStore(StoreConfig config) : config_(config) {
+  require(config_.shard_count > 0, "TrackingStore: shard count must be positive");
+  shards_.resize(config_.shard_count);
+}
+
+std::size_t TrackingStore::shard_of(scene::TagId tag) const {
+  return static_cast<std::size_t>(mix(tag.value) % config_.shard_count);
+}
+
+void TrackingStore::merge_into_shard(Shard& shard, std::uint64_t epc,
+                                     const Sighting& s) {
+  std::vector<Sighting>& timeline = shard.timelines[epc];
+  const auto pos = std::lower_bound(timeline.begin(), timeline.end(), s, sighting_less);
+  if (pos != timeline.end() && *pos == s) {
+    ++shard.duplicates;
+    return;
+  }
+  if (pos != timeline.end()) ++shard.repairs;
+  timeline.insert(pos, s);
+  ++shard.sightings;
+}
+
+void TrackingStore::ingest(const FacilityBatch& batch) {
+  ingest(std::vector<FacilityBatch>{batch});
+}
+
+void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
+  const obs::TraceSpan span("fleet.store.ingest");
+  const std::size_t shard_count = config_.shard_count;
+  const sweep::SweepOptions options{config_.threads};
+  const StoreStats before = stats_;
+
+  // Phase 1 — route: batch b fans its events out into per-shard buckets.
+  // Cell b writes only routed[b]; determinism per the sweep contract.
+  std::vector<std::vector<std::vector<RoutedSighting>>> routed(batches.size());
+  sweep::parallel_for(batches.size(), options, [&](std::size_t b) {
+    const FacilityBatch& batch = batches[b];
+    auto& buckets = routed[b];
+    buckets.resize(shard_count);
+    for (const sys::ReadEvent& ev : batch.events) {
+      const std::size_t shard = static_cast<std::size_t>(mix(ev.tag.value) % shard_count);
+      buckets[shard].push_back(
+          {ev.tag.value, Sighting{ev.time_s, batch.facility,
+                                  static_cast<std::uint32_t>(ev.reader_index),
+                                  static_cast<std::uint32_t>(ev.antenna_index)}});
+    }
+  });
+
+  // Phase 2 — merge: shard s folds in its bucket of every batch, in batch
+  // order. Cell s touches only shards_[s]; no two cells share a timeline,
+  // so the parallel merge is race-free and order-deterministic.
+  sweep::parallel_for(shard_count, options, [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (const auto& buckets : routed) {
+      for (const RoutedSighting& rs : buckets[s]) {
+        merge_into_shard(shard, rs.epc, rs.sighting);
+      }
+    }
+  });
+
+  stats_.batches += batches.size();
+  for (const FacilityBatch& batch : batches) {
+    stats_.events += batch.events.size();
+    if (batch.arrival_time_s > batch.sent_time_s) ++stats_.late_batches;
+  }
+  std::uint64_t accepted = 0, duplicates = 0, repairs = 0;
+  for (const Shard& shard : shards_) {
+    accepted += shard.sightings;
+    duplicates += shard.duplicates;
+    repairs += shard.repairs;
+  }
+  stats_.accepted = accepted;
+  stats_.duplicates = duplicates;
+  stats_.repairs = repairs;
+
+  if (obs::hooks_enabled()) publish_metrics(before);
+}
+
+const std::vector<Sighting>* TrackingStore::timeline(scene::TagId tag) const {
+  const Shard& shard = shards_[shard_of(tag)];
+  const auto it = shard.timelines.find(tag.value);
+  return it == shard.timelines.end() ? nullptr : &it->second;
+}
+
+std::optional<Sighting> TrackingStore::last_sighting_at(scene::TagId tag,
+                                                        double t) const {
+  const std::vector<Sighting>* tl = timeline(tag);
+  if (tl == nullptr) return std::nullopt;
+  const Sighting probe{t, 0, 0, 0};
+  // upper_bound over time only: first sighting strictly after t.
+  const auto pos = std::upper_bound(tl->begin(), tl->end(), probe,
+                                    [](const Sighting& a, const Sighting& b) {
+                                      return a.time_s < b.time_s;
+                                    });
+  if (pos == tl->begin()) return std::nullopt;
+  return *(pos - 1);
+}
+
+std::vector<scene::TagId> TrackingStore::tags() const {
+  std::vector<scene::TagId> out;
+  out.reserve(tag_count());
+  for (const Shard& shard : shards_) {
+    for (const auto& [epc, tl] : shard.timelines) {
+      (void)tl;
+      out.push_back(scene::TagId{epc});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TrackingStore::tag_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.timelines.size();
+  return n;
+}
+
+std::size_t TrackingStore::sighting_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.sightings;
+  return n;
+}
+
+std::size_t TrackingStore::shard_depth(std::size_t shard) const {
+  return shards_.at(shard).sightings;
+}
+
+std::uint64_t TrackingStore::digest() const {
+  // Gather (epc, timeline) across shards, walk in ascending-EPC order so
+  // the digest is independent of shard count and assignment.
+  std::vector<std::pair<std::uint64_t, const std::vector<Sighting>*>> all;
+  all.reserve(tag_count());
+  for (const Shard& shard : shards_) {
+    for (const auto& [epc, tl] : shard.timelines) all.emplace_back(epc, &tl);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& [epc, tl] : all) {
+    hash = fnv1a(hash, epc);
+    hash = fnv1a(hash, tl->size());
+    for (const Sighting& s : *tl) {
+      hash = fnv1a(hash, bits_of(s.time_s));
+      hash = fnv1a(hash, (static_cast<std::uint64_t>(s.facility) << 32) |
+                             (static_cast<std::uint64_t>(s.reader) << 16) | s.antenna);
+    }
+  }
+  return hash;
+}
+
+void TrackingStore::publish_metrics(const StoreStats& before) const {
+  static const struct Metrics {
+    obs::Counter& batches = obs::counter("fleet.store.batches");
+    obs::Counter& events = obs::counter("fleet.store.events");
+    obs::Counter& accepted = obs::counter("fleet.store.accepted");
+    obs::Counter& duplicates = obs::counter("fleet.store.duplicates");
+    obs::Counter& repairs = obs::counter("fleet.store.repairs");
+    obs::Counter& late_batches = obs::counter("fleet.store.late_batches");
+    obs::Gauge& tags = obs::gauge("fleet.store.tags");
+    obs::Gauge& sightings = obs::gauge("fleet.store.sightings");
+    obs::Gauge& shard_depth_max = obs::gauge("fleet.store.shard_depth_max");
+  } m;
+  m.batches.add(stats_.batches - before.batches);
+  m.events.add(stats_.events - before.events);
+  m.accepted.add(stats_.accepted - before.accepted);
+  m.duplicates.add(stats_.duplicates - before.duplicates);
+  m.repairs.add(stats_.repairs - before.repairs);
+  m.late_batches.add(stats_.late_batches - before.late_batches);
+  m.tags.set(static_cast<double>(tag_count()));
+  m.sightings.set(static_cast<double>(stats_.accepted));
+  std::size_t depth_max = 0;
+  for (const Shard& shard : shards_) {
+    depth_max = std::max(depth_max, static_cast<std::size_t>(shard.sightings));
+  }
+  m.shard_depth_max.set(static_cast<double>(depth_max));
+}
+
+}  // namespace rfidsim::fleet

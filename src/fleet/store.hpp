@@ -1,0 +1,147 @@
+// rfidsim::fleet — sharded multi-facility tracking store.
+//
+// The paper's end goal is the *application*: knowing which object went
+// where, built on unreliable portal reads hardened by redundancy
+// (R_C = 1 - prod(1 - P_i)). TrackingStore is the backend of that
+// application: it absorbs validated read-event batches from any number of
+// facilities and maintains one custody timeline per EPC — the ordered
+// sequence of sightings the locate/inventory/missing queries answer from.
+//
+// Sharding: timelines are partitioned by a pure hash of the EPC into a
+// fixed number of shards. A bulk ingest first routes every event to its
+// shard (cells = batches, each writing only its own routing slot), then
+// merges each shard independently (cells = shards, each touching only its
+// own timelines) — both phases ride rfidsim::sweep, so the engine's
+// determinism contract applies end to end:
+//
+//   DETERMINISM CONTRACT: the store's final state is a pure function of
+//   the multiset of ingested batches. Within a shard, batches apply in
+//   caller order; across shards there is no shared state. Thread count,
+//   scheduling, and obs on/off can never change a stored bit — and since
+//   insertion is sorted and duplicate-idempotent, neither can the
+//   *arrival order* of batches: late and re-delivered uploads converge to
+//   the same timelines (digest() makes that checkable in one number).
+//
+// Late/duplicate handling: uploader retries deliver batches late and
+// middleware re-delivers them whole. Sightings insert in time-sorted
+// position (a late batch repairs the middle of a timeline, counted in
+// stats().repairs) and an exactly-identical sighting is dropped as a
+// duplicate, so re-ingesting a batch is a no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "scene/tag.hpp"
+#include "system/events.hpp"
+
+namespace rfidsim::fleet {
+
+/// Index of one facility (portal installation) in the fleet.
+using FacilityId = std::uint32_t;
+
+/// One accepted read of one tag, as the store keeps it: where and when the
+/// tag was seen and through which infrastructure. RSSI is deliberately not
+/// retained — custody queries never need it, and dropping it keeps a
+/// million-sighting store lean.
+struct Sighting {
+  double time_s = 0.0;
+  FacilityId facility = 0;
+  std::uint32_t reader = 0;
+  std::uint32_t antenna = 0;
+
+  friend bool operator==(const Sighting&, const Sighting&) = default;
+};
+
+/// Total order used for timeline storage: chronological, with a stable
+/// infrastructure tie-break so equal-time sightings from different paths
+/// keep one canonical order regardless of arrival order.
+bool sighting_less(const Sighting& a, const Sighting& b);
+
+/// One validated batch from one facility feed, as delivered by the upload
+/// hop. `sent_time_s` is the reader's flush time; `arrival_time_s` is when
+/// the backend actually received it (flush plus retry backoff) — a batch
+/// with arrival_time_s > sent_time_s was delayed in transit.
+struct FacilityBatch {
+  FacilityId facility = 0;
+  double sent_time_s = 0.0;
+  double arrival_time_s = 0.0;
+  sys::EventLog events;
+};
+
+struct StoreConfig {
+  /// Timeline shards. More shards = finer ingest parallelism; the stored
+  /// state and digest are independent of the count.
+  std::size_t shard_count = 64;
+  /// Worker threads for bulk ingest: 0 borrows the shared sweep engine,
+  /// 1 forces the serial path. Results are identical either way.
+  std::size_t threads = 1;
+};
+
+/// Deterministic ingest tallies (pure functions of the batch sequence).
+struct StoreStats {
+  std::uint64_t batches = 0;
+  std::uint64_t events = 0;        ///< Events offered across all batches.
+  std::uint64_t accepted = 0;      ///< Distinct sightings stored.
+  std::uint64_t duplicates = 0;    ///< Exact re-deliveries dropped.
+  std::uint64_t repairs = 0;       ///< Insertions not at a timeline's tail.
+  std::uint64_t late_batches = 0;  ///< Batches with arrival > sent time.
+};
+
+/// The sharded custody store. Construct once per backend; feed batches via
+/// ingest(); query timelines at any point between ingests.
+class TrackingStore {
+ public:
+  explicit TrackingStore(StoreConfig config = {});
+
+  /// Routes and merges a sequence of batches (applied in the given order
+  /// within each shard). Safe to call repeatedly; not concurrently.
+  void ingest(const std::vector<FacilityBatch>& batches);
+  void ingest(const FacilityBatch& batch);
+
+  /// The stored timeline of one tag, time-sorted; nullptr when the tag has
+  /// never been sighted. The pointer is valid until the next ingest().
+  const std::vector<Sighting>* timeline(scene::TagId tag) const;
+
+  /// Latest sighting of `tag` at or before `t`, if any.
+  std::optional<Sighting> last_sighting_at(scene::TagId tag, double t) const;
+
+  /// All sighted tags, ascending by EPC (gathers across shards).
+  std::vector<scene::TagId> tags() const;
+
+  std::size_t tag_count() const;
+  std::size_t sighting_count() const;
+
+  /// FNV-1a digest over every timeline in ascending-EPC order: one number
+  /// that must be bit-identical across thread counts, shard counts, batch
+  /// arrival orders, and obs on/off/compiled-out.
+  std::uint64_t digest() const;
+
+  const StoreStats& stats() const { return stats_; }
+  const StoreConfig& config() const { return config_; }
+
+  /// Sightings held by one shard (shard-depth gauges and balance tests).
+  std::size_t shard_depth(std::size_t shard) const;
+  std::size_t shard_of(scene::TagId tag) const;
+
+ private:
+  struct Shard {
+    /// Ordered by EPC so per-shard iteration is deterministic.
+    std::map<std::uint64_t, std::vector<Sighting>> timelines;
+    std::uint64_t sightings = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t repairs = 0;
+  };
+
+  void merge_into_shard(Shard& shard, std::uint64_t epc, const Sighting& s);
+  void publish_metrics(const StoreStats& before) const;
+
+  StoreConfig config_;
+  std::vector<Shard> shards_;
+  StoreStats stats_;
+};
+
+}  // namespace rfidsim::fleet

@@ -1,6 +1,8 @@
 #include "system/uploader.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -43,22 +45,37 @@ EventUploader::EventUploader(UploaderConfig config) : config_(config) {
 }
 
 EventLog EventUploader::upload(const EventLog& log, Rng& rng) {
-  const obs::TraceSpan span("sys.uploader.upload");
-  const UploadStats before = stats_;
   EventLog delivered;
   delivered.reserve(log.size());
+  for (const DeliveredBatch& batch : upload_batches(log, rng)) {
+    delivered.insert(delivered.end(), batch.events.begin(), batch.events.end());
+  }
+  return delivered;
+}
+
+std::vector<DeliveredBatch> EventUploader::upload_batches(const EventLog& log,
+                                                          Rng& rng) {
+  const obs::TraceSpan span("sys.uploader.upload");
+  const UploadStats before = stats_;
+  std::vector<DeliveredBatch> delivered;
+  // The channel is serial: a batch cannot depart while the previous one is
+  // still retrying, so backoff pushes every later batch's arrival back too.
+  double channel_free_s = -std::numeric_limits<double>::infinity();
 
   for (std::size_t begin = 0; begin < log.size(); begin += config_.batch_size) {
     const std::size_t end = std::min(begin + config_.batch_size, log.size());
     ++stats_.batches;
+    const double sent_s = log[end - 1].time_s;  // Flush at the last read.
 
     bool ok = false;
+    double waited_s = 0.0;
     double backoff = config_.initial_backoff_s;
     for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
       ++stats_.attempts;
       if (attempt > 0) {
         ++stats_.retries;
         stats_.backoff_delay_s += backoff;
+        waited_s += backoff;
         backoff *= config_.backoff_multiplier;
       }
       if (!rng.bernoulli(config_.loss_probability)) {
@@ -67,9 +84,15 @@ EventLog EventUploader::upload(const EventLog& log, Rng& rng) {
       }
     }
 
+    const double departure_s = std::max(channel_free_s, sent_s);
+    channel_free_s = departure_s + waited_s;  // Lost batches also hold the line.
     if (ok) {
-      delivered.insert(delivered.end(), log.begin() + static_cast<std::ptrdiff_t>(begin),
-                       log.begin() + static_cast<std::ptrdiff_t>(end));
+      DeliveredBatch batch;
+      batch.sent_time_s = sent_s;
+      batch.arrival_time_s = channel_free_s;
+      batch.events.assign(log.begin() + static_cast<std::ptrdiff_t>(begin),
+                          log.begin() + static_cast<std::ptrdiff_t>(end));
+      delivered.push_back(std::move(batch));
       stats_.events_delivered += end - begin;
     } else {
       ++stats_.batches_lost;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "system/events.hpp"
@@ -27,6 +28,18 @@ struct UploaderConfig {
   /// Backoff before the first retry; doubles per subsequent retry.
   double initial_backoff_s = 0.05;
   double backoff_multiplier = 2.0;
+};
+
+/// One batch as the backend received it. `sent_time_s` is the reader's
+/// flush time (the batch's last event time); `arrival_time_s` is when the
+/// backend actually got it: the flush time, any head-of-line wait behind
+/// the previous batch still retrying on the serial channel, plus this
+/// batch's own retry backoff. Transmission itself is modelled as instant —
+/// only backoff consumes channel time.
+struct DeliveredBatch {
+  EventLog events;
+  double sent_time_s = 0.0;
+  double arrival_time_s = 0.0;
 };
 
 /// What the channel did to one log.
@@ -50,6 +63,13 @@ class EventUploader {
   /// not overtake). Deterministic given `rng`'s state. Stats accumulate
   /// across calls until reset().
   EventLog upload(const EventLog& log, Rng& rng);
+
+  /// Like upload(), but keeps the batch structure and timing: each
+  /// delivered batch carries its flush time and its backend arrival time,
+  /// so downstream consumers see retry backoff as *latency*, not just a
+  /// stats() tally. Draws from `rng` and accumulates stats exactly as
+  /// upload() does (upload() is this call with the timing discarded).
+  std::vector<DeliveredBatch> upload_batches(const EventLog& log, Rng& rng);
 
   const UploadStats& stats() const { return stats_; }
   void reset() { stats_ = UploadStats{}; }

@@ -48,6 +48,35 @@ void record_ingest_metrics(const IngestReport& report) {
 
 }  // namespace
 
+bool validate_event(const sys::ReadEvent& ev, const IngestConfig& config,
+                    double window_begin_s, double window_end_s,
+                    std::string* reason) {
+  const auto reject = [reason](std::string text) {
+    if (reason != nullptr) *reason = std::move(text);
+    return false;
+  };
+  if (!std::isfinite(ev.time_s) || !std::isfinite(ev.rssi.value())) {
+    return reject("non-finite time or rssi");
+  }
+  if (ev.time_s < window_begin_s || ev.time_s > window_end_s) {
+    return reject("time " + std::to_string(ev.time_s) + " outside pass window");
+  }
+  if (ev.rssi.value() < config.min_rssi_dbm || ev.rssi.value() > config.max_rssi_dbm) {
+    return reject("implausible rssi " + std::to_string(ev.rssi.value()) + " dBm");
+  }
+  if (config.reader_count > 0 && ev.reader_index >= config.reader_count) {
+    return reject("reader index " + std::to_string(ev.reader_index) + " out of range");
+  }
+  if (config.antenna_count > 0 && ev.antenna_index >= config.antenna_count) {
+    return reject("antenna index " + std::to_string(ev.antenna_index) +
+                  " out of range");
+  }
+  if (config.registry != nullptr && !config.registry->object_of(ev.tag).has_value()) {
+    return reject("unknown tag " + std::to_string(ev.tag.value));
+  }
+  return true;
+}
+
 ResilientIngest::ResilientIngest(IngestConfig config) : config_(std::move(config)) {
   require(config_.dedup_window_s >= 0.0,
           "ResilientIngest: dedup window must be non-negative");
@@ -70,37 +99,16 @@ IngestReport ResilientIngest::ingest(const sys::EventLog& raw, double window_beg
     }
   };
 
-  // Pass 1 — validate each record on its own; count arrival-order
-  // inversions against the highest valid time seen so far.
+  // Pass 1 — validate each record on its own (validate_event holds the
+  // rules); count arrival-order inversions against the highest valid time
+  // seen so far.
   sys::EventLog valid;
   valid.reserve(raw.size());
   double high_water = -std::numeric_limits<double>::infinity();
+  std::string reason;
   for (const sys::ReadEvent& ev : raw) {
-    if (!std::isfinite(ev.time_s) || !std::isfinite(ev.rssi.value())) {
-      quarantine("non-finite time or rssi");
-      continue;
-    }
-    if (ev.time_s < window_begin_s || ev.time_s > window_end_s) {
-      quarantine("time " + std::to_string(ev.time_s) + " outside pass window");
-      continue;
-    }
-    if (ev.rssi.value() < config_.min_rssi_dbm ||
-        ev.rssi.value() > config_.max_rssi_dbm) {
-      quarantine("implausible rssi " + std::to_string(ev.rssi.value()) + " dBm");
-      continue;
-    }
-    if (config_.reader_count > 0 && ev.reader_index >= config_.reader_count) {
-      quarantine("reader index " + std::to_string(ev.reader_index) + " out of range");
-      continue;
-    }
-    if (config_.antenna_count > 0 && ev.antenna_index >= config_.antenna_count) {
-      quarantine("antenna index " + std::to_string(ev.antenna_index) +
-                 " out of range");
-      continue;
-    }
-    if (config_.registry != nullptr &&
-        !config_.registry->object_of(ev.tag).has_value()) {
-      quarantine("unknown tag " + std::to_string(ev.tag.value));
+    if (!validate_event(ev, config_, window_begin_s, window_end_s, &reason)) {
+      quarantine(reason);
       continue;
     }
     if (ev.time_s < high_water) ++report.reordered;

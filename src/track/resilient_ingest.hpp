@@ -105,6 +105,16 @@ class ResilientIngest {
   IngestConfig config_;
 };
 
+/// Per-record plausibility validation — ingest()'s pass 1, exposed so
+/// batch-granular consumers (the fleet feeds validate each delivered
+/// upload batch before storing it) apply exactly the same rules without
+/// re-running the whole pass pipeline. Returns false when the record
+/// would be quarantined; `reason` (optional) receives the quarantine
+/// reason text ingest() would have sampled.
+bool validate_event(const sys::ReadEvent& ev, const IngestConfig& config,
+                    double window_begin_s, double window_end_s,
+                    std::string* reason = nullptr);
+
 /// Summarises one ingested pass as a monitor observation, built purely
 /// from what survived the middleware — the production-side counterpart of
 /// sys::PortalSimulator::pass_observation (which reads ground truth).

@@ -93,6 +93,92 @@ TEST(EventUploaderTest, DeterministicGivenSeed) {
   EXPECT_EQ(u1.stats().retries, u2.stats().retries);
 }
 
+TEST(EventUploaderTest, LosslessBatchesArriveAtFlushTime) {
+  UploaderConfig cfg;
+  cfg.batch_size = 10;
+  EventUploader up(cfg);
+  Rng rng(1);
+  const EventLog log = make_log(35);
+  const auto batches = up.upload_batches(log, rng);
+  ASSERT_EQ(batches.size(), 4u);  // 10 + 10 + 10 + 5.
+  std::size_t offset = 0;
+  for (const DeliveredBatch& b : batches) {
+    ASSERT_FALSE(b.events.empty());
+    // No loss, no retries: the batch arrives the instant it is flushed.
+    EXPECT_DOUBLE_EQ(b.sent_time_s, b.events.back().time_s);
+    EXPECT_DOUBLE_EQ(b.arrival_time_s, b.sent_time_s);
+    for (const ReadEvent& ev : b.events) {
+      EXPECT_EQ(ev.tag, log[offset++].tag);
+    }
+  }
+  EXPECT_EQ(offset, log.size());
+}
+
+TEST(EventUploaderTest, RetryBackoffDelaysArrival) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.max_retries = 16;
+  cfg.initial_backoff_s = 0.05;
+  cfg.batch_size = 64;  // The whole log is one batch.
+  const EventLog log = make_log(64);
+  // Find a seed whose single batch needs at least one retry; with p = 0.5
+  // the first few seeds all but surely contain one.
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    EventUploader up(cfg);
+    Rng rng(seed);
+    const auto batches = up.upload_batches(log, rng);
+    if (up.stats().retries == 0 || batches.empty()) continue;
+    // One batch: its arrival delay is exactly the backoff the stats saw.
+    EXPECT_DOUBLE_EQ(batches[0].arrival_time_s,
+                     batches[0].sent_time_s + up.stats().backoff_delay_s);
+    return;
+  }
+  FAIL() << "no seed in 1..64 produced a retried delivered batch";
+}
+
+TEST(EventUploaderTest, ArrivalsAreHeadOfLineOrdered) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.4;
+  cfg.max_retries = 16;
+  cfg.batch_size = 8;
+  EventUploader up(cfg);
+  Rng rng(7);
+  const auto batches = up.upload_batches(make_log(160), rng);
+  ASSERT_GT(batches.size(), 1u);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    // A batch can never arrive before it was flushed...
+    EXPECT_GE(batches[i].arrival_time_s, batches[i].sent_time_s);
+    // ...nor overtake the batch ahead of it on the serial channel.
+    if (i > 0) {
+      EXPECT_GE(batches[i].arrival_time_s, batches[i - 1].arrival_time_s);
+    }
+  }
+}
+
+TEST(EventUploaderTest, UploadIsUploadBatchesFlattened) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.max_retries = 4;
+  cfg.batch_size = 8;
+  const EventLog log = make_log(200);
+  EventUploader flat(cfg), batched(cfg);
+  Rng a(11), b(11);
+  const EventLog direct = flat.upload(log, a);
+  EventLog rebuilt;
+  for (const DeliveredBatch& batch : batched.upload_batches(log, b)) {
+    rebuilt.insert(rebuilt.end(), batch.events.begin(), batch.events.end());
+  }
+  ASSERT_EQ(direct.size(), rebuilt.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].tag, rebuilt[i].tag);
+    EXPECT_DOUBLE_EQ(direct[i].time_s, rebuilt[i].time_s);
+  }
+  EXPECT_EQ(flat.stats().attempts, batched.stats().attempts);
+  EXPECT_EQ(flat.stats().retries, batched.stats().retries);
+  EXPECT_EQ(flat.stats().batches_lost, batched.stats().batches_lost);
+  EXPECT_DOUBLE_EQ(flat.stats().backoff_delay_s, batched.stats().backoff_delay_s);
+}
+
 TEST(EventUploaderTest, RejectsBadConfig) {
   UploaderConfig zero_batch;
   zero_batch.batch_size = 0;
