@@ -1,7 +1,7 @@
-// fleet_loadgen — million-event load generator for the fleet store
+// fleet_loadgen — five-million-event load generator for the fleet store
 // (BENCH_FLEET.json).
 //
-// Drives >= 1M synthetic read events from four facilities through
+// Drives >= 5M synthetic read events from four facilities through
 // fleet::TrackingStore under increasing thread counts, with obs on and
 // off, and with the batch arrival order reversed — and requires every
 // configuration to produce the bit-identical store digest and query
@@ -9,6 +9,28 @@
 // enforced the same way perf_baseline enforces sweep_matches_serial).
 // The record lands in the same rfidsim-bench-v1 trajectory: bench_regress
 // gates BENCH_FLEET.json -> current run in CI.
+//
+// On top of raw ingest, this binary times and *verifies* the PR-6
+// durability path end to end:
+//
+//   - wire codec throughput: encode/decode every batch of one facility
+//     as checksummed binary frames, reporting bytes per event;
+//   - checkpoint/restore: full snapshot, incremental snapshot (unchanged
+//     shards elided), and a restore whose digest must match;
+//   - kill-and-recover matrix: ingest half, checkpoint, "crash", restore
+//     under {1,2,4} threads x obs {on,off}, finish ingesting — every
+//     cell must land on the uninterrupted run's digest bit for bit;
+//   - BER-sweep ablation (the paper's R_C-ablation style, applied to the
+//     uplink): wire bit-error rates {0, 1e-6, 1e-5, 1e-4}, batch size 32
+//     — zero corrupt frames may reach the store undetected, and NAK
+//     retransmission must recover >= 99% of affected batches.
+//
+// For the CI crash-recovery smoke the binary also runs as its own fault
+// injector: `--crash-after-half <path>` ingests the first half of the
+// stream, writes a full checkpoint, and dies via _Exit (no destructors —
+// a real crash, except the checkpoint already hit the disk);
+// `--restore-from <path>` rebuilds from those bytes, ingests the second
+// half, and exits nonzero unless the digest matches an uninterrupted run.
 //
 // The event stream is generated directly (a pure function of --seed)
 // rather than through the portal simulator: the store is the unit under
@@ -19,18 +41,28 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "fault/wire_corruptor.hpp"
+#include "fleet/checkpoint.hpp"
 #include "fleet/query.hpp"
 #include "fleet/store.hpp"
+#include "system/uploader.hpp"
 #include "track/manifest.hpp"
 #include "track/registry.hpp"
+#include "wire/batch_codec.hpp"
+#include "wire/wire.hpp"
 
 using namespace rfidsim;
 
@@ -41,6 +73,21 @@ double wall_seconds(const std::function<void()>& fn) {
   fn();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// High-water resident set of this process, in bytes (0 if unknown).
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // Already bytes.
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ULL;  // KiB.
+#endif
+#else
+  return 0;
+#endif
 }
 
 struct Entry {
@@ -62,7 +109,8 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const char* path, const std::vector<Entry>& entries,
-                bool fleet_digest_matches) {
+                bool fleet_digest_matches, bool crash_recovery_matches,
+                std::uint64_t wire_undetected, double wire_min_recovered) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_loadgen: cannot open %s for writing\n", path);
@@ -70,11 +118,19 @@ void write_json(const char* path, const std::vector<Entry>& entries,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"rfidsim-bench-v1\",\n");
-  std::fprintf(f, "  \"pr\": 5,\n");
+  std::fprintf(f, "  \"pr\": 6,\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(peak_rss_bytes()));
   std::fprintf(f, "  \"fleet_digest_matches\": %s,\n",
                fleet_digest_matches ? "true" : "false");
+  std::fprintf(f, "  \"crash_recovery_matches\": %s,\n",
+               crash_recovery_matches ? "true" : "false");
+  std::fprintf(f, "  \"wire_undetected_corruptions\": %llu,\n",
+               static_cast<unsigned long long>(wire_undetected));
+  std::fprintf(f, "  \"wire_min_recovered_fraction\": %.6f,\n",
+               wire_min_recovered);
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
@@ -91,13 +147,14 @@ void write_json(const char* path, const std::vector<Entry>& entries,
   std::fclose(f);
 }
 
-// Workload shape: 4 facilities x 25 passes x 25 batches x 500 events
-// = 1,250,000 events over 20,000 tags (~62 sightings per timeline).
+// Workload shape: 4 facilities x 25 passes x 50 batches x 1000 events
+// = 5,000,000 events over 40,000 tags (~125 sightings per timeline),
+// plus ~2% whole-batch re-deliveries.
 constexpr std::uint32_t kFacilities = 4;
 constexpr std::size_t kPasses = 25;
-constexpr std::size_t kBatchesPerPass = 25;
-constexpr std::size_t kEventsPerBatch = 500;
-constexpr std::uint64_t kTagCount = 20000;
+constexpr std::size_t kBatchesPerPass = 50;
+constexpr std::size_t kEventsPerBatch = 1000;
+constexpr std::uint64_t kTagCount = 40000;
 constexpr double kPassWindowS = 10.0;
 
 /// Generates the full batch sequence — a pure function of `seed`. Each
@@ -105,7 +162,7 @@ constexpr double kPassWindowS = 10.0;
 /// of generation order.
 std::vector<fleet::FacilityBatch> generate_batches(std::uint64_t seed) {
   std::vector<fleet::FacilityBatch> batches;
-  batches.reserve(kFacilities * kPasses * kBatchesPerPass + 64);
+  batches.reserve(kFacilities * kPasses * kBatchesPerPass + 256);
   const Rng root(seed);
   for (std::uint32_t facility = 0; facility < kFacilities; ++facility) {
     for (std::size_t pass = 0; pass < kPasses; ++pass) {
@@ -198,22 +255,131 @@ std::uint64_t query_digest(const fleet::TrackingStore& store,
   return hash;
 }
 
+std::string human_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(bytes) / (1u << 20));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(bytes) / (1u << 10));
+  }
+  return buf;
+}
+
+bool write_file(const char* path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(size));
+  const bool ok = out.empty() || std::fread(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// Uninterrupted-reference digest: serial ingest of the whole stream.
+std::uint64_t reference_digest(const std::vector<fleet::FacilityBatch>& batches) {
+  fleet::TrackingStore store;
+  store.ingest(batches);
+  return store.digest();
+}
+
+/// CI crash smoke, part 1: ingest the first half, checkpoint it durably,
+/// then die like a process that never got to shut down.
+[[noreturn]] void crash_after_half(const std::vector<fleet::FacilityBatch>& batches,
+                                   const char* path) {
+  const std::size_t split = batches.size() / 2;
+  fleet::TrackingStore store;
+  for (std::size_t b = 0; b < split; ++b) store.ingest(batches[b]);
+  fleet::Checkpointer checkpointer;
+  const std::vector<std::uint8_t> snapshot = checkpointer.full(store);
+  if (!write_file(path, snapshot)) {
+    std::fprintf(stderr, "fleet_loadgen: cannot write checkpoint to %s\n", path);
+    std::_Exit(3);
+  }
+  std::printf("crash-after-half: ingested %zu/%zu batches, checkpoint %s (%zu bytes, "
+              "digest %016llx) -> simulated crash (_Exit)\n",
+              split, batches.size(), path, snapshot.size(),
+              static_cast<unsigned long long>(store.digest()));
+  std::fflush(stdout);
+  std::_Exit(0);  // No destructors, no flushes beyond the checkpoint: a crash.
+}
+
+/// CI crash smoke, part 2: restore from the checkpoint a "crashed" run
+/// left behind, ingest the second half, and demand the uninterrupted
+/// run's digest bit for bit.
+int restore_from(const std::vector<fleet::FacilityBatch>& batches, const char* path) {
+  std::vector<std::uint8_t> snapshot;
+  if (!read_file(path, snapshot)) {
+    std::fprintf(stderr, "fleet_loadgen: cannot read checkpoint from %s\n", path);
+    return 3;
+  }
+  const std::size_t split = batches.size() / 2;
+  fleet::TrackingStore store = [&] {
+    try {
+      return fleet::restore_checkpoint(snapshot);
+    } catch (const fleet::CheckpointError& e) {
+      std::fprintf(stderr, "fleet_loadgen: restore failed (%s): %s\n",
+                   fleet::checkpoint_error_name(e.kind()), e.what());
+      std::_Exit(4);
+    }
+  }();
+  for (std::size_t b = split; b < batches.size(); ++b) store.ingest(batches[b]);
+  const std::uint64_t got = store.digest();
+  const std::uint64_t want = reference_digest(batches);
+  std::printf("restore-from: %s (%zu bytes) + second half -> digest %016llx, "
+              "uninterrupted %016llx: %s\n",
+              path, snapshot.size(), static_cast<unsigned long long>(got),
+              static_cast<unsigned long long>(want),
+              got == want ? "MATCH" : "MISMATCH");
+  return got == want ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Session session(argc, argv);
-  const char* out_path = session.positional().empty()
-                             ? "BENCH_FLEET.json"
-                             : session.positional()[0].c_str();
-  bench::banner("fleet_loadgen - sharded store ingest + query determinism",
-                "Drives 1.25M events from 4 facilities through the fleet store\n"
-                "at several thread counts; digests must match bit for bit.");
+  const char* out_path = "BENCH_FLEET.json";
+  const char* crash_path = nullptr;
+  const char* restore_path = nullptr;
+  const auto& positional = session.positional();
+  for (std::size_t i = 0; i < positional.size(); ++i) {
+    if (positional[i] == "--crash-after-half" && i + 1 < positional.size()) {
+      crash_path = positional[++i].c_str();
+    } else if (positional[i] == "--restore-from" && i + 1 < positional.size()) {
+      restore_path = positional[++i].c_str();
+    } else {
+      out_path = positional[i].c_str();
+    }
+  }
+
+  bench::banner("fleet_loadgen - sharded store ingest + wire/checkpoint durability",
+                "Drives 5.1M events from 4 facilities through the fleet store\n"
+                "at several thread counts, times the wire codec and the\n"
+                "checkpoint/restore path, and kill-tests recovery; every\n"
+                "configuration must land on bit-identical digests.");
 
   const std::vector<fleet::FacilityBatch> batches = generate_batches(session.seed());
   std::size_t total_events = 0;
   for (const auto& b : batches) total_events += b.events.size();
   std::printf("generated %zu batches, %zu events (seed %llu)\n\n", batches.size(),
               total_events, static_cast<unsigned long long>(session.seed()));
+
+  // CI fault-injection modes: do only the crash half or the recovery half.
+  if (crash_path != nullptr) crash_after_half(batches, crash_path);
+  if (restore_path != nullptr) return restore_from(batches, restore_path);
 
   track::ObjectRegistry registry;
   for (std::uint64_t i = 1; i <= kTagCount; ++i) {
@@ -256,7 +422,7 @@ int main(int argc, char** argv) {
   };
 
   const fleet::StoreStats stats =
-      run_ingest("fleet_ingest_serial", 1, "1.25M events, 1 thread", batches);
+      run_ingest("fleet_ingest_serial", 1, "5.1M events, 1 thread", batches);
   run_ingest("fleet_ingest_2t", 2, "same batches, 2 threads", batches);
   run_ingest("fleet_ingest_4t", 4, "same batches, 4 threads", batches);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -286,6 +452,219 @@ int main(int argc, char** argv) {
     obs::set_enabled(saved);
   }
 
+  // --- Wire codec throughput: facility 0's whole stream, framed. ---
+  {
+    std::vector<wire::EventBatch> wire_batches;
+    std::size_t wire_events = 0;
+    for (const fleet::FacilityBatch& b : batches) {
+      if (b.facility != 0) continue;
+      wire::EventBatch wb;
+      wb.facility = b.facility;
+      wb.sent_time_s = b.sent_time_s;
+      wb.arrival_time_s = b.arrival_time_s;
+      wb.events = b.events;
+      wire_events += b.events.size();
+      wire_batches.push_back(std::move(wb));
+    }
+    std::vector<std::vector<std::uint8_t>> frames(wire_batches.size());
+    const double encode_s = wall_seconds([&] {
+      for (std::size_t i = 0; i < wire_batches.size(); ++i) {
+        frames[i] = wire::encode_event_batch_frame(wire_batches[i]);
+      }
+    });
+    std::size_t framed_bytes = 0;
+    for (const auto& f : frames) framed_bytes += f.size();
+    std::size_t decoded_events = 0;
+    bool decode_clean = true;
+    const double decode_s = wall_seconds([&] {
+      for (const auto& f : frames) {
+        const wire::DecodeResult res = wire::next_frame(f, 0);
+        if (!res.ok) {
+          decode_clean = false;
+          continue;
+        }
+        const auto decoded = wire::decode_event_batch(res.frame);
+        if (!decoded.has_value()) {
+          decode_clean = false;
+          continue;
+        }
+        decoded_events += decoded->events.size();
+      }
+    });
+    fleet_digest_matches = fleet_digest_matches && decode_clean &&
+                           decoded_events == wire_events;
+    const double bytes_per_event =
+        static_cast<double>(framed_bytes) / static_cast<double>(wire_events);
+    char note[96];
+    std::snprintf(note, sizeof note, "%.1f bytes/event framed (%zu frames)",
+                  bytes_per_event, frames.size());
+    entries.push_back({"fleet_wire_encode", encode_s, wire_events, "", 0.0, note});
+    entries.push_back({"fleet_wire_decode", decode_s, wire_events, "", 0.0,
+                       "strict decode + CRC of the same frames"});
+    std::printf("%-24s %.3fs  %s\n", "fleet_wire_encode", encode_s, note);
+    std::printf("%-24s %.3fs  %zu events recovered %s\n", "fleet_wire_decode",
+                decode_s, decoded_events, decode_clean ? "cleanly" : "WITH ERRORS");
+  }
+
+  // --- Checkpoint / restore timing on the fully-loaded store. ---
+  {
+    fleet::TrackingStore store;
+    const std::size_t split = batches.size() / 2;
+    for (std::size_t b = 0; b < split; ++b) store.ingest(batches[b]);
+    fleet::Checkpointer checkpointer;
+    (void)checkpointer.full(store);  // Baseline for the incremental below.
+    for (std::size_t b = split; b < batches.size(); ++b) store.ingest(batches[b]);
+
+    std::vector<std::uint8_t> incremental_snap;
+    const double inc_s = wall_seconds(
+        [&] { incremental_snap = checkpointer.incremental(store); });
+    const fleet::CheckpointStats inc_stats = checkpointer.last_stats();
+
+    std::vector<std::uint8_t> full_snap;
+    const double full_s = wall_seconds([&] { full_snap = checkpointer.full(store); });
+    const fleet::CheckpointStats full_stats = checkpointer.last_stats();
+
+    fleet::TrackingStore restored({64, 1});
+    double restore_s = 0.0;
+    bool restore_ok = true;
+    try {
+      restore_s = wall_seconds(
+          [&] { restored = fleet::restore_checkpoint(full_snap); });
+    } catch (const fleet::CheckpointError& e) {
+      restore_ok = false;
+      std::fprintf(stderr, "restore_checkpoint failed (%s): %s\n",
+                   fleet::checkpoint_error_name(e.kind()), e.what());
+    }
+    restore_ok = restore_ok && restored.digest() == store.digest() &&
+                 store.digest() == serial_digest;
+    fleet_digest_matches = fleet_digest_matches && restore_ok;
+
+    char full_note[96], inc_note[96];
+    std::snprintf(full_note, sizeof full_note, "%s, %zu shards",
+                  human_bytes(full_stats.bytes).c_str(), full_stats.shards_written);
+    std::snprintf(inc_note, sizeof inc_note, "%s, %zu shards written, %zu skipped",
+                  human_bytes(inc_stats.bytes).c_str(), inc_stats.shards_written,
+                  inc_stats.shards_skipped);
+    entries.push_back({"fleet_checkpoint_full", full_s,
+                       static_cast<std::size_t>(stats.accepted), "", 0.0, full_note});
+    entries.push_back({"fleet_checkpoint_incremental", inc_s,
+                       static_cast<std::size_t>(stats.accepted), "", 0.0, inc_note});
+    entries.push_back({"fleet_restore", restore_s,
+                       static_cast<std::size_t>(stats.accepted), "", 0.0,
+                       restore_ok ? "digest bit-identical" : "DIGEST MISMATCH"});
+    std::printf("%-24s %.3fs  %s\n", "fleet_checkpoint_full", full_s, full_note);
+    std::printf("%-24s %.3fs  %s\n", "fleet_checkpoint_incremental", inc_s, inc_note);
+    std::printf("%-24s %.3fs  %s\n", "fleet_restore", restore_s,
+                restore_ok ? "digest bit-identical" : "DIGEST MISMATCH (BUG)");
+  }
+
+  // --- Kill-and-recover matrix: crash mid-ingest under every thread and
+  // obs configuration; recovery must land on the uninterrupted digest. ---
+  bool crash_recovery_matches = true;
+  {
+    const std::size_t split = batches.size() / 2;
+    fleet::TrackingStore first_half;
+    for (std::size_t b = 0; b < split; ++b) first_half.ingest(batches[b]);
+    fleet::Checkpointer checkpointer;
+    const std::vector<std::uint8_t> snapshot = checkpointer.full(first_half);
+
+    TextTable recovery({"threads", "obs", "restore + finish (s)", "digest"});
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      for (const bool obs_on : {true, false}) {
+        const bool saved = obs::enabled();
+        obs::set_enabled(obs_on);
+        double wall = 0.0;
+        bool ok = true;
+        try {
+          fleet::TrackingStore store({64, 1});
+          wall = wall_seconds([&] {
+            store = fleet::restore_checkpoint(snapshot, threads);
+            std::vector<fleet::FacilityBatch> tail(batches.begin() + split,
+                                                   batches.end());
+            store.ingest(tail);
+          });
+          ok = store.digest() == serial_digest;
+        } catch (const fleet::CheckpointError& e) {
+          ok = false;
+          std::fprintf(stderr, "kill-and-recover (%zu threads): %s\n", threads,
+                       e.what());
+        }
+        obs::set_enabled(saved);
+        crash_recovery_matches = crash_recovery_matches && ok;
+        recovery.add_row({std::to_string(threads), obs_on ? "on" : "off",
+                          std::to_string(wall), ok ? "match" : "MISMATCH"});
+      }
+    }
+    std::printf("\nkill-and-recover: checkpoint at %zu/%zu batches (%zu bytes), "
+                "then restore + finish under each configuration:\n",
+                split, batches.size(), snapshot.size());
+    bench::print_table(recovery);
+    std::printf("crash recovery digests %s\n\n",
+                crash_recovery_matches ? "IDENTICAL to the uninterrupted run"
+                                       : "MISMATCH (durability contract broken, BUG)");
+  }
+
+  // --- BER-sweep ablation: corruption detection and NAK recovery vs wire
+  // bit-error rate, in the paper's R_C-ablation style. ---
+  std::uint64_t wire_undetected = 0;
+  double wire_min_recovered = 1.0;
+  {
+    sys::EventLog wire_log;
+    for (std::size_t b = 0; b < 200 && b < batches.size(); ++b) {
+      wire_log.insert(wire_log.end(), batches[b].events.begin(),
+                      batches[b].events.end());
+    }
+    TextTable ablation({"bit error rate", "frames", "corrupt", "recovered",
+                        "quarantined", "recovered frac", "undetected"});
+    const double rates[] = {0.0, 1e-6, 1e-5, 1e-4};
+    for (const double ber : rates) {
+      sys::UploaderConfig config;
+      config.batch_size = 32;
+      fault::WireCorruptorConfig corruption;
+      corruption.bit_error_rate = ber;
+      fault::WireCorruptor corruptor(corruption);
+      sys::EventUploader uploader(config);
+      Rng rng(session.seed() ^ 0xBE5EED);
+      double wall = 0.0;
+      wall = wall_seconds([&] {
+        (void)uploader.upload_wire(wire_log, 0, rng, ber > 0.0 ? &corruptor : nullptr);
+      });
+      const sys::WireUploadStats& ws = uploader.wire_stats();
+      const std::uint64_t affected = ws.batches_recovered + ws.batches_quarantined;
+      const double recovered_frac =
+          affected == 0 ? 1.0
+                        : static_cast<double>(ws.batches_recovered) /
+                              static_cast<double>(affected);
+      wire_undetected += ws.undetected_corruptions;
+      wire_min_recovered = std::min(wire_min_recovered, recovered_frac);
+      char rate_label[32], frac_label[32];
+      std::snprintf(rate_label, sizeof rate_label, "%.0e", ber);
+      std::snprintf(frac_label, sizeof frac_label, "%.4f", recovered_frac);
+      ablation.add_row({rate_label, std::to_string(ws.frames_sent),
+                        std::to_string(ws.corrupt_frames),
+                        std::to_string(ws.batches_recovered),
+                        std::to_string(ws.batches_quarantined), frac_label,
+                        std::to_string(ws.undetected_corruptions)});
+      if (ber == 1e-4) {
+        char note[96];
+        std::snprintf(note, sizeof note,
+                      "BER 1e-4: %llu NAKs, %.4f of affected batches recovered",
+                      static_cast<unsigned long long>(ws.nak_retransmits),
+                      recovered_frac);
+        entries.push_back({"fleet_wire_ber_1e4", wall, wire_log.size(), "", 0.0,
+                           note});
+      }
+    }
+    std::printf("wire BER ablation (%zu events, batch size 32, NAK budget %zu):\n",
+                wire_log.size(), sys::UploaderConfig{}.max_nak_retransmits);
+    bench::print_table(ablation);
+    std::printf("undetected corruptions: %llu (must be 0); worst recovered "
+                "fraction: %.4f (must be >= 0.99)\n\n",
+                static_cast<unsigned long long>(wire_undetected),
+                wire_min_recovered);
+  }
+  const bool wire_gates_pass = wire_undetected == 0 && wire_min_recovered >= 0.99;
+
   // Query throughput on the serially-built store.
   {
     fleet::TrackingStore store;
@@ -306,7 +685,7 @@ int main(int argc, char** argv) {
       }
     });
     entries.push_back({"fleet_query_locate", locate_s, kLocates, "", 0.0,
-                       "point locate over 20k timelines"});
+                       "point locate over 40k timelines"});
 
     track::Manifest manifest;
     for (std::uint64_t i = 0; i < 2000; ++i) {
@@ -327,7 +706,7 @@ int main(int argc, char** argv) {
     if (sink == 42.0) std::puts("");
   }
 
-  std::printf("\nstore: %llu accepted, %llu duplicates, %llu repairs, "
+  std::printf("store: %llu accepted, %llu duplicates, %llu repairs, "
               "%llu late batches; digests %s\n\n",
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.duplicates),
@@ -342,8 +721,10 @@ int main(int argc, char** argv) {
                e.baseline.empty() ? "-" : (std::to_string(e.speedup) + "x " + e.baseline)});
   }
   bench::print_table(t);
+  std::printf("peak RSS: %s\n", human_bytes(peak_rss_bytes()).c_str());
 
-  write_json(out_path, entries, fleet_digest_matches);
+  write_json(out_path, entries, fleet_digest_matches, crash_recovery_matches,
+             wire_undetected, wire_min_recovered);
   std::printf("\nwrote %s\n", out_path);
-  return fleet_digest_matches ? 0 : 1;
+  return fleet_digest_matches && crash_recovery_matches && wire_gates_pass ? 0 : 1;
 }

@@ -1,0 +1,123 @@
+#include "fault/wire_corruptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rfidsim::fault {
+
+namespace {
+
+/// Geometric gap to the next flipped bit for independent per-bit error
+/// probability `p`: floor(log(1-u) / log(1-p)). One draw per *flip*
+/// instead of one per bit, which is what makes BER sweeps over megabytes
+/// affordable.
+std::uint64_t next_gap(double p, Rng& rng) {
+  const double u = rng.uniform();
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+}  // namespace
+
+WireCorruptor::WireCorruptor(WireCorruptorConfig config) : config_(config) {
+  require(config_.bit_error_rate >= 0.0 && config_.bit_error_rate < 1.0,
+          "WireCorruptor: bit_error_rate must be in [0, 1)");
+  require(config_.burst_probability >= 0.0 && config_.burst_probability <= 1.0,
+          "WireCorruptor: burst_probability must be in [0, 1]");
+  require(config_.truncate_probability >= 0.0 && config_.truncate_probability <= 1.0,
+          "WireCorruptor: truncate_probability must be in [0, 1]");
+  require(config_.duplicate_probability >= 0.0 &&
+              config_.duplicate_probability <= 1.0,
+          "WireCorruptor: duplicate_probability must be in [0, 1]");
+  require(config_.reorder_probability >= 0.0 && config_.reorder_probability <= 1.0,
+          "WireCorruptor: reorder_probability must be in [0, 1]");
+  require(config_.burst_max_bytes > 0,
+          "WireCorruptor: burst_max_bytes must be positive");
+  identity_ = config_.bit_error_rate == 0.0 && config_.burst_probability == 0.0 &&
+              config_.truncate_probability == 0.0 &&
+              config_.duplicate_probability == 0.0 &&
+              config_.reorder_probability == 0.0;
+}
+
+bool WireCorruptor::corrupt_frame(std::vector<std::uint8_t>& frame, Rng& rng) {
+  ++stats_.frames;
+  if (identity_ || frame.empty()) return false;
+  bool damaged = false;
+
+  // Independent bit flips via geometric gap skipping.
+  if (config_.bit_error_rate > 0.0) {
+    const std::uint64_t total_bits = static_cast<std::uint64_t>(frame.size()) * 8;
+    std::uint64_t bit = next_gap(config_.bit_error_rate, rng);
+    while (bit < total_bits) {
+      frame[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      ++stats_.bits_flipped;
+      damaged = true;
+      bit += 1 + next_gap(config_.bit_error_rate, rng);
+    }
+  }
+
+  // One noise burst: consecutive bytes replaced with random garbage.
+  if (config_.burst_probability > 0.0 && rng.bernoulli(config_.burst_probability)) {
+    const std::size_t len = std::min(
+        frame.size(), static_cast<std::size_t>(rng.uniform_int(
+                          1, static_cast<std::int64_t>(config_.burst_max_bytes))));
+    const std::size_t begin = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size() - len)));
+    for (std::size_t i = 0; i < len; ++i) {
+      frame[begin + i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    ++stats_.bursts;
+    damaged = true;
+  }
+
+  // Torn connection: lose a uniform tail (always at least one byte, never
+  // the whole frame — a zero-length delivery is a lost batch, which the
+  // uploader's loss model already owns).
+  if (config_.truncate_probability > 0.0 &&
+      rng.bernoulli(config_.truncate_probability) && frame.size() > 1) {
+    const std::size_t keep = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(frame.size() - 1)));
+    frame.resize(keep);
+    ++stats_.truncated;
+    damaged = true;
+  }
+
+  if (damaged) ++stats_.frames_damaged;
+  return damaged;
+}
+
+std::vector<std::vector<std::uint8_t>> WireCorruptor::corrupt_stream(
+    std::vector<std::vector<std::uint8_t>> frames, Rng& rng) {
+  if (identity_) {
+    stats_.frames += frames.size();
+    return frames;
+  }
+  // Stream-level damage first (on intact frames, as middleware would see
+  // them), then per-frame byte damage on the final sequence.
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(frames.size() + 4);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out.push_back(std::move(frames[i]));
+    if (config_.duplicate_probability > 0.0 &&
+        rng.bernoulli(config_.duplicate_probability)) {
+      out.push_back(out.back());
+      ++stats_.duplicated;
+    }
+  }
+  if (config_.reorder_probability > 0.0) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (rng.bernoulli(config_.reorder_probability)) {
+        std::swap(out[i], out[i + 1]);
+        ++stats_.reordered;
+        ++i;  // A swapped pair is one displacement, not a bubble sort.
+      }
+    }
+  }
+  for (std::vector<std::uint8_t>& frame : out) corrupt_frame(frame, rng);
+  return out;
+}
+
+}  // namespace rfidsim::fault

@@ -11,8 +11,10 @@ namespace rfidsim::fleet {
 
 namespace {
 
-/// Feed registry hooks: per-pass aggregates across all feeds.
-void record_feed_metrics(const FeedPassResult& result) {
+/// Feed registry hooks: per-pass aggregates across all feeds, plus
+/// per-facility wire-transport counters (the facility label is what lets
+/// an operator see *which* uplink is rotting).
+void record_feed_metrics(const FeedPassResult& result, FacilityId facility) {
   static const struct Metrics {
     obs::Counter& passes = obs::counter("fleet.feed.passes");
     obs::Counter& batches = obs::counter("fleet.feed.batches");
@@ -25,6 +27,18 @@ void record_feed_metrics(const FeedPassResult& result) {
   m.quarantined.add(result.quarantined);
   m.late.add(result.late_batches);
   m.lost.add(result.lost_batches);
+
+  const std::string label = std::to_string(facility);
+  obs::counter("fleet.feed.wire_frames", {{"facility", label}})
+      .add(result.frames_sent);
+  obs::counter("fleet.feed.wire_corrupt_frames", {{"facility", label}})
+      .add(result.corrupt_frames);
+  obs::counter("fleet.feed.wire_recovered_batches", {{"facility", label}})
+      .add(result.recovered_batches);
+  obs::counter("fleet.feed.wire_quarantined_batches", {{"facility", label}})
+      .add(result.quarantined_batches);
+  obs::counter("fleet.feed.stale_batches", {{"facility", label}})
+      .add(result.stale_batches);
 }
 
 }  // namespace
@@ -32,6 +46,7 @@ void record_feed_metrics(const FeedPassResult& result) {
 FacilityFeed::FacilityFeed(FeedConfig config)
     : config_(std::move(config)),
       uploader_(config_.uploader),
+      corruptor_(config_.wire_corruption),
       ingest_(config_.ingest),
       monitor_(config_.monitor) {
   require(config_.ingest.reader_count > 0,
@@ -47,8 +62,19 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
 
   FeedPassResult result;
   const std::size_t batches_before = uploader_.stats().batches_lost;
-  std::vector<sys::DeliveredBatch> delivered = uploader_.upload_batches(raw, rng);
+  const sys::WireUploadStats wire_before = uploader_.wire_stats();
+  std::vector<sys::DeliveredBatch> delivered =
+      uploader_.upload_wire(raw, config_.facility, rng, &corruptor_);
   result.lost_batches = uploader_.stats().batches_lost - batches_before;
+  const sys::WireUploadStats& wire_after = uploader_.wire_stats();
+  result.frames_sent =
+      static_cast<std::size_t>(wire_after.frames_sent - wire_before.frames_sent);
+  result.corrupt_frames = static_cast<std::size_t>(wire_after.corrupt_frames -
+                                                   wire_before.corrupt_frames);
+  result.recovered_batches = static_cast<std::size_t>(
+      wire_after.batches_recovered - wire_before.batches_recovered);
+  result.quarantined_batches = static_cast<std::size_t>(
+      wire_after.batches_quarantined - wire_before.batches_quarantined);
 
   // Per-batch validation: the same record rules ingest() applies, so the
   // store only ever sees plausible sightings. On-time batches additionally
@@ -68,6 +94,11 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
       batch.events.push_back(ev);
     }
     if (batch.events.empty()) continue;
+    if (batch.arrival_time_s > window_end_s + config_.stale_horizon_s) {
+      // Past the staleness horizon: alerted below, still stored — the
+      // sorted-idempotent store repairs truth however late the data is.
+      ++result.stale_batches;
+    }
     if (batch.arrival_time_s > window_end_s) {
       ++result.late_batches;
     } else {
@@ -85,8 +116,11 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
   monitor_.observe_pass(track::monitor_observation(
       result.report, config_.ingest.reader_count, config_.objects_total,
       window_begin_s, window_end_s));
+  monitor_.observe_transport(obs::TransportObservation{
+      result.frames_sent, result.corrupt_frames, result.recovered_batches,
+      result.quarantined_batches, result.stale_batches, window_end_s});
 
-  if (obs::hooks_enabled()) record_feed_metrics(result);
+  if (obs::hooks_enabled()) record_feed_metrics(result, config_.facility);
   return result;
 }
 

@@ -1,17 +1,22 @@
 // rfidsim::fleet — one facility's feed into the fleet store.
 //
 // Each simulated facility pushes its pass logs through the same production
-// path the single-portal stack models: the buffered uploader (batch loss,
-// retry backoff — sys::EventUploader) followed by resilient ingest
-// validation (track::validate_event / track::ResilientIngest). FacilityFeed
-// bundles that path per facility and splits its output two ways:
+// path the single-portal stack models: the *wire-framed* uploader hop
+// (sys::EventUploader::upload_wire — checksummed binary frames, link loss
+// with bounded backoff, bit-level channel corruption detected by CRC and
+// recovered by NAK retransmission) followed by resilient ingest validation
+// (track::validate_event / track::ResilientIngest). FacilityFeed bundles
+// that path per facility and splits its output two ways:
 //
 //   Batches -> store   Every delivered batch is validated record by record
 //                      and forwarded with its flush and arrival times as a
 //                      FacilityBatch. *All* delivered batches reach the
 //                      store, however late: the store's sorted-idempotent
 //                      insert repairs timelines retroactively, which is the
-//                      whole point of keeping them.
+//                      whole point of keeping them. Batches older than the
+//                      configurable staleness horizon still repair stored
+//                      truth, but raise a typed stale_batch alert so the
+//                      silent late-data path is observable.
 //   Pass -> monitor    The pass-level quality signals (transport dedup,
 //                      silence gaps, degraded readers) come from one union
 //                      ResilientIngest::ingest over the batches that
@@ -31,9 +36,11 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/wire_corruptor.hpp"
 #include "fleet/query.hpp"
 #include "fleet/store.hpp"
 #include "obs/monitor.hpp"
@@ -50,6 +57,16 @@ struct FeedConfig {
   sys::UploaderConfig uploader;
   track::IngestConfig ingest;
   obs::MonitorConfig monitor;
+  /// What this facility's physical uplink does to framed bytes. The
+  /// default is a strict identity (draws nothing from the Rng), so feeds
+  /// without configured corruption behave bit-identically to a clean
+  /// channel.
+  fault::WireCorruptorConfig wire_corruption;
+  /// A delivered batch whose arrival is more than this many seconds past
+  /// the pass window end is counted stale and raises the monitor's
+  /// stale_batch alert. It is still forwarded to the store — staleness is
+  /// an observability signal, never data loss. Infinity disables it.
+  double stale_horizon_s = std::numeric_limits<double>::infinity();
 };
 
 /// Everything one pass produced on its way to the store.
@@ -63,6 +80,13 @@ struct FeedPassResult {
   std::size_t quarantined = 0;   ///< Records rejected by per-batch validation.
   std::size_t late_batches = 0;  ///< Delivered after the window closed.
   std::size_t lost_batches = 0;  ///< Dropped by the upload hop entirely.
+  // Wire-transport tallies for this pass (deltas of the uploader's
+  // cumulative WireUploadStats, plus the feed's own staleness screen).
+  std::size_t frames_sent = 0;          ///< Frame transmissions incl. retransmits.
+  std::size_t corrupt_frames = 0;       ///< Receiver-detected bad frames (NAKs).
+  std::size_t recovered_batches = 0;    ///< Delivered after >= 1 NAK.
+  std::size_t quarantined_batches = 0;  ///< Dropped: NAK budget exhausted.
+  std::size_t stale_batches = 0;        ///< Arrived past the staleness horizon.
 };
 
 /// One facility's upload + validation + monitoring pipeline. Stateful:
@@ -89,11 +113,18 @@ class FacilityFeed {
   const obs::ReliabilityMonitor& monitor() const { return monitor_; }
   obs::ReliabilityMonitor& monitor() { return monitor_; }
   const sys::UploadStats& upload_stats() const { return uploader_.stats(); }
+  const sys::WireUploadStats& wire_stats() const { return uploader_.wire_stats(); }
+  /// Ground truth of what the channel actually did (the decoder's
+  /// detection counters are calibrated against this in tests).
+  const fault::WireCorruptionStats& corruption_stats() const {
+    return corruptor_.stats();
+  }
   const FeedConfig& config() const { return config_; }
 
  private:
   FeedConfig config_;
   sys::EventUploader uploader_;
+  fault::WireCorruptor corruptor_;
   track::ResilientIngest ingest_;
   obs::ReliabilityMonitor monitor_;
   std::vector<std::size_t> last_degraded_;  ///< Readers silent in last pass.

@@ -107,11 +107,17 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
   // so the parallel merge is race-free and order-deterministic.
   sweep::parallel_for(shard_count, options, [&](std::size_t s) {
     Shard& shard = shards_[s];
+    bool touched = false;
     for (const auto& buckets : routed) {
       for (const RoutedSighting& rs : buckets[s]) {
         merge_into_shard(shard, rs.epc, rs.sighting);
+        touched = true;
       }
     }
+    // One version bump per ingest that routed anything here (even if every
+    // event deduplicated away — the checkpoint diff only needs "may have
+    // changed", and counters did change).
+    if (touched) ++shard.version;
   });
 
   stats_.batches += batches.size();
@@ -179,6 +185,37 @@ std::size_t TrackingStore::sighting_count() const {
 
 std::size_t TrackingStore::shard_depth(std::size_t shard) const {
   return shards_.at(shard).sightings;
+}
+
+TrackingStore::ShardCounters TrackingStore::shard_counters(std::size_t shard) const {
+  const Shard& s = shards_.at(shard);
+  return ShardCounters{s.sightings, s.duplicates, s.repairs, s.version};
+}
+
+std::uint64_t TrackingStore::shard_version(std::size_t shard) const {
+  return shards_.at(shard).version;
+}
+
+void TrackingStore::visit_shard(
+    std::size_t shard,
+    const std::function<void(std::uint64_t, const std::vector<Sighting>&)>& fn) const {
+  for (const auto& [epc, tl] : shards_.at(shard).timelines) fn(epc, tl);
+}
+
+void TrackingStore::restore_shard(
+    std::size_t shard,
+    std::vector<std::pair<std::uint64_t, std::vector<Sighting>>> timelines,
+    const ShardCounters& counters) {
+  Shard& s = shards_.at(shard);
+  s.timelines.clear();
+  // Input is ascending by EPC, so every insert lands at end() in O(1).
+  for (auto& [epc, tl] : timelines) {
+    s.timelines.emplace_hint(s.timelines.end(), epc, std::move(tl));
+  }
+  s.sightings = counters.sightings;
+  s.duplicates = counters.duplicates;
+  s.repairs = counters.repairs;
+  s.version = counters.version;
 }
 
 std::uint64_t TrackingStore::digest() const {

@@ -31,8 +31,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "scene/tag.hpp"
@@ -127,6 +129,43 @@ class TrackingStore {
   std::size_t shard_depth(std::size_t shard) const;
   std::size_t shard_of(scene::TagId tag) const;
 
+  // --- Checkpoint/restore surface (fleet/checkpoint.*) -----------------
+  //
+  // The snapshot layer reads shards through these accessors and rebuilds
+  // them through restore_shard/restore_stats. Restore replaces state
+  // wholesale; it is not an ingest path and performs no validation beyond
+  // structure — the checkpoint reader owns integrity (CRC + digest).
+
+  /// Per-shard bookkeeping the checkpoint must carry so a restored store's
+  /// stats() stay faithful. `version` is a monotonic mutation counter
+  /// (bumped once per ingest() that touched the shard) — the incremental
+  /// checkpoint writer diffs it to skip unchanged shards.
+  struct ShardCounters {
+    std::uint64_t sightings = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t version = 0;
+  };
+  ShardCounters shard_counters(std::size_t shard) const;
+  std::uint64_t shard_version(std::size_t shard) const;
+
+  /// Visits one shard's timelines in ascending-EPC order.
+  void visit_shard(std::size_t shard,
+                   const std::function<void(std::uint64_t epc,
+                                            const std::vector<Sighting>&)>& fn) const;
+
+  /// Replaces one shard's contents wholesale. `timelines` must be sorted
+  /// ascending by EPC with each timeline in sighting_less order (the
+  /// checkpoint wrote them that way; restore trusts the digest check to
+  /// catch anything else).
+  void restore_shard(
+      std::size_t shard,
+      std::vector<std::pair<std::uint64_t, std::vector<Sighting>>> timelines,
+      const ShardCounters& counters);
+
+  /// Restores the shard-independent ingest tallies.
+  void restore_stats(const StoreStats& stats) { stats_ = stats; }
+
  private:
   struct Shard {
     /// Ordered by EPC so per-shard iteration is deterministic.
@@ -134,6 +173,8 @@ class TrackingStore {
     std::uint64_t sightings = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t repairs = 0;
+    /// Mutation epoch for incremental checkpoints.
+    std::uint64_t version = 0;
   };
 
   void merge_into_shard(Shard& shard, std::uint64_t epc, const Sighting& s);

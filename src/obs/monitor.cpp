@@ -80,6 +80,8 @@ const char* alert_type_name(AlertType type) {
     case AlertType::kReaderDegraded: return "reader_degraded";
     case AlertType::kModelDivergence: return "model_divergence";
     case AlertType::kSilence: return "silence";
+    case AlertType::kWireCorruption: return "wire_corruption";
+    case AlertType::kStaleBatch: return "stale_batch";
   }
   return "?";
 }
@@ -281,12 +283,56 @@ double ReliabilityMonitor::reader_baseline_rounds(std::size_t reader) const {
   return readers_[reader].baseline_rounds;
 }
 
+void ReliabilityMonitor::observe_transport(const TransportObservation& obs) {
+  // Transport passes are indexed independently of portal passes: callers
+  // may start the wire hop before (or without) ever feeding observe_pass.
+  const std::uint64_t pass = transport_passes_++;
+
+  const bool corrupted = obs.corrupt_frames > 0 || obs.quarantined_batches > 0;
+  if (corrupted) {
+    if (!wire_corruption_latched_) {
+      wire_corruption_latched_ = true;
+      const double fraction =
+          obs.frames == 0 ? 1.0
+                          : static_cast<double>(obs.corrupt_frames) /
+                                static_cast<double>(obs.frames);
+      raise(AlertType::kWireCorruption, pass, -1, fraction, 0.0, "wire",
+            obs.window_end_s);
+    }
+  } else {
+    wire_corruption_latched_ = false;
+  }
+
+  if (obs.stale_batches > 0) {
+    if (!stale_latched_) {
+      stale_latched_ = true;
+      raise(AlertType::kStaleBatch, pass, -1,
+            static_cast<double>(obs.stale_batches), 0.0, "stale",
+            obs.window_end_s);
+    }
+  } else {
+    stale_latched_ = false;
+  }
+
+  if (hooks_enabled()) {
+    obs::counter("obs.monitor.wire_frames").add(obs.frames);
+    obs::counter("obs.monitor.wire_corrupt_frames").add(obs.corrupt_frames);
+    obs::counter("obs.monitor.wire_recovered_batches").add(obs.recovered_batches);
+    obs::counter("obs.monitor.wire_quarantined_batches")
+        .add(obs.quarantined_batches);
+    obs::counter("obs.monitor.stale_batches").add(obs.stale_batches);
+  }
+}
+
 void ReliabilityMonitor::reset() {
   readers_.clear();
   portal_.reset();
   alerts_.clear();
   passes_ = 0;
+  transport_passes_ = 0;
   divergence_latched_ = false;
+  wire_corruption_latched_ = false;
+  stale_latched_ = false;
 }
 
 }  // namespace rfidsim::obs

@@ -130,10 +130,23 @@ class CusumDetector {
   double value_ = 0.0;
 };
 
-enum class AlertType : int { kReaderDegraded = 0, kModelDivergence = 1, kSilence = 2 };
+enum class AlertType : int {
+  kReaderDegraded = 0,
+  kModelDivergence = 1,
+  kSilence = 2,
+  /// The uplink delivered frames the wire decoder classified as corrupt
+  /// (bad CRC / truncated / bad magic / ...), or quarantined a batch after
+  /// exhausting NAK retransmissions. Transport-level, reader = -1.
+  kWireCorruption = 3,
+  /// A delivered batch arrived past the feed's staleness horizon. It still
+  /// repairs stored truth — this alert exists precisely so that silent
+  /// late-data path is observable. Transport-level, reader = -1.
+  kStaleBatch = 4,
+};
 
 /// Stable lower-snake name ("reader_degraded", "model_divergence",
-/// "silence") used for alert-counter labels and log event names.
+/// "silence", "wire_corruption", "stale_batch") used for alert-counter
+/// labels and log event names.
 const char* alert_type_name(AlertType type);
 
 /// One raised alert. Alerts latch: a condition fires once on its rising
@@ -163,6 +176,18 @@ struct PassObservation {
   std::uint64_t objects_total = 0;
   std::uint64_t objects_identified = 0;
   std::vector<ReaderPassObservation> readers;
+};
+
+/// What the transport layer (wire uplink + batch staleness screening) did
+/// during one pass, as fed to observe_transport(). All counts are for this
+/// pass only, not cumulative.
+struct TransportObservation {
+  std::uint64_t frames = 0;              ///< Frame transmissions attempted.
+  std::uint64_t corrupt_frames = 0;      ///< Receiver-detected bad frames.
+  std::uint64_t recovered_batches = 0;   ///< Delivered after >= 1 NAK.
+  std::uint64_t quarantined_batches = 0; ///< Dropped: NAK budget exhausted.
+  std::uint64_t stale_batches = 0;       ///< Arrived past the staleness horizon.
+  double window_end_s = 0.0;
 };
 
 struct MonitorConfig {
@@ -197,6 +222,13 @@ class ReliabilityMonitor {
   /// Folds in one pass. Readers must keep the same count and order on
   /// every call.
   void observe_pass(const PassObservation& obs);
+
+  /// Folds in one pass's transport tallies (call once per pass, alongside
+  /// observe_pass — order between the two does not matter). Raises the
+  /// typed kWireCorruption / kStaleBatch alerts on their rising edges,
+  /// latched exactly like the reader alerts: a ten-pass corruption storm
+  /// is one alert, re-armed only after a clean pass.
+  void observe_transport(const TransportObservation& obs);
 
   /// All alerts raised so far, in firing order.
   const std::vector<Alert>& alerts() const { return alerts_; }
@@ -251,7 +283,10 @@ class ReliabilityMonitor {
   SlidingWindowRate portal_;
   std::vector<Alert> alerts_;
   std::uint64_t passes_ = 0;
+  std::uint64_t transport_passes_ = 0;
   bool divergence_latched_ = false;
+  bool wire_corruption_latched_ = false;
+  bool stale_latched_ = false;
 };
 
 }  // namespace rfidsim::obs

@@ -2,18 +2,36 @@
 //
 // Readers in buffered continuous mode batch their reads and push them
 // upstream over whatever the site wired in — serial, flaky WiFi, a cell
-// modem on a dock door. This models that hop: batches are lost with a
-// configurable probability, retried with exponential backoff, and dropped
-// for good once the retry budget is exhausted (the reader's ring buffer
-// has wrapped by then). Downstream, track::ResilientIngest treats the
-// result as just another degraded feed.
+// modem on a dock door. This models that hop at two fidelities:
+//
+//   upload_batches()  link-level loss only: batches are lost with a
+//                     configurable probability, retried with *bounded*
+//                     exponential backoff (cap + deterministic seeded
+//                     jitter), and dropped for good once the retry budget
+//                     is exhausted (the reader's ring buffer has wrapped
+//                     by then).
+//   upload_wire()     the same link, but batches travel as checksummed
+//                     binary frames (wire::encode_event_batch_frame) and
+//                     the channel damages *bits*, not rows. The receiver
+//                     decodes strictly; any classified failure (bad CRC,
+//                     truncation, bad magic, unknown version...) is a NAK
+//                     and the uploader retransmits under its own budget.
+//                     Corruption is therefore detected and quarantined,
+//                     never silently parsed — the end-to-end integrity
+//                     half of the fleet durability contract.
+//
+// Downstream, track::ResilientIngest treats the result as just another
+// degraded feed.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/wire_corruptor.hpp"
 #include "system/events.hpp"
+#include "wire/wire.hpp"
 
 namespace rfidsim::sys {
 
@@ -25,9 +43,20 @@ struct UploaderConfig {
   double loss_probability = 0.0;
   /// Retries after the first failed attempt before the batch is dropped.
   std::size_t max_retries = 4;
-  /// Backoff before the first retry; doubles per subsequent retry.
+  /// Backoff before the first retry; multiplies per subsequent retry,
+  /// capped at max_backoff_s (bounded exponential — the backoff can never
+  /// run away however deep the retry budget goes).
   double initial_backoff_s = 0.05;
   double backoff_multiplier = 2.0;
+  double max_backoff_s = 10.0;
+  /// Fraction of each backoff added as uniform jitter in
+  /// [0, jitter_fraction * backoff). Drawn from the caller's Rng, so it is
+  /// seeded and deterministic; 0 draws nothing (decorrelating retries
+  /// across readers costs determinism nothing here).
+  double jitter_fraction = 0.0;
+  /// Wire path only: retransmissions after a NAK (corrupt frame detected
+  /// by the receiver) before the batch is quarantined.
+  std::size_t max_nak_retransmits = 6;
 };
 
 /// One batch as the backend received it. `sent_time_s` is the reader's
@@ -40,6 +69,9 @@ struct DeliveredBatch {
   EventLog events;
   double sent_time_s = 0.0;
   double arrival_time_s = 0.0;
+  /// Wire path: NAK retransmissions this batch needed (0 = clean first
+  /// try; > 0 = recovered from detected corruption).
+  std::size_t nak_retransmits = 0;
 };
 
 /// What the channel did to one log.
@@ -51,6 +83,23 @@ struct UploadStats {
   std::size_t events_delivered = 0;
   std::size_t events_lost = 0;
   double backoff_delay_s = 0.0;    ///< Total backoff the retries waited out.
+};
+
+/// What the wire added on top of link loss (upload_wire only).
+struct WireUploadStats {
+  std::uint64_t frames_sent = 0;       ///< Frame transmissions incl. retransmits.
+  std::uint64_t bytes_sent = 0;        ///< Framed bytes offered to the channel.
+  std::uint64_t corrupt_frames = 0;    ///< Receiver-detected bad frames (NAKs).
+  /// Detected failures by DecodeErrorKind (index = enum value).
+  std::uint64_t corrupt_by_kind[7] = {};
+  std::uint64_t nak_retransmits = 0;
+  std::uint64_t batches_recovered = 0;   ///< Delivered after >= 1 NAK.
+  std::uint64_t batches_quarantined = 0; ///< NAK budget exhausted; dropped.
+  std::uint64_t events_quarantined = 0;
+  /// Frames that decoded fine but differ from what was sent — a CRC-16
+  /// collision. Ground truth only the simulator can see; the acceptance
+  /// bar is that this stays zero.
+  std::uint64_t undetected_corruptions = 0;
 };
 
 /// Pushes event logs through the lossy upload hop.
@@ -71,12 +120,28 @@ class EventUploader {
   /// upload() does (upload() is this call with the timing discarded).
   std::vector<DeliveredBatch> upload_batches(const EventLog& log, Rng& rng);
 
+  /// The wire-framed hop: each link-delivered batch is encoded as a
+  /// checksummed binary frame, damaged by `corruptor` (nullptr = clean
+  /// channel), and strictly decoded; detected corruption NAKs and
+  /// retransmits under max_nak_retransmits. Returned events are the
+  /// *decoded* bytes — nothing the receiver could not have seen. With a
+  /// clean or identity channel this draws from `rng` exactly as
+  /// upload_batches does and returns bit-identical batches.
+  std::vector<DeliveredBatch> upload_wire(const EventLog& log,
+                                          std::uint32_t facility, Rng& rng,
+                                          fault::WireCorruptor* corruptor);
+
   const UploadStats& stats() const { return stats_; }
-  void reset() { stats_ = UploadStats{}; }
+  const WireUploadStats& wire_stats() const { return wire_stats_; }
+  void reset() {
+    stats_ = UploadStats{};
+    wire_stats_ = WireUploadStats{};
+  }
 
  private:
   UploaderConfig config_;
   UploadStats stats_;
+  WireUploadStats wire_stats_;
 };
 
 }  // namespace rfidsim::sys

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "fault/wire_corruptor.hpp"
 
 namespace rfidsim::sys {
 namespace {
@@ -179,6 +180,137 @@ TEST(EventUploaderTest, UploadIsUploadBatchesFlattened) {
   EXPECT_DOUBLE_EQ(flat.stats().backoff_delay_s, batched.stats().backoff_delay_s);
 }
 
+TEST(EventUploaderTest, BackoffIsBoundedByMaxBackoff) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.999;  // Walk the whole ladder.
+  cfg.max_retries = 6;
+  cfg.initial_backoff_s = 1.0;
+  cfg.backoff_multiplier = 4.0;
+  cfg.max_backoff_s = 2.0;  // Caps from the second retry on.
+  cfg.batch_size = 8;
+  EventUploader up(cfg);
+  Rng rng(4);
+  (void)up.upload(make_log(8), rng);
+  // Unbounded would wait 1 + 4 + 16 + 64 + 256 + 1024; bounded waits
+  // 1 + 2 + 2 + 2 + 2 + 2.
+  EXPECT_NEAR(up.stats().backoff_delay_s, 11.0, 1e-9);
+}
+
+TEST(EventUploaderTest, JitterIsSeededBoundedAndOffByDefault) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.999;
+  cfg.max_retries = 3;
+  cfg.initial_backoff_s = 0.1;
+  cfg.backoff_multiplier = 2.0;
+  cfg.batch_size = 8;
+  cfg.jitter_fraction = 0.5;
+  const double base = 0.7;  // 0.1 + 0.2 + 0.4 without jitter.
+
+  EventUploader u1(cfg), u2(cfg);
+  Rng a(9), b(9);
+  (void)u1.upload(make_log(8), a);
+  (void)u2.upload(make_log(8), b);
+  // Jittered, but deterministically: same seed, same total backoff.
+  EXPECT_GT(u1.stats().backoff_delay_s, base);
+  EXPECT_LE(u1.stats().backoff_delay_s, base * (1.0 + cfg.jitter_fraction) + 1e-12);
+  EXPECT_DOUBLE_EQ(u1.stats().backoff_delay_s, u2.stats().backoff_delay_s);
+
+  // Different seeds decorrelate the retries (that is the point of jitter).
+  EventUploader u3(cfg);
+  Rng c(10);
+  (void)u3.upload(make_log(8), c);
+  EXPECT_NE(u1.stats().backoff_delay_s, u3.stats().backoff_delay_s);
+}
+
+TEST(EventUploaderWireTest, CleanWireMatchesUploadBatchesBitForBit) {
+  UploaderConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.max_retries = 6;
+  cfg.batch_size = 8;
+  EventUploader plain(cfg), wired(cfg);
+  Rng a(21), b(21);
+  const EventLog log = make_log(200);
+  const auto expect = plain.upload_batches(log, a);
+  const auto got = wired.upload_wire(log, 3, b, nullptr);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].sent_time_s, expect[i].sent_time_s);
+    EXPECT_DOUBLE_EQ(got[i].arrival_time_s, expect[i].arrival_time_s);
+    EXPECT_EQ(got[i].nak_retransmits, 0u);
+    ASSERT_EQ(got[i].events.size(), expect[i].events.size());
+    for (std::size_t j = 0; j < got[i].events.size(); ++j) {
+      EXPECT_EQ(got[i].events[j].tag, expect[i].events[j].tag);
+      EXPECT_DOUBLE_EQ(got[i].events[j].time_s, expect[i].events[j].time_s);
+    }
+  }
+  EXPECT_EQ(wired.stats().attempts, plain.stats().attempts);
+  EXPECT_DOUBLE_EQ(wired.stats().backoff_delay_s, plain.stats().backoff_delay_s);
+  EXPECT_EQ(wired.wire_stats().corrupt_frames, 0u);
+  EXPECT_GT(wired.wire_stats().frames_sent, 0u);
+  EXPECT_GT(wired.wire_stats().bytes_sent, 0u);
+}
+
+TEST(EventUploaderWireTest, DetectedCorruptionRetransmitsAndRecovers) {
+  UploaderConfig cfg;
+  cfg.batch_size = 16;
+  cfg.max_nak_retransmits = 24;
+  EventUploader up(cfg);
+  fault::WireCorruptorConfig ccfg;
+  ccfg.bit_error_rate = 1e-3;  // Most frames need at least one retransmit.
+  fault::WireCorruptor corruptor(ccfg);
+  Rng rng(31);
+  const EventLog log = make_log(320);  // 20 batches.
+  const auto got = up.upload_wire(log, 1, rng, &corruptor);
+  ASSERT_EQ(got.size(), 20u);
+  const WireUploadStats& ws = up.wire_stats();
+  EXPECT_GT(ws.corrupt_frames, 0u);
+  EXPECT_EQ(ws.nak_retransmits, ws.corrupt_frames);  // Every NAK retransmitted.
+  EXPECT_GT(ws.batches_recovered, 0u);
+  EXPECT_EQ(ws.batches_quarantined, 0u);
+  EXPECT_EQ(ws.undetected_corruptions, 0u);
+  // Per-batch NAK counts in the delivery record sum to the stats view.
+  std::size_t naks = 0, recovered = 0;
+  for (const DeliveredBatch& batch : got) {
+    naks += batch.nak_retransmits;
+    if (batch.nak_retransmits > 0) ++recovered;
+  }
+  EXPECT_EQ(naks, ws.nak_retransmits);
+  EXPECT_EQ(recovered, ws.batches_recovered);
+  // Detected failures are classified: the per-kind tallies cover them all.
+  std::uint64_t by_kind = 0;
+  for (const std::uint64_t k : ws.corrupt_by_kind) by_kind += k;
+  EXPECT_EQ(by_kind, ws.corrupt_frames);
+  // Delivered events are the decoded bytes — bit-identical to what was sent.
+  std::size_t offset = 0;
+  for (const DeliveredBatch& batch : got) {
+    for (const ReadEvent& ev : batch.events) {
+      EXPECT_EQ(ev.tag, log[offset].tag);
+      EXPECT_DOUBLE_EQ(ev.time_s, log[offset].time_s);
+      ++offset;
+    }
+  }
+  EXPECT_EQ(offset, log.size());
+}
+
+TEST(EventUploaderWireTest, ExhaustedNakBudgetQuarantines) {
+  UploaderConfig cfg;
+  cfg.batch_size = 16;
+  cfg.max_nak_retransmits = 1;
+  EventUploader up(cfg);
+  fault::WireCorruptorConfig ccfg;
+  ccfg.bit_error_rate = 0.05;  // Every try all but surely corrupt.
+  fault::WireCorruptor corruptor(ccfg);
+  Rng rng(33);
+  const EventLog log = make_log(160);
+  const auto got = up.upload_wire(log, 1, rng, &corruptor);
+  const WireUploadStats& ws = up.wire_stats();
+  EXPECT_GT(ws.batches_quarantined, 0u);
+  EXPECT_EQ(ws.events_quarantined + up.stats().events_delivered, log.size());
+  EXPECT_EQ(got.size() + ws.batches_quarantined, up.stats().batches);
+  // Quarantine is typed loss, not silence: undetected stays zero.
+  EXPECT_EQ(ws.undetected_corruptions, 0u);
+}
+
 TEST(EventUploaderTest, RejectsBadConfig) {
   UploaderConfig zero_batch;
   zero_batch.batch_size = 0;
@@ -189,6 +321,12 @@ TEST(EventUploaderTest, RejectsBadConfig) {
   UploaderConfig shrink;
   shrink.backoff_multiplier = 0.5;
   EXPECT_THROW(EventUploader{shrink}, ConfigError);
+  UploaderConfig bad_jitter;
+  bad_jitter.jitter_fraction = 1.5;
+  EXPECT_THROW(EventUploader{bad_jitter}, ConfigError);
+  UploaderConfig bad_cap;
+  bad_cap.max_backoff_s = -1.0;
+  EXPECT_THROW(EventUploader{bad_cap}, ConfigError);
 }
 
 }  // namespace
