@@ -16,6 +16,15 @@
 //                                   must be <= max_ratio
 //   speedup <name|*> <min_fraction> candidate speedup must be >=
 //                                   min_fraction * baseline speedup
+//   floor <name> <min_speedup> [min_hw]
+//                                   candidate speedup must be >= min_speedup
+//                                   ABSOLUTELY (no baseline involved) — the
+//                                   contract "this optimisation exists", not
+//                                   "it didn't rot". With min_hw, the rule
+//                                   is skipped on machines whose candidate
+//                                   record shows hardware_concurrency <
+//                                   min_hw: thread-scaling floors cannot
+//                                   hold on a 1-core CI box.
 //   allow-missing <name>            candidate may drop this benchmark
 //
 // Without a threshold file the built-in fallbacks apply (wall * 2.0,
@@ -191,6 +200,7 @@ struct BenchRecord {
   std::map<std::string, BenchEntry> entries;
   std::vector<std::string> order;  ///< Names in file order, for stable output.
   std::vector<std::pair<std::string, bool>> verdicts;  ///< Correctness booleans.
+  double hardware_concurrency = 0.0;  ///< 0 when the record predates the field.
 };
 
 bool load_record(const std::string& path, BenchRecord& out) {
@@ -217,8 +227,13 @@ bool load_record(const std::string& path, BenchRecord& out) {
                  path.c_str());
     return false;
   }
+  if (const JsonValue* v = root.find("hardware_concurrency");
+      v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+    out.hardware_concurrency = v->number;
+  }
   for (const char* key :
-       {"sweep_matches_serial", "obs_matches_disabled", "fleet_digest_matches"}) {
+       {"sweep_matches_serial", "obs_matches_disabled", "fleet_digest_matches",
+        "batch_matches_scalar", "crash_recovery_matches"}) {
     if (const JsonValue* v = root.find(key);
         v != nullptr && v->kind == JsonValue::Kind::kBool) {
       out.verdicts.emplace_back(key, v->boolean);
@@ -250,9 +265,18 @@ bool load_record(const std::string& path, BenchRecord& out) {
   return true;
 }
 
+/// An absolute speedup floor: `speedup` rules bound drift relative to the
+/// baseline, floors pin the optimisation itself — a batch kernel that no
+/// longer beats the scalar oracle 2x fails even if the baseline rotted too.
+struct FloorRule {
+  double min_speedup = 1.0;
+  double min_hw = 0.0;  ///< Skip on candidates with fewer hardware threads.
+};
+
 struct Thresholds {
   std::map<std::string, double> wall;      ///< name -> max wall ratio.
   std::map<std::string, double> speedup;   ///< name -> min speedup fraction.
+  std::map<std::string, FloorRule> floors; ///< name -> absolute speedup floor.
   std::map<std::string, bool> allow_missing;
 
   double wall_limit(const std::string& name) const {
@@ -305,10 +329,23 @@ bool load_thresholds(const std::string& path, Thresholds& out) {
       out.wall[name] = limit;
     } else if (kind == "speedup") {
       out.speedup[name] = limit;
+    } else if (kind == "floor") {
+      FloorRule rule;
+      rule.min_speedup = limit;
+      double min_hw = 0.0;
+      if (fields >> min_hw) {
+        if (min_hw < 0.0) {
+          std::fprintf(stderr, "bench_regress: %s:%zu: floor min_hw must be >= 0\n",
+                       path.c_str(), lineno);
+          return false;
+        }
+        rule.min_hw = min_hw;
+      }
+      out.floors[name] = rule;
     } else {
       std::fprintf(stderr,
                    "bench_regress: %s:%zu: unknown rule '%s' "
-                   "(expected wall, speedup, or allow-missing)\n",
+                   "(expected wall, speedup, floor, or allow-missing)\n",
                    path.c_str(), lineno, kind.c_str());
       return false;
     }
@@ -414,6 +451,40 @@ int main(int argc, char** argv) {
     if (baseline.entries.count(name) == 0) {
       table.add_row({name, "present", "-", "new", "-", "new benchmark"});
     }
+  }
+
+  // Floors check the candidate alone, so they also cover benchmarks new in
+  // this record (the baseline-relative passes above cannot). One threshold
+  // file serves several record kinds (BENCH_3 vs BENCH_FLEET), so a floor
+  // whose benchmark appears in neither record simply belongs to the other
+  // kind; it only fails when the baseline proves the benchmark was dropped.
+  for (const auto& [name, rule] : thresholds.floors) {
+    const auto cand_it = candidate.entries.find(name);
+    if (cand_it == candidate.entries.end()) {
+      if (baseline.entries.count(name) == 0) continue;  // other record kind
+      const bool ok = thresholds.missing_ok(name);
+      table.add_row({name, "floor", "-", "MISSING", ">= " + fmt(rule.min_speedup),
+                     ok ? "allowed" : "FAIL"});
+      if (!ok) ++failures;
+      continue;
+    }
+    if (rule.min_hw > 0.0 && candidate.hardware_concurrency < rule.min_hw) {
+      table.add_row({name, "floor", "-", fmt(cand_it->second.speedup) + "x",
+                     ">= " + fmt(rule.min_speedup),
+                     "skipped (" + fmt(candidate.hardware_concurrency) + " hw threads < " +
+                         fmt(rule.min_hw) + ")"});
+      continue;
+    }
+    if (!cand_it->second.has_speedup) {
+      table.add_row({name, "floor", "-", "no speedup field",
+                     ">= " + fmt(rule.min_speedup), "FAIL"});
+      ++failures;
+      continue;
+    }
+    const bool ok = cand_it->second.speedup >= rule.min_speedup;
+    table.add_row({name, "floor", "-", fmt(cand_it->second.speedup) + "x",
+                   ">= " + fmt(rule.min_speedup), ok ? "ok" : "FAIL"});
+    if (!ok) ++failures;
   }
   std::fputs(table.render().c_str(), stdout);
 

@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "scene/batch_evaluator.hpp"
 #include "sweep/sweep.hpp"
 #include "system/portal.hpp"
 
@@ -57,7 +58,8 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const char* path, const std::vector<Entry>& entries,
-                bool sweep_matches_serial, bool obs_matches_disabled) {
+                bool sweep_matches_serial, bool obs_matches_disabled,
+                bool batch_matches_scalar) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_baseline: cannot open %s for writing\n", path);
@@ -65,13 +67,15 @@ void write_json(const char* path, const std::vector<Entry>& entries,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"rfidsim-bench-v1\",\n");
-  std::fprintf(f, "  \"pr\": 3,\n");
+  std::fprintf(f, "  \"pr\": 7,\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"sweep_matches_serial\": %s,\n",
                sweep_matches_serial ? "true" : "false");
   std::fprintf(f, "  \"obs_matches_disabled\": %s,\n",
                obs_matches_disabled ? "true" : "false");
+  std::fprintf(f, "  \"batch_matches_scalar\": %s,\n",
+               batch_matches_scalar ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
@@ -92,6 +96,15 @@ std::size_t total_events(const RepeatedRuns& runs) {
   std::size_t n = 0;
   for (const auto& log : runs.logs) n += log.size();
   return n;
+}
+
+/// Exact (bitwise-through-operator==) equality of every PathTerms field.
+bool terms_equal(const rf::PathTerms& a, const rf::PathTerms& b) {
+  return a.distance_m == b.distance_m && a.reader_gain == b.reader_gain &&
+         a.tag_gain == b.tag_gain && a.polarization_loss == b.polarization_loss &&
+         a.material_loss == b.material_loss && a.coupling_loss == b.coupling_loss &&
+         a.blockage_loss == b.blockage_loss && a.reflection_gain == b.reflection_gain &&
+         a.multipath_gain == b.multipath_gain;
 }
 
 bool logs_equal(const RepeatedRuns& a, const RepeatedRuns& b) {
@@ -152,12 +165,36 @@ int main(int argc, char** argv) {
     entries.push_back({"path_eval_static_cached", cached_s, kSweeps * tags.size(),
                        "path_eval_static_uncached", uncached_s / cached_s,
                        "same grid through the static-geometry cache"});
+
+    // The batch kernel on the same grid, cache off: its edge on a static
+    // scene is geometry hoisting alone (poses and tag vectors derived once,
+    // not per evaluation).
+    {
+      scene::EvaluatorParams params = sc.portal.evaluator;
+      params.static_geometry_cache = false;
+      scene::BatchPathEvaluator batch(sc.scene, params);
+      std::vector<rf::PathTerms> terms;
+      const double batch_s = wall_seconds([&] {
+        for (std::size_t pass = 0; pass < kSweeps; ++pass) {
+          batch.evaluate_all(0, 0.0, terms);
+          for (const rf::PathTerms& term : terms) sink += term.distance_m;
+        }
+      });
+      entries.push_back({"path_eval_batch_static", batch_s, kSweeps * tags.size(),
+                         "path_eval_static_uncached", uncached_s / batch_s,
+                         "same grid through the SoA batch kernel, cache off"});
+    }
     if (sink == 42.0) std::puts("");  // Defeat dead-code elimination.
   }
 
-  // --- 2. Raw path evaluation, moving scene (Table 1 cart). ----------------
-  // Entities move, so the cache must not (and does not) engage: this entry
-  // tracks the honest cost of a moving-scene evaluation.
+  // --- 2. Raw path evaluation, moving scene (Table 1 cart): scalar oracle
+  // vs the SoA batch kernel. Entities move, so no cache engages on either
+  // path — this is the honest per-evaluation cost, and the workload the
+  // batch refactor targets (one reader round = every tag at one instant).
+  // Outputs are bit-compared term by term before the speedup is trusted:
+  // batch_matches_scalar = false poisons the record exactly like a sweep
+  // mismatch would.
+  bool batch_matches_scalar = true;
   {
     ObjectScenarioOptions opt;
     opt.tag_faces = {scene::BoxFace::Front};
@@ -168,15 +205,53 @@ int main(int argc, char** argv) {
     double sink = 0.0;
     const double t0 = sc.portal.start_time_s;
     const double dt = (sc.portal.end_time_s - t0) / static_cast<double>(kSteps);
-    const double wall = wall_seconds([&] {
+    // Both walls are best-of-3: the ratio below is held to an absolute
+    // floor by bench_regress, and the two loops run at different moments,
+    // so a transient load spike on a shared runner would otherwise skew
+    // the speedup. The min discards the disturbed reps.
+    constexpr int kReps = 3;
+    const auto best_of = [&](auto&& body) {
+      double best = wall_seconds(body);
+      for (int rep = 1; rep < kReps; ++rep) {
+        best = std::min(best, wall_seconds(body));
+      }
+      return best;
+    };
+    const double scalar_wall = best_of([&] {
       for (std::size_t s = 0; s < kSteps; ++s) {
         for (const auto& tag : tags) {
           sink += eval.evaluate(0, tag, t0 + dt * static_cast<double>(s)).distance_m;
         }
       }
     });
-    entries.push_back({"path_eval_moving", wall, kSteps * tags.size(), "", 0.0,
-                       "12-box cart, cache bypassed (entities move)"});
+    entries.push_back({"path_eval_moving", scalar_wall, kSteps * tags.size(), "", 0.0,
+                       "12-box cart, scalar oracle, cache bypassed (entities move)"});
+
+    scene::BatchPathEvaluator batch(sc.scene, sc.portal.evaluator);
+    std::vector<rf::PathTerms> terms;
+    const double batch_wall = best_of([&] {
+      for (std::size_t s = 0; s < kSteps; ++s) {
+        batch.evaluate_all(0, t0 + dt * static_cast<double>(s), terms);
+        for (const rf::PathTerms& term : terms) sink += term.distance_m;
+      }
+    });
+    entries.push_back({"path_eval_batch_moving", batch_wall, kSteps * tags.size(),
+                       "path_eval_moving", scalar_wall / batch_wall,
+                       "same cart workload through the SoA batch kernel"});
+
+    // Untimed differential pass: every (tag, step) through both evaluators.
+    for (std::size_t s = 0; s < kSteps && batch_matches_scalar; ++s) {
+      const double t_s = t0 + dt * static_cast<double>(s);
+      batch.evaluate_all(0, t_s, terms);
+      for (std::size_t i = 0; i < tags.size(); ++i) {
+        batch_matches_scalar =
+            batch_matches_scalar && terms_equal(terms[i], eval.evaluate(0, tags[i], t_s));
+      }
+    }
+    std::printf("batch kernel differential: %zu evaluations, terms %s\n\n",
+                kSteps * tags.size(),
+                batch_matches_scalar ? "IDENTICAL to scalar oracle"
+                                     : "MISMATCH (BUG)");
     if (sink == 42.0) std::puts("");
   }
 
@@ -316,7 +391,8 @@ int main(int argc, char** argv) {
   }
   bench::print_table(t);
 
-  write_json(out_path, entries, sweep_matches_serial, obs_matches_disabled);
+  write_json(out_path, entries, sweep_matches_serial, obs_matches_disabled,
+             batch_matches_scalar);
   std::printf("\nwrote %s\n", out_path);
-  return (sweep_matches_serial && obs_matches_disabled) ? 0 : 1;
+  return (sweep_matches_serial && obs_matches_disabled && batch_matches_scalar) ? 0 : 1;
 }

@@ -63,9 +63,69 @@ std::size_t TrackingStore::shard_of(scene::TagId tag) const {
   return static_cast<std::size_t>(mix(tag.value) % config_.shard_count);
 }
 
+namespace {
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+}  // namespace
+
+void TrackingStore::rehash(Shard& shard, std::size_t capacity) const {
+  shard.index.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t slot = 0; slot < shard.epcs.size(); ++slot) {
+    std::size_t h = static_cast<std::size_t>(mix(shard.epcs[slot])) & mask;
+    while (shard.index[h] != 0) h = (h + 1) & mask;
+    shard.index[h] = static_cast<std::uint32_t>(slot + 1);
+  }
+}
+
+std::size_t TrackingStore::find_slot(const Shard& shard, std::uint64_t epc) const {
+  if (shard.index.empty()) return kNoSlot;
+  const std::size_t mask = shard.index.size() - 1;
+  std::size_t h = static_cast<std::size_t>(mix(epc)) & mask;
+  while (true) {
+    const std::uint32_t entry = shard.index[h];
+    if (entry == 0) return kNoSlot;
+    if (shard.epcs[entry - 1] == epc) return entry - 1;
+    h = (h + 1) & mask;
+  }
+}
+
+std::size_t TrackingStore::find_or_create(Shard& shard, std::uint64_t epc) const {
+  // Grow at 0.7 load (including the slot about to be claimed).
+  if ((shard.epcs.size() + 1) * 10 >= shard.index.size() * 7) {
+    rehash(shard, std::max<std::size_t>(16, shard.index.size() * 2));
+  }
+  const std::size_t mask = shard.index.size() - 1;
+  std::size_t h = static_cast<std::size_t>(mix(epc)) & mask;
+  while (true) {
+    const std::uint32_t entry = shard.index[h];
+    if (entry == 0) break;
+    if (shard.epcs[entry - 1] == epc) return entry - 1;
+    h = (h + 1) & mask;
+  }
+  const std::size_t slot = shard.epcs.size();
+  shard.index[h] = static_cast<std::uint32_t>(slot + 1);
+  shard.epcs.push_back(epc);
+  shard.timelines.emplace_back();
+  shard.sorted = false;
+  return slot;
+}
+
+void TrackingStore::ensure_sorted(const Shard& shard) const {
+  if (shard.sorted) return;
+  shard.by_epc.resize(shard.epcs.size());
+  for (std::size_t i = 0; i < shard.by_epc.size(); ++i) {
+    shard.by_epc[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(shard.by_epc.begin(), shard.by_epc.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return shard.epcs[a] < shard.epcs[b];
+            });
+  shard.sorted = true;
+}
+
 void TrackingStore::merge_into_shard(Shard& shard, std::uint64_t epc,
                                      const Sighting& s) {
-  std::vector<Sighting>& timeline = shard.timelines[epc];
+  std::vector<Sighting>& timeline = shard.timelines[find_or_create(shard, epc)];
   const auto pos = std::lower_bound(timeline.begin(), timeline.end(), s, sighting_less);
   if (pos != timeline.end() && *pos == s) {
     ++shard.duplicates;
@@ -86,31 +146,51 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
   const sweep::SweepOptions options{config_.threads};
   const StoreStats before = stats_;
 
-  // Phase 1 — route: batch b fans its events out into per-shard buckets.
-  // Cell b writes only routed[b]; determinism per the sweep contract.
-  std::vector<std::vector<std::vector<RoutedSighting>>> routed(batches.size());
+  // Phase 1 — route: batch b groups its events by shard with a stable
+  // counting sort into ONE flat array plus a shard-offset table, instead of
+  // shard_count separate bucket vectors per batch (the per-batch allocation
+  // churn that made 2-thread ingest slower than serial). Stability keeps
+  // the within-batch event order per shard, so the merge phase sees the
+  // exact event sequence the bucket version produced. Cell b writes only
+  // routed[b]; determinism per the sweep contract.
+  struct RoutedBatch {
+    std::vector<RoutedSighting> events;     ///< Grouped by shard, stable.
+    std::vector<std::uint32_t> offsets;     ///< [shard, shard+1) event range.
+  };
+  std::vector<RoutedBatch> routed(batches.size());
   sweep::parallel_for(batches.size(), options, [&](std::size_t b) {
     const FacilityBatch& batch = batches[b];
-    auto& buckets = routed[b];
-    buckets.resize(shard_count);
-    for (const sys::ReadEvent& ev : batch.events) {
-      const std::size_t shard = static_cast<std::size_t>(mix(ev.tag.value) % shard_count);
-      buckets[shard].push_back(
+    RoutedBatch& rb = routed[b];
+    const std::size_t n = batch.events.size();
+    std::vector<std::uint32_t> shard_of_event(n);
+    rb.offsets.assign(shard_count + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto shard =
+          static_cast<std::uint32_t>(mix(batch.events[i].tag.value) % shard_count);
+      shard_of_event[i] = shard;
+      ++rb.offsets[shard + 1];
+    }
+    for (std::size_t s = 0; s < shard_count; ++s) rb.offsets[s + 1] += rb.offsets[s];
+    rb.events.resize(n);
+    std::vector<std::uint32_t> cursor(rb.offsets.begin(), rb.offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sys::ReadEvent& ev = batch.events[i];
+      rb.events[cursor[shard_of_event[i]]++] =
           {ev.tag.value, Sighting{ev.time_s, batch.facility,
                                   static_cast<std::uint32_t>(ev.reader_index),
-                                  static_cast<std::uint32_t>(ev.antenna_index)}});
+                                  static_cast<std::uint32_t>(ev.antenna_index)}};
     }
   });
 
-  // Phase 2 — merge: shard s folds in its bucket of every batch, in batch
+  // Phase 2 — merge: shard s folds in its slice of every batch, in batch
   // order. Cell s touches only shards_[s]; no two cells share a timeline,
   // so the parallel merge is race-free and order-deterministic.
   sweep::parallel_for(shard_count, options, [&](std::size_t s) {
     Shard& shard = shards_[s];
     bool touched = false;
-    for (const auto& buckets : routed) {
-      for (const RoutedSighting& rs : buckets[s]) {
-        merge_into_shard(shard, rs.epc, rs.sighting);
+    for (const RoutedBatch& rb : routed) {
+      for (std::size_t k = rb.offsets[s]; k < rb.offsets[s + 1]; ++k) {
+        merge_into_shard(shard, rb.events[k].epc, rb.events[k].sighting);
         touched = true;
       }
     }
@@ -140,8 +220,8 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
 
 const std::vector<Sighting>* TrackingStore::timeline(scene::TagId tag) const {
   const Shard& shard = shards_[shard_of(tag)];
-  const auto it = shard.timelines.find(tag.value);
-  return it == shard.timelines.end() ? nullptr : &it->second;
+  const std::size_t slot = find_slot(shard, tag.value);
+  return slot == kNoSlot ? nullptr : &shard.timelines[slot];
 }
 
 std::optional<Sighting> TrackingStore::last_sighting_at(scene::TagId tag,
@@ -162,10 +242,7 @@ std::vector<scene::TagId> TrackingStore::tags() const {
   std::vector<scene::TagId> out;
   out.reserve(tag_count());
   for (const Shard& shard : shards_) {
-    for (const auto& [epc, tl] : shard.timelines) {
-      (void)tl;
-      out.push_back(scene::TagId{epc});
-    }
+    for (const std::uint64_t epc : shard.epcs) out.push_back(scene::TagId{epc});
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -173,7 +250,7 @@ std::vector<scene::TagId> TrackingStore::tags() const {
 
 std::size_t TrackingStore::tag_count() const {
   std::size_t n = 0;
-  for (const Shard& shard : shards_) n += shard.timelines.size();
+  for (const Shard& shard : shards_) n += shard.epcs.size();
   return n;
 }
 
@@ -199,7 +276,9 @@ std::uint64_t TrackingStore::shard_version(std::size_t shard) const {
 void TrackingStore::visit_shard(
     std::size_t shard,
     const std::function<void(std::uint64_t, const std::vector<Sighting>&)>& fn) const {
-  for (const auto& [epc, tl] : shards_.at(shard).timelines) fn(epc, tl);
+  const Shard& s = shards_.at(shard);
+  ensure_sorted(s);
+  for (const std::uint32_t slot : s.by_epc) fn(s.epcs[slot], s.timelines[slot]);
 }
 
 void TrackingStore::restore_shard(
@@ -207,11 +286,20 @@ void TrackingStore::restore_shard(
     std::vector<std::pair<std::uint64_t, std::vector<Sighting>>> timelines,
     const ShardCounters& counters) {
   Shard& s = shards_.at(shard);
+  s.epcs.clear();
   s.timelines.clear();
-  // Input is ascending by EPC, so every insert lands at end() in O(1).
+  s.epcs.reserve(timelines.size());
+  s.timelines.reserve(timelines.size());
+  // Input is ascending by EPC, so slot order doubles as EPC order.
   for (auto& [epc, tl] : timelines) {
-    s.timelines.emplace_hint(s.timelines.end(), epc, std::move(tl));
+    s.epcs.push_back(epc);
+    s.timelines.push_back(std::move(tl));
   }
+  std::size_t capacity = 16;
+  while (s.epcs.size() * 10 >= capacity * 7) capacity *= 2;
+  rehash(s, capacity);
+  s.by_epc.clear();
+  s.sorted = false;
   s.sightings = counters.sightings;
   s.duplicates = counters.duplicates;
   s.repairs = counters.repairs;
@@ -224,7 +312,9 @@ std::uint64_t TrackingStore::digest() const {
   std::vector<std::pair<std::uint64_t, const std::vector<Sighting>*>> all;
   all.reserve(tag_count());
   for (const Shard& shard : shards_) {
-    for (const auto& [epc, tl] : shard.timelines) all.emplace_back(epc, &tl);
+    for (std::size_t slot = 0; slot < shard.epcs.size(); ++slot) {
+      all.emplace_back(shard.epcs[slot], &shard.timelines[slot]);
+    }
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

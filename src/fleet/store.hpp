@@ -32,7 +32,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -167,15 +166,36 @@ class TrackingStore {
   void restore_stats(const StoreStats& stats) { stats_ = stats; }
 
  private:
+  /// Arena-style shard: timelines live in one dense vector (slot order =
+  /// first-sighting order) reached through an open-addressing EPC index —
+  /// no per-EPC tree nodes to allocate, rebalance, or pointer-chase during
+  /// ingest. Ascending-EPC iteration (visit_shard) sorts a slot permutation
+  /// lazily; digest()/tags() gather raw slots and sort globally, exactly as
+  /// the per-EPC-node implementation did, so every externally visible order
+  /// — and therefore every digest — is unchanged.
   struct Shard {
-    /// Ordered by EPC so per-shard iteration is deterministic.
-    std::map<std::uint64_t, std::vector<Sighting>> timelines;
+    /// Open addressing, power-of-two capacity, linear probing; entries are
+    /// slot + 1 (0 = empty). Keyed by the same SplitMix64 mix() that picks
+    /// the shard.
+    std::vector<std::uint32_t> index;
+    std::vector<std::uint64_t> epcs;               ///< Per slot, insertion order.
+    std::vector<std::vector<Sighting>> timelines;  ///< Parallel to epcs.
+    /// Ascending-EPC slot permutation for visit_shard, rebuilt lazily.
+    mutable std::vector<std::uint32_t> by_epc;
+    mutable bool sorted = true;
     std::uint64_t sightings = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t repairs = 0;
     /// Mutation epoch for incremental checkpoints.
     std::uint64_t version = 0;
   };
+
+  /// Timeline slot for `epc`, creating an empty timeline on first sight.
+  std::size_t find_or_create(Shard& shard, std::uint64_t epc) const;
+  /// Existing slot for `epc`, or npos.
+  std::size_t find_slot(const Shard& shard, std::uint64_t epc) const;
+  void rehash(Shard& shard, std::size_t capacity) const;
+  void ensure_sorted(const Shard& shard) const;
 
   void merge_into_shard(Shard& shard, std::uint64_t epc, const Sighting& s);
   void publish_metrics(const StoreStats& before) const;

@@ -54,26 +54,39 @@ Vec3 Entity::to_world_direction(const Vec3& local, const Pose& pose) const {
 }
 
 Vec3 Entity::tag_position(std::size_t tag_index, double t_s) const {
-  require(tag_index < tags_.size(), "Entity::tag_position: tag index out of range");
-  const Pose pose = pose_at(t_s);
-  return pose.position + to_world_direction(tags_[tag_index].mount.local_position, pose);
+  return tag_position(tag_index, pose_at(t_s));
 }
 
 Vec3 Entity::tag_dipole_axis(std::size_t tag_index, double t_s) const {
-  require(tag_index < tags_.size(), "Entity::tag_dipole_axis: tag index out of range");
-  const Pose pose = pose_at(t_s);
-  return to_world_direction(tags_[tag_index].mount.local_dipole_axis, pose).normalized();
+  return tag_dipole_axis(tag_index, pose_at(t_s));
 }
 
 Vec3 Entity::tag_patch_normal(std::size_t tag_index, double t_s) const {
+  return tag_patch_normal(tag_index, pose_at(t_s));
+}
+
+Vec3 Entity::tag_position(std::size_t tag_index, const Pose& pose) const {
+  require(tag_index < tags_.size(), "Entity::tag_position: tag index out of range");
+  return pose.position + to_world_direction(tags_[tag_index].mount.local_position, pose);
+}
+
+Vec3 Entity::tag_dipole_axis(std::size_t tag_index, const Pose& pose) const {
+  require(tag_index < tags_.size(), "Entity::tag_dipole_axis: tag index out of range");
+  return to_world_direction(tags_[tag_index].mount.local_dipole_axis, pose).normalized();
+}
+
+Vec3 Entity::tag_patch_normal(std::size_t tag_index, const Pose& pose) const {
   require(tag_index < tags_.size(), "Entity::tag_patch_normal: tag index out of range");
-  const Pose pose = pose_at(t_s);
   return to_world_direction(tags_[tag_index].mount.local_patch_normal, pose).normalized();
 }
 
 std::optional<double> Entity::body_chord(const Segment& seg, double t_s,
                                          double skip_margin_m) const {
-  const Pose pose = pose_at(t_s);
+  return body_chord(seg, pose_at(t_s), skip_margin_m);
+}
+
+std::optional<double> Entity::body_chord(const Segment& seg, const Pose& pose,
+                                         double skip_margin_m) const {
   if (const auto* box = std::get_if<BoxBody>(&body_)) {
     Aabb aabb;
     aabb.centre = pose.position;
@@ -92,6 +105,22 @@ std::optional<double> Entity::body_chord(const Segment& seg, double t_s,
     return chord_length(seg, c);
   }
   return std::nullopt;
+}
+
+double Entity::bounding_radius() const {
+  if (const auto* box = std::get_if<BoxBody>(&body_)) {
+    const Vec3 e = box->extents * content_fill_;
+    // Half-diagonal of the margin-0 Aabb body_chord builds, plus a one-part-
+    // in-1e9 inflation so a borderline rounding in the caller's distance
+    // test can never reject a genuinely grazing segment.
+    return 0.5 * std::sqrt(e.x * e.x + e.y * e.y + e.z * e.z) * (1.0 + 1e-9);
+  }
+  if (const auto* cyl = std::get_if<CylinderBody>(&body_)) {
+    const double r = cyl->radius * content_fill_;
+    const double hz = 0.5 * cyl->height * content_fill_;
+    return std::sqrt(r * r + hz * hz) * (1.0 + 1e-9);
+  }
+  return 0.0;
 }
 
 double Entity::body_radius() const {

@@ -74,6 +74,14 @@ class Entity {
   /// World direction of a tag's patch normal at time t (unit vector).
   Vec3 tag_patch_normal(std::size_t tag_index, double t_s) const;
 
+  /// Pose-taking overloads of the tag-geometry queries, for callers that
+  /// have already evaluated pose_at(t) once for the whole entity (the batch
+  /// path kernel). The time-taking forms above delegate here, so both paths
+  /// run the identical arithmetic and stay bit-identical by construction.
+  Vec3 tag_position(std::size_t tag_index, const Pose& pose) const;
+  Vec3 tag_dipole_axis(std::size_t tag_index, const Pose& pose) const;
+  Vec3 tag_patch_normal(std::size_t tag_index, const Pose& pose) const;
+
   /// Length of `seg` passing through this entity's attenuating core at
   /// time t, if any. The core is the body envelope scaled by content_fill.
   /// `skip_margin_m` additionally shrinks the core, so a ray *leaving* a
@@ -82,11 +90,25 @@ class Entity {
   std::optional<double> body_chord(const Segment& seg, double t_s,
                                    double skip_margin_m = 0.0) const;
 
+  /// Chord against the body positioned at a precomputed `pose` — the form
+  /// the batch kernel calls after hoisting pose_at(t) out of its per-tag
+  /// loops. The time-taking overload delegates here.
+  std::optional<double> body_chord(const Segment& seg, const Pose& pose,
+                                   double skip_margin_m) const;
+
   /// World-space body centre at time t (equals the origin for our shapes).
   Vec3 body_centre(double t_s) const { return pose_at(t_s).position; }
 
   /// A characteristic lateral radius of the body (for reflection tests).
   double body_radius() const;
+
+  /// Radius of a sphere centred on the pose position that contains the
+  /// whole attenuating core (the fill-scaled, margin-0 envelope that
+  /// body_chord intersects). Zero when there is no body. A segment whose
+  /// closest approach to the centre exceeds this cannot produce a chord,
+  /// so callers may skip body_chord entirely — a reject that changes no
+  /// floating-point output, only whether the intersection runs.
+  double bounding_radius() const;
 
  private:
   /// Maps a local-frame vector into the world frame at time t.

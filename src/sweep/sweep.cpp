@@ -62,19 +62,27 @@ void SweepEngine::run(std::size_t count,
     return;
   }
 
-  // Pull-based distribution: each dispatched worker task claims cells off a
-  // shared counter until the grid is exhausted. Which worker claims which
-  // cell is unspecified — and irrelevant, per the determinism contract.
+  // Pull-based distribution: each dispatched worker task claims CHUNKS of
+  // contiguous cells off a shared counter until the grid is exhausted —
+  // coarse-grained enough that lanes are not ping-ponging the counter's
+  // cache line between every cell (fine-grained ingest batches made that
+  // contention visible), fine-grained enough (8 chunks per lane) that an
+  // unlucky lane stuck with slow cells still gets rebalanced. Which worker
+  // claims which cell is unspecified — and irrelevant, per the determinism
+  // contract: cells write only their own slots.
   const std::size_t lanes = std::min(pool_->thread_count(), count);
   setup(lanes);
+  const std::size_t chunk = std::max<std::size_t>(1, count / (lanes * 8));
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    pool_->submit([next, count, lane, &body, record] {
+    pool_->submit([next, count, chunk, lane, &body, record] {
       const obs::TraceSpan lane_span("sweep.lane");
       std::size_t claimed = 0;
-      for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
-        body(i, lane);
-        ++claimed;
+      for (std::size_t base = next->fetch_add(chunk); base < count;
+           base = next->fetch_add(chunk)) {
+        const std::size_t end = std::min(base + chunk, count);
+        for (std::size_t i = base; i < end; ++i) body(i, lane);
+        claimed += end - base;
       }
       if (record) {
         sweep_metrics().lane_tasks.add(1);

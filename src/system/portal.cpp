@@ -146,8 +146,14 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
     std::vector<gen2::TagState>& states, double extra_loss_db) {
   const rf::LinkBudget budget(rt.config.radio);
   std::vector<gen2::TagLink> links(tags_.size());
+  // One batch evaluation for the whole round: tags_ is scene.all_tags(),
+  // the flat order evaluate_all produces. The kernel also hands back the
+  // per-tag world positions, saving the shadow sampler its own pose
+  // derivations (bit-identical to Entity::tag_position by contract).
+  evaluator_.evaluate_all(antenna, t_s, terms_scratch_);
+  const std::vector<Vec3>& tag_positions = evaluator_.tag_positions();
   for (std::size_t i = 0; i < tags_.size(); ++i) {
-    const rf::PathTerms terms = evaluator_.evaluate(antenna, tags_[i], t_s);
+    const rf::PathTerms& terms = terms_scratch_[i];
     const rf::TagDesign& design =
         scene_.entities[tags_[i].entity].tags()[tags_[i].tag].mount.design;
     const bool active = design.type == rf::TagType::ActiveBeacon;
@@ -161,10 +167,8 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
     // One shadowing realization per (antenna, tag) path, correlated in
     // space, plus the tag's per-pass systematic offset; both link
     // directions see the same obstacles.
-    const Vec3 tag_position =
-        scene_.entities[tags_[i].entity].tag_position(tags_[i].tag, t_s);
     const double shadow =
-        sample_shadow(antenna, i, tag_position, rng) + pass_offset_db_[i] -
+        sample_shadow(antenna, i, tag_positions[i], rng) + pass_offset_db_[i] -
         extra_loss_db;
     const bool powered = fwd.margin.value() + shadow > 0.0;
     states[i].set_powered(powered, t_s, rt.config.inventory.session);

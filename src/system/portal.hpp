@@ -20,7 +20,7 @@
 #include "gen2/interference.hpp"
 #include "obs/monitor.hpp"
 #include "rf/propagation.hpp"
-#include "scene/path_evaluator.hpp"
+#include "scene/batch_evaluator.hpp"
 #include "scene/scene.hpp"
 #include "system/events.hpp"
 #include "system/reader.hpp"
@@ -175,8 +175,13 @@ class PortalSimulator {
 
   const scene::Scene& scene_;
   PortalConfig config_;
-  scene::PathEvaluator evaluator_;
+  /// The SoA batch kernel: one reader round evaluates every tag at one
+  /// time instant, which is exactly its shape. Bit-identical to the scalar
+  /// PathEvaluator (the retained oracle), so swapping it in changed no
+  /// event stream.
+  scene::BatchPathEvaluator evaluator_;
   std::vector<scene::TagAddress> tags_;
+  std::vector<rf::PathTerms> terms_scratch_;  ///< Reused per round.
   std::vector<ReaderRuntime> readers_;
   std::vector<std::vector<ShadowState>> shadow_;  ///< [antenna][tag].
   std::vector<double> pass_offset_db_;            ///< Per-tag, per-run.
