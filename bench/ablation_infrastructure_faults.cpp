@@ -19,6 +19,8 @@
 #include "bench_util.hpp"
 #include "fault/corruption.hpp"
 #include "fault/schedule.hpp"
+#include "fleet/feed.hpp"
+#include "fleet/store.hpp"
 #include "reliability/analytical.hpp"
 #include "system/event_io.hpp"
 #include "system/portal.hpp"
@@ -488,6 +490,91 @@ int main(int argc, char** argv) {
         "paper's R_C = 1-prod(1-P_i) composition expects from per-reader rates.\n",
         kHealthyPasses, healthy_alerts, percent(monitor.observed_rc()).c_str(),
         percent(monitor.predicted_rc()).c_str());
+  }
+
+  // --------------------------------------------------------------- 10 --
+  // Watermark-stall detection: a facility feed whose uplink goes dark
+  // mid-run. Event time stops flowing into the store while the pass
+  // windows keep advancing — the freshness failure the per-pass quality
+  // signals cannot see (an empty pass looks like silence, but only the
+  // watermark says how *stale* stored truth is getting). Detection is
+  // always-on arithmetic, so this section prints identically whether obs
+  // hooks are on, off, or compiled out.
+  std::printf("\n[10] Watermark-stall detection (uplink goes dark mid-run)\n");
+  {
+    constexpr std::size_t kTotalPasses = 20;
+    constexpr std::size_t kOnsetPass = 12;  ///< First pass with a dark uplink.
+    constexpr double kWindowS = 10.0;
+    constexpr std::size_t kReaders = 2;
+    constexpr std::size_t kTagsPerPass = 40;
+
+    fleet::FeedConfig config;
+    config.objects_total = kTagsPerPass;
+    config.ingest.reader_count = kReaders;
+    config.ingest.antenna_count = 2;
+    const std::size_t stall_passes = config.monitor.watermark_stall_passes;
+
+    fleet::FacilityFeed feed(config);
+    fleet::TrackingStore store;
+    Rng rng(bench::kSeed);
+    std::size_t false_alarms_before_onset = 0;
+    for (std::size_t pass = 0; pass < kTotalPasses; ++pass) {
+      const double begin_s = static_cast<double>(pass) * kWindowS;
+      sys::EventLog raw;
+      if (pass < kOnsetPass) {
+        // Healthy uplink: every reader reads every tag, spread over the
+        // window — the watermark advances every pass.
+        for (std::size_t r = 0; r < kReaders; ++r) {
+          for (std::size_t tag = 0; tag < kTagsPerPass; ++tag) {
+            sys::ReadEvent ev;
+            ev.tag = scene::TagId{tag + 1};
+            ev.time_s =
+                begin_s + (static_cast<double>(tag) + 0.5) * kWindowS /
+                              static_cast<double>(kTagsPerPass);
+            ev.reader_index = r;
+            ev.antenna_index = tag % 2;
+            raw.push_back(ev);
+          }
+        }
+      }
+      // else: the uplink is dark — nothing reaches the backend, but the
+      // backend's clock (the pass window) keeps moving.
+      const fleet::FeedPassResult result =
+          feed.ingest_pass(store, raw, begin_s, begin_s + kWindowS, rng);
+      (void)result;
+      if (pass < kOnsetPass) {
+        false_alarms_before_onset = 0;
+        for (const obs::Alert& a : feed.monitor().alerts()) {
+          if (a.type == obs::AlertType::kWatermarkStalled) {
+            ++false_alarms_before_onset;
+          }
+        }
+      }
+    }
+
+    const obs::Alert* first =
+        feed.monitor().first_alert(obs::AlertType::kWatermarkStalled);
+    TextTable t({"quantity", "value"});
+    t.add_row({"uplink dark from pass", std::to_string(kOnsetPass)});
+    t.add_row({"stall threshold (passes)", std::to_string(stall_passes)});
+    t.add_row({"first watermark_stalled alert (pass)",
+               first ? std::to_string(first->pass) : "NOT DETECTED"});
+    t.add_row({"detection latency (passes after onset)",
+               first ? std::to_string(first->pass - kOnsetPass) : "-"});
+    t.add_row({"false alarms on healthy prefix",
+               std::to_string(false_alarms_before_onset)});
+    t.add_row({"watermark at end (s)", fixed_str(feed.watermark_s(), 2)});
+    t.add_row({"watermark age at end (s)", fixed_str(feed.watermark_age_s(), 2)});
+    t.add_row({"still latched at end",
+               feed.monitor().watermark_stalled() ? "yes" : "no"});
+    bench::print_table(t);
+    std::printf(
+        "the alert fires once the watermark has sat still for %zu consecutive\n"
+        "advancing windows: latency is %zu passes by construction, and the\n"
+        "healthy prefix raises zero watermark alerts (the no-false-alarm\n"
+        "contract, freshness edition). Stored truth is untouched - %zu\n"
+        "sightings remain queryable; only their *age* is alarming.\n",
+        stall_passes, stall_passes - 1, store.sighting_count());
   }
   return 0;
 }

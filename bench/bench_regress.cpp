@@ -233,7 +233,8 @@ bool load_record(const std::string& path, BenchRecord& out) {
   }
   for (const char* key :
        {"sweep_matches_serial", "obs_matches_disabled", "fleet_digest_matches",
-        "batch_matches_scalar", "crash_recovery_matches"}) {
+        "batch_matches_scalar", "crash_recovery_matches",
+        "flight_recorder_ok"}) {
     if (const JsonValue* v = root.find(key);
         v != nullptr && v->kind == JsonValue::Kind::kBool) {
       out.verdicts.emplace_back(key, v->boolean);
@@ -458,10 +459,20 @@ int main(int argc, char** argv) {
   // file serves several record kinds (BENCH_3 vs BENCH_FLEET), so a floor
   // whose benchmark appears in neither record simply belongs to the other
   // kind; it only fails when the baseline proves the benchmark was dropped.
+  // Every floor rule this run does NOT enforce is logged below the table:
+  // a silently skipped gate looks exactly like a passing one, and "the
+  // floor held" must never mean "the floor never ran".
+  std::vector<std::string> skipped_floors;
   for (const auto& [name, rule] : thresholds.floors) {
     const auto cand_it = candidate.entries.find(name);
     if (cand_it == candidate.entries.end()) {
-      if (baseline.entries.count(name) == 0) continue;  // other record kind
+      if (baseline.entries.count(name) == 0) {
+        skipped_floors.push_back("floor " + name + " >= " +
+                                 fmt(rule.min_speedup) +
+                                 ": benchmark in neither record (rule belongs "
+                                 "to another record kind)");
+        continue;
+      }
       const bool ok = thresholds.missing_ok(name);
       table.add_row({name, "floor", "-", "MISSING", ">= " + fmt(rule.min_speedup),
                      ok ? "allowed" : "FAIL"});
@@ -469,10 +480,15 @@ int main(int argc, char** argv) {
       continue;
     }
     if (rule.min_hw > 0.0 && candidate.hardware_concurrency < rule.min_hw) {
+      const std::string have =
+          std::to_string(static_cast<long long>(candidate.hardware_concurrency));
+      const std::string need = std::to_string(static_cast<long long>(rule.min_hw));
       table.add_row({name, "floor", "-", fmt(cand_it->second.speedup) + "x",
                      ">= " + fmt(rule.min_speedup),
-                     "skipped (" + fmt(candidate.hardware_concurrency) + " hw threads < " +
-                         fmt(rule.min_hw) + ")"});
+                     "skipped (" + have + " hw threads < " + need + ")"});
+      skipped_floors.push_back("floor " + name + " >= " + fmt(rule.min_speedup) +
+                               ": hw-gated, runner has " + have +
+                               " hardware threads < required " + need);
       continue;
     }
     if (!cand_it->second.has_speedup) {
@@ -487,6 +503,14 @@ int main(int argc, char** argv) {
     if (!ok) ++failures;
   }
   std::fputs(table.render().c_str(), stdout);
+
+  if (!skipped_floors.empty()) {
+    std::printf("\n%zu floor rule%s NOT enforced on this run:\n",
+                skipped_floors.size(), skipped_floors.size() == 1 ? "" : "s");
+    for (const std::string& note : skipped_floors) {
+      std::printf("  skipped %s\n", note.c_str());
+    }
+  }
 
   if (failures != 0) {
     std::printf("\nbench_regress: %zu regression%s past threshold\n", failures,

@@ -10,7 +10,9 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/structured_log.hpp"
 #include "obs/trace.hpp"
 #include "reliability/calibration.hpp"
@@ -59,6 +61,10 @@ inline void print_table(const TextTable& table) {
 ///   --trace-dump <path>    Chrome trace_event JSON (enables span tracing).
 ///   --log-dump <path>      JSON-lines structured log (obs::structured_log()
 ///                          writes there for the whole bench run).
+///   --provenance-dump <path>  JSON-lines per-batch provenance records
+///                          (obs::provenance_log()).
+///   --flight-dump <path>   Flight-recorder ring dump (JSON lines), written
+///                          atomically at end of run.
 ///   --obs-off              Run with observability disabled (overhead/
 ///                          differential experiments).
 ///   --threads <n>          Worker-thread request for benches with a
@@ -99,6 +105,10 @@ class Session {
         obs::set_trace_enabled(true);
       } else if (arg == "--log-dump") {
         take_value(log_path_);
+      } else if (arg == "--provenance-dump") {
+        take_value(provenance_path_);
+      } else if (arg == "--flight-dump") {
+        take_value(flight_path_);
       } else if (arg == "--obs-off") {
         obs::set_enabled(false);
       } else if (arg == "--threads") {
@@ -133,6 +143,26 @@ class Session {
                   static_cast<unsigned long long>(obs::structured_log().emitted()),
                   static_cast<unsigned long long>(obs::structured_log().dropped()));
     }
+    if (!provenance_path_.empty()) {
+      std::ofstream out(provenance_path_);
+      obs::provenance_log().write_jsonl(out);
+      std::printf("wrote provenance log to %s (%llu records, %llu ring-dropped)\n",
+                  provenance_path_.c_str(),
+                  static_cast<unsigned long long>(obs::provenance_log().recorded()),
+                  static_cast<unsigned long long>(obs::provenance_log().dropped()));
+    }
+    if (!flight_path_.empty()) {
+      if (obs::dump_flight_recorder(flight_path_)) {
+        std::printf("wrote flight-recorder dump to %s (%llu records, %llu "
+                    "ring-dropped)\n",
+                    flight_path_.c_str(),
+                    static_cast<unsigned long long>(obs::flight_recorded()),
+                    static_cast<unsigned long long>(obs::flight_dropped()));
+      } else {
+        std::fprintf(stderr, "bench: could not write flight dump to %s\n",
+                     flight_path_.c_str());
+      }
+    }
   }
 
   Session(const Session&) = delete;
@@ -150,6 +180,8 @@ class Session {
   std::string metrics_path_;
   std::string trace_path_;
   std::string log_path_;
+  std::string provenance_path_;
+  std::string flight_path_;
   std::ofstream log_stream_;
   std::vector<std::string> positional_;
 };

@@ -110,7 +110,8 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const char* path, const std::vector<Entry>& entries,
                 bool fleet_digest_matches, bool crash_recovery_matches,
-                std::uint64_t wire_undetected, double wire_min_recovered) {
+                bool flight_recorder_ok, std::uint64_t wire_undetected,
+                double wire_min_recovered) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_loadgen: cannot open %s for writing\n", path);
@@ -118,7 +119,7 @@ void write_json(const char* path, const std::vector<Entry>& entries,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"rfidsim-bench-v1\",\n");
-  std::fprintf(f, "  \"pr\": 7,\n");
+  std::fprintf(f, "  \"pr\": 8,\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
@@ -127,6 +128,8 @@ void write_json(const char* path, const std::vector<Entry>& entries,
                fleet_digest_matches ? "true" : "false");
   std::fprintf(f, "  \"crash_recovery_matches\": %s,\n",
                crash_recovery_matches ? "true" : "false");
+  std::fprintf(f, "  \"flight_recorder_ok\": %s,\n",
+               flight_recorder_ok ? "true" : "false");
   std::fprintf(f, "  \"wire_undetected_corruptions\": %llu,\n",
                static_cast<unsigned long long>(wire_undetected));
   std::fprintf(f, "  \"wire_min_recovered_fraction\": %.6f,\n",
@@ -171,6 +174,11 @@ std::vector<fleet::FacilityBatch> generate_batches(std::uint64_t seed) {
       for (std::size_t b = 0; b < kBatchesPerPass; ++b) {
         fleet::FacilityBatch batch;
         batch.facility = facility;
+        // Deterministic provenance id, as an uploader would mint it. The
+        // whole-batch re-deliveries below copy it — a re-delivery is the
+        // *same* batch, so its provenance trail stays one chain.
+        batch.batch_id = obs::provenance_batch_id(
+            facility, pass * kBatchesPerPass + b);
         batch.events.reserve(kEventsPerBatch);
         for (std::size_t e = 0; e < kEventsPerBatch; ++e) {
           sys::ReadEvent ev;
@@ -309,6 +317,19 @@ std::uint64_t reference_digest(const std::vector<fleet::FacilityBatch>& batches)
     std::fprintf(stderr, "fleet_loadgen: cannot write checkpoint to %s\n", path);
     std::_Exit(3);
   }
+  // The flight recorder is the crash's black box: dump the rings (the tail
+  // is the checkpoint's own provenance record) before dying. _Exit runs no
+  // handlers, so this explicit dump is the only one the "crash" leaves.
+  const std::string flight_path = std::string(path) + ".flight.jsonl";
+  if (obs::dump_flight_recorder(flight_path)) {
+    std::printf("crash-after-half: flight-recorder dump -> %s (%llu records)\n",
+                flight_path.c_str(),
+                static_cast<unsigned long long>(obs::flight_recorded()));
+  } else {
+    std::fprintf(stderr, "fleet_loadgen: cannot write flight dump to %s\n",
+                 flight_path.c_str());
+    std::_Exit(3);
+  }
   std::printf("crash-after-half: ingested %zu/%zu batches, checkpoint %s (%zu bytes, "
               "digest %016llx) -> simulated crash (_Exit)\n",
               split, batches.size(), path, snapshot.size(),
@@ -351,6 +372,9 @@ int restore_from(const std::vector<fleet::FacilityBatch>& batches, const char* p
 
 int main(int argc, char** argv) {
   const bench::Session session(argc, argv);
+  // A real crash (SIGSEGV/SIGABRT/...) dumps the flight rings here before
+  // the default handler takes over — the bench run's black box.
+  obs::install_crash_handler("fleet_loadgen.crash.flight.jsonl");
   const char* out_path = "BENCH_FLEET.json";
   const char* crash_path = nullptr;
   const char* restore_path = nullptr;
@@ -565,12 +589,14 @@ int main(int argc, char** argv) {
   // --- Kill-and-recover matrix: crash mid-ingest under every thread and
   // obs configuration; recovery must land on the uninterrupted digest. ---
   bool crash_recovery_matches = true;
+  std::uint64_t matrix_checkpoint_sequence = 0;
   {
     const std::size_t split = batches.size() / 2;
     fleet::TrackingStore first_half;
     for (std::size_t b = 0; b < split; ++b) first_half.ingest(batches[b]);
     fleet::Checkpointer checkpointer;
     const std::vector<std::uint8_t> snapshot = checkpointer.full(first_half);
+    matrix_checkpoint_sequence = checkpointer.last_stats().sequence;
 
     TextTable recovery({"threads", "obs", "restore + finish (s)", "digest"});
     for (const std::size_t threads : {1u, 2u, 4u}) {
@@ -606,6 +632,35 @@ int main(int argc, char** argv) {
     std::printf("crash recovery digests %s\n\n",
                 crash_recovery_matches ? "IDENTICAL to the uninterrupted run"
                                        : "MISMATCH (durability contract broken, BUG)");
+  }
+
+  // --- Flight recorder: dump the black box after the kill-and-recover
+  // matrix and check its provenance tail names the matrix's checkpoint —
+  // i.e. a post-mortem reader could tell which snapshot the crash left. ---
+  bool flight_recorder_ok = true;
+  if (obs::hooks_enabled()) {
+    const char* flight_path = "fleet_loadgen.flight.jsonl";
+    flight_recorder_ok = obs::dump_flight_recorder(flight_path);
+    const obs::ProvenanceRecord* last_checkpoint = nullptr;
+    const std::vector<obs::ProvenanceRecord> trail =
+        obs::provenance_log().snapshot();
+    for (const obs::ProvenanceRecord& rec : trail) {
+      if (rec.hop == obs::BatchHop::kCheckpointed) last_checkpoint = &rec;
+    }
+    flight_recorder_ok = flight_recorder_ok && last_checkpoint != nullptr &&
+                         last_checkpoint->value == matrix_checkpoint_sequence;
+    std::printf("flight recorder: dump %s (%llu records, %llu dropped); last "
+                "checkpoint hop seq %lld vs matrix seq %llu: %s\n\n",
+                flight_path,
+                static_cast<unsigned long long>(obs::flight_recorded()),
+                static_cast<unsigned long long>(obs::flight_dropped()),
+                last_checkpoint == nullptr
+                    ? -1LL
+                    : static_cast<long long>(last_checkpoint->value),
+                static_cast<unsigned long long>(matrix_checkpoint_sequence),
+                flight_recorder_ok ? "MATCH" : "MISMATCH (BUG)");
+  } else {
+    std::printf("flight recorder: obs hooks disabled, dump check skipped\n\n");
   }
 
   // --- BER-sweep ablation: corruption detection and NAK recovery vs wire
@@ -728,7 +783,10 @@ int main(int argc, char** argv) {
   std::printf("peak RSS: %s\n", human_bytes(peak_rss_bytes()).c_str());
 
   write_json(out_path, entries, fleet_digest_matches, crash_recovery_matches,
-             wire_undetected, wire_min_recovered);
+             flight_recorder_ok, wire_undetected, wire_min_recovered);
   std::printf("\nwrote %s\n", out_path);
-  return fleet_digest_matches && crash_recovery_matches && wire_gates_pass ? 0 : 1;
+  return fleet_digest_matches && crash_recovery_matches && flight_recorder_ok &&
+                 wire_gates_pass
+             ? 0
+             : 1;
 }

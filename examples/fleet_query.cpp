@@ -12,6 +12,7 @@
 // read" from "probably absent" by combining that R_C with each case's
 // cross-facility custody evidence.
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -131,5 +132,14 @@ int main() {
   for (const track::ObjectId object : report.unexpected) {
     std::printf("unexpected on the truck: %s\n", registry.name_of(object).c_str());
   }
+
+  // The fleet health document an ops dashboard would scrape: per-facility
+  // freshness watermarks, alert tallies, and transport depths in one JSON
+  // object (write_health_prometheus renders the same snapshot for a
+  // Prometheus endpoint).
+  std::printf("\nfleet health snapshot:\n");
+  std::ostringstream health_json;
+  fleet::write_health_json(health_json, service.health_snapshot());
+  std::fputs(health_json.str().c_str(), stdout);
   return 0;
 }

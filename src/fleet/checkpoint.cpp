@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace rfidsim::fleet {
@@ -155,6 +157,14 @@ std::vector<std::uint8_t> Checkpointer::write(const TrackingStore& store,
   }
   st.bytes = out.size();
   last_stats_ = st;
+  if (obs::hooks_enabled()) {
+    // Checkpoint frames join the provenance stream under a synthetic id
+    // keyed on the snapshot sequence (facility = kNoFacility marks it as a
+    // store-level hop, not one facility's batch).
+    obs::provenance_log().record(
+        {obs::provenance_batch_id(obs::kNoFacility, st.sequence),
+         obs::BatchHop::kCheckpointed, obs::kNoFacility, st.sequence, -1.0});
+  }
   return out;
 }
 
@@ -347,6 +357,11 @@ TrackingStore restore_checkpoint(const std::uint8_t* data, std::size_t size,
   if (in_snapshot) {
     fail(CheckpointErrorKind::kMissingEnd,
          "checkpoint: stream ended inside a snapshot");
+  }
+  if (obs::hooks_enabled()) {
+    obs::provenance_log().record(
+        {obs::provenance_batch_id(obs::kNoFacility, prev_sequence),
+         obs::BatchHop::kRestored, obs::kNoFacility, prev_sequence, -1.0});
   }
   return std::move(*store);
 }

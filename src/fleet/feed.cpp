@@ -3,8 +3,12 @@
 #include <string>
 #include <utility>
 
+#include <algorithm>
+#include <limits>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace rfidsim::fleet {
@@ -39,6 +43,31 @@ void record_feed_metrics(const FeedPassResult& result, FacilityId facility) {
       .add(result.quarantined_batches);
   obs::counter("fleet.feed.stale_batches", {{"facility", label}})
       .add(result.stale_batches);
+}
+
+/// Watermark/staleness gauges plus the event-time -> store-visible lag
+/// histogram, published after a merge. Labelled per facility so one rotting
+/// uplink's lag does not hide inside a fleet-wide aggregate.
+void record_watermark_metrics(const FeedPassResult& result, FacilityId facility,
+                              double watermark_s, double age_s) {
+  const std::string label = std::to_string(facility);
+  obs::registry().gauge("fleet.watermark.seconds", {{"facility", label}})
+      .set(watermark_s);
+  if (age_s < std::numeric_limits<double>::infinity()) {
+    obs::registry().gauge("fleet.watermark.age_seconds", {{"facility", label}})
+        .set(age_s);
+  }
+  // Lag = backend arrival minus event time: how long a sighting was in
+  // flight before a query could see it. Buckets start at 1ms (clean serial
+  // hop) and span out past retry-backoff territory.
+  obs::Histogram& lag = obs::registry().histogram(
+      "fleet.feed.visibility_lag_seconds", {{"facility", label}},
+      obs::HistogramSpec{1e-3, 4.0, 16});
+  for (const FacilityBatch& batch : result.batches) {
+    for (const sys::ReadEvent& ev : batch.events) {
+      lag.observe(batch.arrival_time_s - ev.time_s);
+    }
+  }
 }
 
 }  // namespace
@@ -80,11 +109,13 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
   // store only ever sees plausible sightings. On-time batches additionally
   // feed the pass-level union below.
   sys::EventLog on_time;
+  const bool hooked = obs::hooks_enabled();
   for (sys::DeliveredBatch& db : delivered) {
     FacilityBatch batch;
     batch.facility = config_.facility;
     batch.sent_time_s = db.sent_time_s;
     batch.arrival_time_s = db.arrival_time_s;
+    batch.batch_id = db.batch_id;
     batch.events.reserve(db.events.size());
     for (const sys::ReadEvent& ev : db.events) {
       if (!track::validate_event(ev, config_.ingest, window_begin_s, window_end_s)) {
@@ -92,15 +123,31 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
         continue;
       }
       batch.events.push_back(ev);
+      result.max_event_time_s = std::max(result.max_event_time_s, ev.time_s);
     }
     if (batch.events.empty()) continue;
+    if (hooked && batch.batch_id != 0) {
+      obs::provenance_log().record({batch.batch_id, obs::BatchHop::kValidated,
+                                    batch.facility, batch.events.size(),
+                                    batch.arrival_time_s});
+    }
     if (batch.arrival_time_s > window_end_s + config_.stale_horizon_s) {
       // Past the staleness horizon: alerted below, still stored — the
       // sorted-idempotent store repairs truth however late the data is.
       ++result.stale_batches;
+      if (hooked && batch.batch_id != 0) {
+        obs::provenance_log().record({batch.batch_id, obs::BatchHop::kStale,
+                                      batch.facility, batch.events.size(),
+                                      batch.arrival_time_s});
+      }
     }
     if (batch.arrival_time_s > window_end_s) {
       ++result.late_batches;
+      if (hooked && batch.batch_id != 0) {
+        obs::provenance_log().record({batch.batch_id, obs::BatchHop::kLate,
+                                      batch.facility, batch.events.size(),
+                                      batch.arrival_time_s});
+      }
     } else {
       on_time.insert(on_time.end(), batch.events.begin(), batch.events.end());
     }
@@ -120,7 +167,24 @@ FeedPassResult FacilityFeed::process_pass(const sys::EventLog& raw,
       result.frames_sent, result.corrupt_frames, result.recovered_batches,
       result.quarantined_batches, result.stale_batches, window_end_s});
 
-  if (obs::hooks_enabled()) record_feed_metrics(result, config_.facility);
+  // Cumulative tallies for the health surface — always on (pure counting).
+  last_window_end_s_ = window_end_s;
+  totals_.passes += 1;
+  totals_.delivered_batches += result.batches.size();
+  for (const FacilityBatch& batch : result.batches) {
+    totals_.stored_events += batch.events.size();
+  }
+  totals_.quarantined_records += result.quarantined;
+  totals_.late_batches += result.late_batches;
+  totals_.lost_batches += result.lost_batches;
+  totals_.stale_batches += result.stale_batches;
+  totals_.frames_sent += result.frames_sent;
+  totals_.corrupt_frames += result.corrupt_frames;
+  totals_.recovered_batches += result.recovered_batches;
+  totals_.quarantined_batches += result.quarantined_batches;
+
+  result.watermark_s = watermark_s_;
+  if (hooked) record_feed_metrics(result, config_.facility);
   return result;
 }
 
@@ -130,7 +194,23 @@ FeedPassResult FacilityFeed::ingest_pass(TrackingStore& store,
                                          Rng& rng) {
   FeedPassResult result = process_pass(raw, window_begin_s, window_end_s, rng);
   store.ingest(result.batches);
+  // Everything this pass delivered is now merged, so the watermark may
+  // advance to the pass's max event time. The stall detector is always-on
+  // arithmetic (feedback-free contract: detection never gates on obs).
+  watermark_s_ = std::max(watermark_s_, result.max_event_time_s);
+  result.watermark_s = watermark_s_;
+  monitor_.observe_watermark(
+      obs::WatermarkObservation{watermark_s_, window_end_s});
+  if (obs::hooks_enabled()) {
+    record_watermark_metrics(result, config_.facility, watermark_s_,
+                             watermark_age_s());
+  }
   return result;
+}
+
+double FacilityFeed::watermark_age_s() const {
+  if (watermark_s_ < 0.0) return std::numeric_limits<double>::infinity();
+  return last_window_end_s_ - watermark_s_;
 }
 
 FacilityModel FacilityFeed::model() const {

@@ -87,6 +87,30 @@ struct FeedPassResult {
   std::size_t recovered_batches = 0;    ///< Delivered after >= 1 NAK.
   std::size_t quarantined_batches = 0;  ///< Dropped: NAK budget exhausted.
   std::size_t stale_batches = 0;        ///< Arrived past the staleness horizon.
+  /// Max event time across this pass's validated batches (-1 when none
+  /// survived) — the candidate the feed's watermark advances to once the
+  /// batches are merged.
+  double max_event_time_s = -1.0;
+  /// The feed's event-time low-watermark after this pass. Only ingest_pass
+  /// advances it (the watermark means *fully merged*, and only ingest_pass
+  /// merges); process_pass reports the current value unchanged.
+  double watermark_s = -1.0;
+};
+
+/// Cumulative per-feed tallies across every processed pass — the health
+/// snapshot's per-facility row. Pure functions of the pass sequence.
+struct FeedTotals {
+  std::uint64_t passes = 0;
+  std::uint64_t delivered_batches = 0;    ///< Validated batches forwarded.
+  std::uint64_t stored_events = 0;        ///< Events inside those batches.
+  std::uint64_t quarantined_records = 0;  ///< Records validation rejected.
+  std::uint64_t late_batches = 0;
+  std::uint64_t lost_batches = 0;
+  std::uint64_t stale_batches = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t recovered_batches = 0;
+  std::uint64_t quarantined_batches = 0;  ///< NAK budget exhausted.
 };
 
 /// One facility's upload + validation + monitoring pipeline. Stateful:
@@ -112,6 +136,14 @@ class FacilityFeed {
 
   const obs::ReliabilityMonitor& monitor() const { return monitor_; }
   obs::ReliabilityMonitor& monitor() { return monitor_; }
+  /// Cumulative tallies across every pass this feed processed.
+  const FeedTotals& totals() const { return totals_; }
+  /// Event-time low-watermark: max event time fully merged via ingest_pass
+  /// (-1 until anything merges). Age is measured against the last pass
+  /// window's end (infinite until anything merges).
+  double watermark_s() const { return watermark_s_; }
+  double watermark_age_s() const;
+  double last_window_end_s() const { return last_window_end_s_; }
   const sys::UploadStats& upload_stats() const { return uploader_.stats(); }
   const sys::WireUploadStats& wire_stats() const { return uploader_.wire_stats(); }
   /// Ground truth of what the channel actually did (the decoder's
@@ -128,6 +160,9 @@ class FacilityFeed {
   track::ResilientIngest ingest_;
   obs::ReliabilityMonitor monitor_;
   std::vector<std::size_t> last_degraded_;  ///< Readers silent in last pass.
+  FeedTotals totals_;
+  double watermark_s_ = -1.0;
+  double last_window_end_s_ = 0.0;
 };
 
 }  // namespace rfidsim::fleet

@@ -1,0 +1,74 @@
+// rfidsim::fleet — the fleet health surface.
+//
+// One structured document answering "is the backend healthy, and if not,
+// which facility and why": per-facility freshness watermarks and stall
+// state, reliability-monitor alert tallies, wire-corruption and quarantine
+// depths, and the store's ingest stats, aggregated fleet-wide. Built by
+// FleetService::health_snapshot() from state that is always maintained
+// (feed totals, monitor alerts, store stats are all pure arithmetic), so
+// the snapshot is available — and identical — whether obs hooks are on,
+// off, or compiled out.
+//
+// Two serializations of the same snapshot:
+//   write_health_json        one JSON object (dashboards, test assertions)
+//   write_health_prometheus  Prometheus text exposition (scrape endpoints)
+// Both are deterministic: facilities ascending, fixed key order, fixed
+// float formatting.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "fleet/feed.hpp"
+#include "fleet/store.hpp"
+#include "obs/monitor.hpp"
+
+namespace rfidsim::fleet {
+
+/// One facility's row in the fleet health document.
+struct FacilityHealth {
+  FacilityId facility = 0;
+  std::uint64_t passes = 0;
+  /// Event-time low-watermark (max event time fully merged); -1 until the
+  /// facility has merged anything.
+  double watermark_s = -1.0;
+  /// Last pass window end minus the watermark; infinity until anything
+  /// merges (JSON writes -1 for non-finite, Prometheus writes +Inf).
+  double watermark_age_s = 0.0;
+  bool watermark_stalled = false;
+  std::uint64_t watermark_stall_streak = 0;
+  double observed_rc = 0.0;   ///< Monitor's windowed portal read rate.
+  double predicted_rc = 0.0;  ///< Composed per-reader prediction.
+  std::uint64_t alerts_total = 0;
+  /// Alert counts indexed by obs::AlertType.
+  std::array<std::uint64_t, obs::kAlertTypeCount> alerts_by_type{};
+  FeedTotals totals;
+};
+
+/// The whole backend's health at one instant.
+struct FleetHealth {
+  std::size_t facilities = 0;
+  std::size_t tags = 0;       ///< Distinct EPCs the store has sighted.
+  std::size_t sightings = 0;  ///< Stored sightings across all timelines.
+  StoreStats store;
+  std::uint64_t alerts_total = 0;       ///< Sum over facilities.
+  std::size_t stalled_facilities = 0;   ///< Currently watermark-stalled.
+  /// Min per-facility watermark: the fleet-wide freshness floor. -1 when
+  /// any facility (or the whole fleet) has merged nothing yet.
+  double min_watermark_s = -1.0;
+  std::vector<FacilityHealth> per_facility;  ///< Ascending by facility id.
+};
+
+/// One JSON object, '\n'-terminated. Non-finite doubles are written as -1.
+void write_health_json(std::ostream& out, const FleetHealth& health);
+
+/// Prometheus text exposition (gauge metrics prefixed
+/// rfidsim_fleet_health_*, per-facility series labelled
+/// {facility="N"}, alert counts additionally labelled {type="..."}).
+/// Non-finite doubles are written as +Inf/-Inf.
+void write_health_prometheus(std::ostream& out, const FleetHealth& health);
+
+}  // namespace rfidsim::fleet

@@ -1,5 +1,7 @@
 #include "fleet/service.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -36,6 +38,44 @@ FeedPassResult FleetService::ingest_pass(FacilityId facility, const sys::EventLo
   FeedPassResult result = f.ingest_pass(store_, raw, window_begin_s, window_end_s, rng);
   query_.set_facility_model(facility, f.model());
   return result;
+}
+
+FleetHealth FleetService::health_snapshot() const {
+  FleetHealth health;
+  health.facilities = feeds_.size();
+  health.tags = store_.tag_count();
+  health.sightings = store_.sighting_count();
+  health.store = store_.stats();
+  health.per_facility.reserve(feeds_.size());
+  bool watermark_known = !feeds_.empty();
+  double min_watermark = std::numeric_limits<double>::infinity();
+  for (const auto& feed : feeds_) {
+    const obs::ReliabilityMonitor& monitor = feed->monitor();
+    FacilityHealth f;
+    f.facility = feed->config().facility;
+    f.passes = feed->totals().passes;
+    f.watermark_s = feed->watermark_s();
+    f.watermark_age_s = feed->watermark_age_s();
+    f.watermark_stalled = monitor.watermark_stalled();
+    f.watermark_stall_streak = monitor.watermark_stall_streak();
+    f.observed_rc = monitor.observed_rc();
+    f.predicted_rc = monitor.predicted_rc();
+    f.alerts_total = monitor.alerts().size();
+    for (const obs::Alert& alert : monitor.alerts()) {
+      const auto index = static_cast<std::size_t>(alert.type);
+      if (index < f.alerts_by_type.size()) ++f.alerts_by_type[index];
+    }
+    f.totals = feed->totals();
+    health.alerts_total += f.alerts_total;
+    if (f.watermark_stalled) ++health.stalled_facilities;
+    if (f.watermark_s < 0.0) watermark_known = false;
+    min_watermark = std::min(min_watermark, f.watermark_s);
+    health.per_facility.push_back(std::move(f));
+  }
+  // One never-merged facility pins the fleet freshness floor at "unknown":
+  // a floor computed while ignoring it would overstate freshness.
+  health.min_watermark_s = watermark_known ? min_watermark : -1.0;
+  return health;
 }
 
 }  // namespace rfidsim::fleet

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "fleet/feed.hpp"
+#include "fleet/health.hpp"
 #include "fleet/query.hpp"
 #include "fleet/store.hpp"
 #include "track/registry.hpp"
@@ -47,6 +48,12 @@ class FleetService {
   const TrackingStore& store() const { return store_; }
   QueryService& query() { return query_; }
   const QueryService& query() const { return query_; }
+
+  /// The fleet health document at this instant: per-facility watermarks,
+  /// stall state, monitor alert tallies, wire/quarantine depths, and the
+  /// store's aggregate stats. Built from always-on state, so the snapshot
+  /// is identical whether obs hooks are on, off, or compiled out.
+  FleetHealth health_snapshot() const;
 
  private:
   const track::ObjectRegistry& registry_;

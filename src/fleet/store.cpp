@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "sweep/sweep.hpp"
 
@@ -201,9 +202,18 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
   });
 
   stats_.batches += batches.size();
+  const bool hooked = obs::hooks_enabled();
   for (const FacilityBatch& batch : batches) {
     stats_.events += batch.events.size();
     if (batch.arrival_time_s > batch.sent_time_s) ++stats_.late_batches;
+    // Merge hop, recorded serially in batch order (the parallel phases
+    // above own no deterministic order to record from). Batch granularity:
+    // one record per batch, nothing in the per-event hot path.
+    if (hooked && batch.batch_id != 0) {
+      obs::provenance_log().record({batch.batch_id, obs::BatchHop::kMerged,
+                                    batch.facility, batch.events.size(),
+                                    batch.arrival_time_s});
+    }
   }
   std::uint64_t accepted = 0, duplicates = 0, repairs = 0;
   for (const Shard& shard : shards_) {

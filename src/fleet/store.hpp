@@ -71,6 +71,10 @@ struct FacilityBatch {
   double sent_time_s = 0.0;
   double arrival_time_s = 0.0;
   sys::EventLog events;
+  /// Provenance id carried from sys::DeliveredBatch (0 = none). Plumbing
+  /// only: ids never enter timelines or digest() — stored truth stays a
+  /// pure function of the sighting multiset.
+  std::uint64_t batch_id = 0;
 };
 
 struct StoreConfig {

@@ -1,0 +1,85 @@
+// rfidsim::obs — crash flight recorder.
+//
+// A bounded per-thread ring of recent structured records (the TraceSpan
+// ring pattern, but for discrete events rather than spans) that can be
+// dumped atomically to a file — on explicit trigger, or from a fatal-signal
+// handler installed by install_crash_handler(). The point is post-mortems:
+// when a backend dies mid-ingest, the dump preserves the last few thousand
+// pipeline events (provenance hops, checkpoint writes, pass boundaries)
+// next to whatever checkpoint hit the disk, so the crash is attributable
+// without a debugger.
+//
+// Contracts:
+//   - flight_record() is gated on hooks_enabled(): a few nanoseconds when
+//     obs is off, compiled out entirely under -DRFIDSIM_OBS=OFF (the dump
+//     then contains only its meta line — still written, still readable).
+//   - Rings are bounded (kFlightRingCapacity per thread); wrap overwrites
+//     the oldest records and tallies the loss (flight_dropped()), never
+//     silently.
+//   - `category` and `event` must be string literals (stored by pointer,
+//     exactly like TraceSpan names).
+//   - Explicit dumps are atomic: written to "<path>.tmp", then renamed.
+//     The signal handler uses the same tmp+rename dance with raw
+//     async-signal-safe write(2)/rename(2) calls and try-locks each ring —
+//     a ring wedged by the crashing thread is skipped, not deadlocked on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rfidsim::obs {
+
+/// One recorded event, as returned by flight_snapshot().
+struct FlightRecord {
+  std::uint64_t seq = 0;      ///< Global order stamp (cross-thread total order).
+  std::uint64_t wall_ns = 0;  ///< trace_now_ns() at record time.
+  const char* category = "";  ///< Static string literal ("provenance", ...).
+  const char* event = "";     ///< Static string literal ("merged", ...).
+  std::uint64_t a = 0;        ///< Event-specific payload words.
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  double time_s = -1.0;  ///< Simulated time; -1 when none applies.
+  std::uint32_t tid = 0; ///< Recording thread's registration index.
+};
+
+/// Records per thread ring; the newest records win once a ring wraps.
+inline constexpr std::size_t kFlightRingCapacity = 2048;
+
+/// Appends one record to the calling thread's ring. No-op unless
+/// hooks_enabled().
+void flight_record(const char* category, const char* event, std::uint64_t a = 0,
+                   std::uint64_t b = 0, std::uint64_t c = 0, double time_s = -1.0);
+
+/// Merged copy of every thread's retained records, ordered by seq.
+std::vector<FlightRecord> flight_snapshot();
+
+std::uint64_t flight_recorded();  ///< Records accepted (monotonic).
+std::uint64_t flight_dropped();   ///< Records overwritten by ring wrap.
+
+/// Writes the dump (meta line + one JSON object per record, schema in
+/// EXPERIMENTS.md) to `out`.
+void write_flight_dump(std::ostream& out, const char* reason = "explicit");
+
+/// Atomically writes the dump to `path` (tmp + rename). Returns false if
+/// the file could not be written.
+bool dump_flight_recorder(const std::string& path);
+
+/// Installs handlers for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT that dump
+/// the flight recorder to `path` and then re-raise with the default
+/// disposition (so exit codes / core dumps are unchanged). `path` is
+/// copied into static storage; later calls replace it. Returns false on
+/// platforms without sigaction.
+bool install_crash_handler(const std::string& path);
+
+/// The path the crash handler will dump to ("" when none installed).
+const char* crash_dump_path();
+
+/// Discards every thread's records and zeroes the tallies (registrations
+/// survive).
+void clear_flight_recorder();
+
+}  // namespace rfidsim::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -82,6 +83,7 @@ const char* alert_type_name(AlertType type) {
     case AlertType::kSilence: return "silence";
     case AlertType::kWireCorruption: return "wire_corruption";
     case AlertType::kStaleBatch: return "stale_batch";
+    case AlertType::kWatermarkStalled: return "watermark_stalled";
   }
   return "?";
 }
@@ -324,15 +326,58 @@ void ReliabilityMonitor::observe_transport(const TransportObservation& obs) {
   }
 }
 
+void ReliabilityMonitor::observe_watermark(const WatermarkObservation& obs) {
+  // Watermark passes are indexed independently, like transport passes:
+  // callers may track freshness without ever feeding observe_pass.
+  const std::uint64_t pass = watermark_passes_++;
+  const bool advanced = obs.watermark_s > watermark_s_;
+  const bool window_moved = pass == 0 || obs.window_end_s > watermark_window_end_s_;
+  if (advanced) watermark_s_ = obs.watermark_s;
+  watermark_window_end_s_ = std::max(watermark_window_end_s_, obs.window_end_s);
+
+  if (advanced) {
+    watermark_streak_ = 0;
+    watermark_latched_ = false;
+  } else if (window_moved) {
+    // The window moved on but no newer events reached stored truth: one
+    // more stalled pass. A pass where the window itself did not move says
+    // nothing about freshness and leaves the streak alone.
+    ++watermark_streak_;
+    if (!watermark_latched_ && watermark_streak_ >= config_.watermark_stall_passes) {
+      watermark_latched_ = true;
+      raise(AlertType::kWatermarkStalled, pass, -1,
+            static_cast<double>(watermark_streak_),
+            static_cast<double>(config_.watermark_stall_passes), "watermark",
+            obs.window_end_s);
+    }
+  }
+
+  if (hooks_enabled()) {
+    obs::gauge("obs.monitor.watermark_seconds").set(watermark_s_);
+    obs::gauge("obs.monitor.watermark_stall_streak")
+        .set(static_cast<double>(watermark_streak_));
+  }
+}
+
+double ReliabilityMonitor::watermark_age_s() const {
+  if (watermark_s_ < 0.0) return std::numeric_limits<double>::infinity();
+  return watermark_window_end_s_ - watermark_s_;
+}
+
 void ReliabilityMonitor::reset() {
   readers_.clear();
   portal_.reset();
   alerts_.clear();
   passes_ = 0;
   transport_passes_ = 0;
+  watermark_passes_ = 0;
+  watermark_s_ = -1.0;
+  watermark_window_end_s_ = 0.0;
+  watermark_streak_ = 0;
   divergence_latched_ = false;
   wire_corruption_latched_ = false;
   stale_latched_ = false;
+  watermark_latched_ = false;
 }
 
 }  // namespace rfidsim::obs

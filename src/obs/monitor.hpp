@@ -142,11 +142,20 @@ enum class AlertType : int {
   /// repairs stored truth — this alert exists precisely so that silent
   /// late-data path is observable. Transport-level, reader = -1.
   kStaleBatch = 4,
+  /// The facility's event-time low-watermark (max event time fully merged
+  /// into the store) failed to advance for watermark_stall_passes
+  /// consecutive passes while the pass window kept moving — a dead uplink
+  /// or wedged feed, seen from the freshness side. The alert value is the
+  /// stall streak in passes at firing time. Feed-level, reader = -1.
+  kWatermarkStalled = 5,
 };
 
+/// Number of AlertType values (alert-count arrays index by the enum).
+inline constexpr std::size_t kAlertTypeCount = 6;
+
 /// Stable lower-snake name ("reader_degraded", "model_divergence",
-/// "silence", "wire_corruption", "stale_batch") used for alert-counter
-/// labels and log event names.
+/// "silence", "wire_corruption", "stale_batch", "watermark_stalled") used
+/// for alert-counter labels and log event names.
 const char* alert_type_name(AlertType type);
 
 /// One raised alert. Alerts latch: a condition fires once on its rising
@@ -190,6 +199,15 @@ struct TransportObservation {
   double window_end_s = 0.0;
 };
 
+/// One pass's freshness reading, as fed to observe_watermark(). The
+/// watermark is the facility's event-time low-watermark: the maximum event
+/// time the caller has *fully merged* into stored truth (not merely
+/// received). Negative = nothing merged yet.
+struct WatermarkObservation {
+  double watermark_s = -1.0;
+  double window_end_s = 0.0;
+};
+
 struct MonitorConfig {
   /// Passes per sliding window for read-rate and R_C estimation.
   std::size_t window_passes = 16;
@@ -205,6 +223,10 @@ struct MonitorConfig {
   std::uint64_t min_window_objects = 8;
   EwmaConfig ewma;
   CusumConfig cusum;
+  /// Consecutive passes the event-time watermark may fail to advance (while
+  /// the pass window moves) before kWatermarkStalled fires. The detection
+  /// latency is exactly this many passes from the stall's onset.
+  std::size_t watermark_stall_passes = 3;
 };
 
 /// The streaming monitor. Construct once per portal/run, feed
@@ -229,6 +251,13 @@ class ReliabilityMonitor {
   /// latched exactly like the reader alerts: a ten-pass corruption storm
   /// is one alert, re-armed only after a clean pass.
   void observe_transport(const TransportObservation& obs);
+
+  /// Folds in one pass's freshness reading (call once per pass, alongside
+  /// observe_pass; watermark passes are indexed independently). Raises the
+  /// typed kWatermarkStalled alert once the watermark has sat still for
+  /// watermark_stall_passes consecutive passes, latched: a ten-pass outage
+  /// is one alert, re-armed only after the watermark advances again.
+  void observe_watermark(const WatermarkObservation& obs);
 
   /// All alerts raised so far, in firing order.
   const std::vector<Alert>& alerts() const { return alerts_; }
@@ -255,6 +284,14 @@ class ReliabilityMonitor {
   /// The reader's frozen healthy-throughput baseline (mean rounds per
   /// pass over the warm-up passes); 0 until warm-up completes.
   double reader_baseline_rounds(std::size_t reader) const;
+
+  /// Latest watermark reading (negative until one arrives) and its age at
+  /// the last observed pass (infinite until anything merged).
+  double watermark_s() const { return watermark_s_; }
+  double watermark_age_s() const;
+  /// Consecutive non-advancing passes so far; latched stall state.
+  std::uint64_t watermark_stall_streak() const { return watermark_streak_; }
+  bool watermark_stalled() const { return watermark_latched_; }
 
   const MonitorConfig& config() const { return config_; }
 
@@ -284,9 +321,14 @@ class ReliabilityMonitor {
   std::vector<Alert> alerts_;
   std::uint64_t passes_ = 0;
   std::uint64_t transport_passes_ = 0;
+  std::uint64_t watermark_passes_ = 0;
+  double watermark_s_ = -1.0;
+  double watermark_window_end_s_ = 0.0;
+  std::uint64_t watermark_streak_ = 0;
   bool divergence_latched_ = false;
   bool wire_corruption_latched_ = false;
   bool stale_latched_ = false;
+  bool watermark_latched_ = false;
 };
 
 }  // namespace rfidsim::obs

@@ -1,0 +1,143 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace rfidsim::obs {
+
+const char* batch_hop_name(BatchHop hop) {
+  switch (hop) {
+    case BatchHop::kEnqueued: return "enqueued";
+    case BatchHop::kEncoded: return "encoded";
+    case BatchHop::kNak: return "nak";
+    case BatchHop::kDelivered: return "delivered";
+    case BatchHop::kLost: return "lost";
+    case BatchHop::kQuarantined: return "quarantined";
+    case BatchHop::kValidated: return "validated";
+    case BatchHop::kLate: return "late";
+    case BatchHop::kStale: return "stale";
+    case BatchHop::kMerged: return "merged";
+    case BatchHop::kCheckpointed: return "checkpointed";
+    case BatchHop::kRestored: return "restored";
+  }
+  return "?";
+}
+
+std::uint64_t provenance_batch_id(std::uint32_t facility, std::uint64_t sequence) {
+  // SplitMix64 finalizer over (facility, sequence) — the same mixing the
+  // store uses for shard routing. The +1 keeps the (0, 0) batch away from
+  // the reserved "no id" value; the final "| 1"-style guard is unnecessary
+  // because the finalizer maps only one input to 0 and we shifted off it.
+  std::uint64_t z = (static_cast<std::uint64_t>(facility) << 40) + sequence + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z == 0 ? 1 : z;
+}
+
+ProvenanceLog::ProvenanceLog(std::size_t capacity) {
+  require(capacity > 0, "ProvenanceLog: capacity must be positive");
+  slots_.resize(capacity);
+}
+
+void ProvenanceLog::record(const ProvenanceRecord& rec) {
+  if (!hooks_enabled()) return;
+  // Mirror into the flight recorder so a crash dump carries the tail of
+  // the provenance stream (a = batch id, b = hop value, c = facility).
+  flight_record("provenance", batch_hop_name(rec.hop), rec.batch_id, rec.value,
+                rec.facility, rec.time_s);
+  bool wrapped = false;
+  {
+    std::lock_guard lock(mutex_);
+    wrapped = written_ >= slots_.size();
+    slots_[written_ % slots_.size()] = rec;
+    ++written_;
+  }
+  static Counter& records = obs::counter("obs.provenance.records");
+  records.add(1);
+  if (wrapped) {
+    static Counter& drops = obs::counter("obs.provenance.dropped_records");
+    drops.add(1);
+  }
+}
+
+std::vector<ProvenanceRecord> ProvenanceLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ProvenanceRecord> out;
+  const std::uint64_t kept = std::min<std::uint64_t>(written_, slots_.size());
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = written_ - kept; i < written_; ++i) {
+    out.push_back(slots_[i % slots_.size()]);
+  }
+  return out;
+}
+
+std::vector<ProvenanceRecord> ProvenanceLog::history(std::uint64_t batch_id) const {
+  std::vector<ProvenanceRecord> out;
+  for (const ProvenanceRecord& rec : snapshot()) {
+    if (rec.batch_id == batch_id) out.push_back(rec);
+  }
+  return out;
+}
+
+std::uint64_t ProvenanceLog::recorded() const {
+  std::lock_guard lock(mutex_);
+  return written_;
+}
+
+std::uint64_t ProvenanceLog::dropped() const {
+  std::lock_guard lock(mutex_);
+  return written_ > slots_.size() ? written_ - slots_.size() : 0;
+}
+
+void ProvenanceLog::write_jsonl(std::ostream& out) const {
+  char line[64];
+  for (const ProvenanceRecord& rec : snapshot()) {
+    out << "{\"batch_id\":" << rec.batch_id << ",\"hop\":\""
+        << batch_hop_name(rec.hop) << "\",\"facility\":";
+    if (rec.facility == kNoFacility) {
+      out << -1;
+    } else {
+      out << rec.facility;
+    }
+    std::snprintf(line, sizeof line, "%.6f", rec.time_s);
+    out << ",\"value\":" << rec.value << ",\"t_s\":" << line << "}\n";
+  }
+}
+
+void ProvenanceLog::write_chrome_trace(std::ostream& out) const {
+  const std::vector<ProvenanceRecord> records = snapshot();
+  out << "{\"traceEvents\":[";
+  char buf[64];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ProvenanceRecord& rec = records[i];
+    if (i > 0) out << ',';
+    // Instant events on the *simulated* time axis: ts is time_s in
+    // microseconds (clamped at 0 — a handful of hops carry no sim time),
+    // tid the facility, so per-facility pipelines land on separate rows.
+    const double ts = rec.time_s < 0 ? 0.0 : rec.time_s * 1e6;
+    std::snprintf(buf, sizeof buf, "%.3f", ts);
+    out << "{\"name\":\"" << batch_hop_name(rec.hop)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":"
+        << (rec.facility == kNoFacility ? 0xffffu : rec.facility)
+        << ",\"ts\":" << buf << ",\"args\":{\"batch_id\":" << rec.batch_id
+        << ",\"value\":" << rec.value << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void ProvenanceLog::clear() {
+  std::lock_guard lock(mutex_);
+  written_ = 0;
+}
+
+ProvenanceLog& provenance_log() {
+  static ProvenanceLog instance;
+  return instance;
+}
+
+}  // namespace rfidsim::obs

@@ -25,12 +25,25 @@ struct ThreadRing {
   std::mutex mutex;
   std::vector<TraceEvent> slots{std::vector<TraceEvent>(kTraceRingCapacity)};
   std::uint64_t written = 0;  ///< Monotonic; slot index is written % capacity.
+  std::uint64_t dropped = 0;  ///< Retained spans overwritten by ring wrap.
   std::uint32_t tid = 0;
 
   void push(const TraceEvent& ev) {
-    std::lock_guard lock(mutex);
-    slots[written % kTraceRingCapacity] = ev;
-    ++written;
+    bool wrapped = false;
+    {
+      std::lock_guard lock(mutex);
+      wrapped = written >= kTraceRingCapacity;
+      if (wrapped) ++dropped;
+      slots[written % kTraceRingCapacity] = ev;
+      ++written;
+    }
+    // Wrap used to lose the span without a trace (so to speak): the tally
+    // makes truncated exports diagnosable. Counter lookup is cached; one
+    // atomic add per dropped span, nothing on the non-wrapping path.
+    if (wrapped) {
+      static Counter& drops = obs::counter("obs.trace.dropped_spans");
+      drops.add(1);
+    }
   }
 
   /// Oldest-to-newest copy of the retained events.
@@ -45,6 +58,12 @@ struct ThreadRing {
   void clear() {
     std::lock_guard lock(mutex);
     written = 0;
+    dropped = 0;
+  }
+
+  std::uint64_t dropped_count() {
+    std::lock_guard lock(mutex);
+    return dropped;
   }
 };
 
@@ -136,6 +155,12 @@ std::string chrome_trace_json() {
 
 void clear_trace() {
   for (const auto& ring : recorder().all()) ring->clear();
+}
+
+std::uint64_t trace_dropped_spans() {
+  std::uint64_t total = 0;
+  for (const auto& ring : recorder().all()) total += ring->dropped_count();
+  return total;
 }
 
 }  // namespace rfidsim::obs

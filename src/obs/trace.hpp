@@ -67,7 +67,14 @@ std::vector<TraceEvent> trace_snapshot();
 void write_chrome_trace(std::ostream& out);
 std::string chrome_trace_json();
 
-/// Discards all recorded spans (ring registrations survive).
+/// Discards all recorded spans (ring registrations survive; the per-ring
+/// drop tallies reset too).
 void clear_trace();
+
+/// Spans lost to ring wrap since the last clear_trace(), summed across
+/// rings. The cumulative (never-reset) total is also published to the
+/// obs.trace.dropped_spans counter — before this tally existed, a wrapped
+/// ring truncated exports without any sign that spans were missing.
+std::uint64_t trace_dropped_spans();
 
 }  // namespace rfidsim::obs

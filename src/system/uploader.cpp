@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "wire/batch_codec.hpp"
 
@@ -98,6 +99,14 @@ std::vector<DeliveredBatch> EventUploader::upload_batches(const EventLog& log,
     const std::size_t end = std::min(begin + config_.batch_size, log.size());
     ++stats_.batches;
     const double sent_s = log[end - 1].time_s;  // Flush at the last read.
+    // Ids are minted unconditionally (they are plumbing, not telemetry);
+    // only the hop records below gate on obs.
+    const std::uint64_t batch_id =
+        obs::provenance_batch_id(obs::kNoFacility, batch_sequence_++);
+    if (obs::hooks_enabled()) {
+      obs::provenance_log().record({batch_id, obs::BatchHop::kEnqueued,
+                                    obs::kNoFacility, end - begin, sent_s});
+    }
 
     bool ok = false;
     double waited_s = 0.0;
@@ -124,14 +133,24 @@ std::vector<DeliveredBatch> EventUploader::upload_batches(const EventLog& log,
       DeliveredBatch batch;
       batch.sent_time_s = sent_s;
       batch.arrival_time_s = channel_free_s;
+      batch.batch_id = batch_id;
       batch.events.assign(log.begin() + static_cast<std::ptrdiff_t>(begin),
                           log.begin() + static_cast<std::ptrdiff_t>(end));
       delivered.push_back(std::move(batch));
       stats_.events_delivered += end - begin;
+      if (obs::hooks_enabled()) {
+        obs::provenance_log().record({batch_id, obs::BatchHop::kDelivered,
+                                      obs::kNoFacility, end - begin,
+                                      channel_free_s});
+      }
     } else {
       ++stats_.batches_lost;
       ++giveups;
       stats_.events_lost += end - begin;
+      if (obs::hooks_enabled()) {
+        obs::provenance_log().record({batch_id, obs::BatchHop::kLost,
+                                      obs::kNoFacility, end - begin, sent_s});
+      }
     }
   }
 
@@ -167,6 +186,12 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
     const std::size_t end = std::min(begin + config_.batch_size, log.size());
     ++stats_.batches;
     const double sent_s = log[end - 1].time_s;
+    const std::uint64_t batch_id =
+        obs::provenance_batch_id(facility, batch_sequence_++);
+    if (obs::hooks_enabled()) {
+      obs::provenance_log().record({batch_id, obs::BatchHop::kEnqueued, facility,
+                                    end - begin, sent_s});
+    }
 
     // Stage 1 — link: same loss/backoff model as upload_batches, same
     // draw sequence (the wire hop below must not perturb clean-channel
@@ -203,6 +228,10 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
                                log.begin() + static_cast<std::ptrdiff_t>(end));
       const std::vector<std::uint8_t> frame =
           wire::encode_event_batch_frame(sent_batch);
+      if (obs::hooks_enabled()) {
+        obs::provenance_log().record({batch_id, obs::BatchHop::kEncoded, facility,
+                                      frame.size(), sent_s});
+      }
 
       wire::EventBatch received;
       for (std::size_t attempt = 0; attempt <= config_.max_nak_retransmits;
@@ -228,6 +257,10 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
           ++wire_stats_.corrupt_frames;
           ++wire_stats_.corrupt_by_kind[static_cast<std::size_t>(result.error)];
           ++naks;
+          if (obs::hooks_enabled()) {
+            obs::provenance_log().record(
+                {batch_id, obs::BatchHop::kNak, facility, naks, sent_s});
+          }
           continue;
         }
         std::optional<wire::EventBatch> decoded =
@@ -237,6 +270,10 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
           ++wire_stats_.corrupt_by_kind[static_cast<std::size_t>(
               wire::DecodeErrorKind::kBadPayload)];
           ++naks;
+          if (obs::hooks_enabled()) {
+            obs::provenance_log().record(
+                {batch_id, obs::BatchHop::kNak, facility, naks, sent_s});
+          }
           continue;
         }
         if (!(*decoded == sent_batch)) {
@@ -257,8 +294,14 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
         batch.sent_time_s = received.sent_time_s;
         batch.arrival_time_s = channel_free_s;
         batch.nak_retransmits = naks;
+        batch.batch_id = batch_id;
         batch.events = std::move(received.events);
         stats_.events_delivered += batch.events.size();
+        if (obs::hooks_enabled()) {
+          obs::provenance_log().record({batch_id, obs::BatchHop::kDelivered,
+                                        facility, batch.events.size(),
+                                        channel_free_s});
+        }
         delivered.push_back(std::move(batch));
         continue;
       }
@@ -274,8 +317,16 @@ std::vector<DeliveredBatch> EventUploader::upload_wire(
       ++wire_stats_.batches_quarantined;
       wire_stats_.events_quarantined += end - begin;
       ++giveups_nak;
+      if (obs::hooks_enabled()) {
+        obs::provenance_log().record({batch_id, obs::BatchHop::kQuarantined,
+                                      facility, end - begin, sent_s});
+      }
     } else {
       ++giveups_retry;
+      if (obs::hooks_enabled()) {
+        obs::provenance_log().record({batch_id, obs::BatchHop::kLost, facility,
+                                      end - begin, sent_s});
+      }
     }
   }
 

@@ -72,6 +72,12 @@ struct DeliveredBatch {
   /// Wire path: NAK retransmissions this batch needed (0 = clean first
   /// try; > 0 = recovered from detected corruption).
   std::size_t nak_retransmits = 0;
+  /// Deterministic provenance id (obs::provenance_batch_id over the
+  /// facility and this uploader's batch sequence), minted whether or not
+  /// obs records anything — downstream hops key their provenance records
+  /// on it. Never 0 for uploader-produced batches; 0 means "no id"
+  /// (hand-built batches).
+  std::uint64_t batch_id = 0;
 };
 
 /// What the channel did to one log.
@@ -142,6 +148,10 @@ class EventUploader {
   UploaderConfig config_;
   UploadStats stats_;
   WireUploadStats wire_stats_;
+  /// Batches formed over this uploader's lifetime; the provenance-id
+  /// sequence. Deliberately not cleared by reset() — ids must stay unique
+  /// across stats resets.
+  std::uint64_t batch_sequence_ = 0;
 };
 
 }  // namespace rfidsim::sys

@@ -1,0 +1,219 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace rfidsim::obs {
+namespace {
+
+/// Under -DRFIDSIM_OBS=OFF flight_record() is compiled down to nothing:
+/// dumps then carry only their meta line. The tests assert that rather
+/// than skipping.
+#ifdef RFIDSIM_OBS_DISABLED
+constexpr bool kCompiledOut = true;
+#else
+constexpr bool kCompiledOut = false;
+#endif
+
+/// The recorder is process-wide (per-thread rings, global tallies):
+/// every test starts from a cleared state and restores the obs switch.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = enabled();
+    set_enabled(true);
+    clear_flight_recorder();
+  }
+  void TearDown() override {
+    clear_flight_recorder();
+    set_enabled(saved_);
+  }
+
+ private:
+  bool saved_ = false;
+};
+
+TEST_F(FlightRecorderTest, RecordsCarrySeqOrderAndPayload) {
+  flight_record("test", "first", 1, 2, 3, 0.5);
+  flight_record("test", "second", 4);
+  const std::vector<FlightRecord> records = flight_snapshot();
+  if (kCompiledOut) {
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(flight_recorded(), 0u);
+    return;
+  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].seq, records[1].seq);
+  EXPECT_STREQ(records[0].category, "test");
+  EXPECT_STREQ(records[0].event, "first");
+  EXPECT_EQ(records[0].a, 1u);
+  EXPECT_EQ(records[0].b, 2u);
+  EXPECT_EQ(records[0].c, 3u);
+  EXPECT_EQ(records[0].time_s, 0.5);
+  EXPECT_STREQ(records[1].event, "second");
+  EXPECT_EQ(records[1].time_s, -1.0);  // Default: no simulated time.
+  EXPECT_EQ(flight_recorded(), 2u);
+  EXPECT_EQ(flight_dropped(), 0u);
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsNewestAndTalliesDrops) {
+  for (std::uint64_t i = 0; i < kFlightRingCapacity + 7; ++i) {
+    flight_record("test", "flood", i);
+  }
+  if (kCompiledOut) {
+    EXPECT_EQ(flight_dropped(), 0u);
+    return;
+  }
+  EXPECT_EQ(flight_recorded(), kFlightRingCapacity + 7);
+  EXPECT_EQ(flight_dropped(), 7u);
+  const std::vector<FlightRecord> records = flight_snapshot();
+  ASSERT_EQ(records.size(), kFlightRingCapacity);
+  EXPECT_EQ(records.front().a, 7u);  // 0..6 were overwritten.
+  EXPECT_EQ(records.back().a, kFlightRingCapacity + 6);
+}
+
+TEST_F(FlightRecorderTest, ThreadsGetOwnRingsAndMergeInSeqOrder) {
+  flight_record("test", "main-before");
+  std::thread worker([] { flight_record("test", "worker"); });
+  worker.join();
+  flight_record("test", "main-after");
+  const std::vector<FlightRecord> records = flight_snapshot();
+  if (kCompiledOut) {
+    EXPECT_TRUE(records.empty());
+    return;
+  }
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_STREQ(records[0].event, "main-before");
+  EXPECT_STREQ(records[1].event, "worker");
+  EXPECT_STREQ(records[2].event, "main-after");
+  EXPECT_NE(records[1].tid, records[0].tid);
+  EXPECT_EQ(records[2].tid, records[0].tid);
+}
+
+// Golden dump schema: meta line first, then one JSON object per record —
+// EXPERIMENTS.md documents exactly this.
+TEST_F(FlightRecorderTest, DumpIsMetaLinePlusJsonlRecords) {
+  flight_record("provenance", "merged", 11, 22, 33, 1.5);
+  std::ostringstream out;
+  write_flight_dump(out, "unit-test");
+  const std::string dump = out.str();
+  if (kCompiledOut) {
+    EXPECT_EQ(dump,
+              "{\"flight_recorder\":\"rfidsim\",\"reason\":\"unit-test\","
+              "\"recorded\":0,\"dropped\":0}\n");
+    return;
+  }
+  EXPECT_NE(dump.find("{\"flight_recorder\":\"rfidsim\",\"reason\":\"unit-test\","
+                      "\"recorded\":1,\"dropped\":0}\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"cat\":\"provenance\",\"event\":\"merged\",\"a\":11,"
+                      "\"b\":22,\"c\":33,\"t_s\":1.500000,"),
+            std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ExplicitDumpLandsAtomicallyOnDisk) {
+  flight_record("test", "persisted", 99);
+  const std::string path = ::testing::TempDir() + "rfidsim_flight_dump_test.jsonl";
+  ASSERT_TRUE(dump_flight_recorder(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string meta;
+  ASSERT_TRUE(std::getline(in, meta));
+  EXPECT_NE(meta.find("\"flight_recorder\":\"rfidsim\""), std::string::npos);
+  EXPECT_NE(meta.find("\"reason\":\"explicit\""), std::string::npos);
+  std::size_t records = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++records;
+  }
+  EXPECT_EQ(records, kCompiledOut ? 0u : 1u);
+  // tmp + rename: no temporary may survive a successful dump.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, ClearZeroesRecordsAndTallies) {
+  for (std::uint64_t i = 0; i < kFlightRingCapacity + 3; ++i) {
+    flight_record("test", "gone", i);
+  }
+  clear_flight_recorder();
+  EXPECT_TRUE(flight_snapshot().empty());
+  EXPECT_EQ(flight_recorded(), 0u);
+  EXPECT_EQ(flight_dropped(), 0u);
+  flight_record("test", "back");
+  EXPECT_EQ(flight_snapshot().size(), kCompiledOut ? 0u : 1u);
+}
+
+TEST_F(FlightRecorderTest, DisabledHooksRecordNothing) {
+  set_enabled(false);
+  flight_record("test", "invisible");
+  EXPECT_TRUE(flight_snapshot().empty());
+  EXPECT_EQ(flight_recorded(), 0u);
+}
+
+#if (defined(__unix__) || defined(__APPLE__)) && !defined(__SANITIZE_THREAD__)
+
+/// End-to-end crash path in a forked child: install the handler, record,
+/// die on SIGABRT. The parent asserts the default disposition was
+/// re-raised (the exit status is the signal, not a handler exit) and the
+/// dump landed, meta line first.
+TEST_F(FlightRecorderTest, CrashHandlerDumpsOnFatalSignal) {
+  const std::string path = ::testing::TempDir() + "rfidsim_crash_dump_test.jsonl";
+  std::remove(path.c_str());
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    if (!install_crash_handler(path)) _Exit(10);
+    flight_record("test", "pre-crash", 7);
+    std::raise(SIGABRT);
+    _Exit(11);  // Unreachable: the handler re-raises with default disposition.
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler left no dump at " << path;
+  std::string meta;
+  ASSERT_TRUE(std::getline(in, meta));
+  EXPECT_NE(meta.find("\"flight_recorder\":\"rfidsim\""), std::string::npos);
+  EXPECT_NE(meta.find("\"reason\":\"signal:"), std::string::npos);
+  bool saw_record = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"pre-crash\"") != std::string::npos) saw_record = true;
+  }
+  EXPECT_EQ(saw_record, !kCompiledOut);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderInstallTest, InstallRecordsTheDumpPath) {
+  // Installing twice replaces the path (the handler dumps to the latest).
+  EXPECT_TRUE(install_crash_handler("first.jsonl"));
+  EXPECT_STREQ(crash_dump_path(), "first.jsonl");
+  EXPECT_TRUE(install_crash_handler("second.jsonl"));
+  EXPECT_STREQ(crash_dump_path(), "second.jsonl");
+}
+
+#endif  // unix && !tsan
+
+}  // namespace
+}  // namespace rfidsim::obs

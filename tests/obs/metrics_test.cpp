@@ -331,6 +331,38 @@ TEST(LabelTest, ExpositionGroupsFamiliesAndEscapesValues) {
   EXPECT_EQ(reg.exposition(), expected);
 }
 
+// The registry primitives are plain data structures, deliberately outside
+// the hooks_enabled() gate: a standalone registry must render the exact
+// same labelled-histogram exposition (buckets, sum/count, quantile comment
+// lines) with the master switch off — and under the -DRFIDSIM_OBS=OFF
+// cross-build, where hooks_enabled() is constant false. The OBS=OFF CI job
+// runs this very test to pin that.
+TEST(LabelTest, LabelledHistogramExpositionSurvivesDisabledHooks) {
+  const bool saved = enabled();
+  set_enabled(false);
+#ifdef RFIDSIM_OBS_DISABLED
+  EXPECT_FALSE(hooks_enabled());
+#endif
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram(
+      "fleet.feed.visibility_lag_seconds", {{"facility", "3"}},
+      {.first_upper_bound = 1.0, .growth = 2.0, .buckets = 2});
+  h.observe(1.5);
+  const std::string text = reg.exposition();
+  set_enabled(saved);
+  const std::string expected =
+      "# TYPE rfidsim_fleet_feed_visibility_lag_seconds histogram\n"
+      "rfidsim_fleet_feed_visibility_lag_seconds_bucket{facility=\"3\",le=\"1\"} 0\n"
+      "rfidsim_fleet_feed_visibility_lag_seconds_bucket{facility=\"3\",le=\"2\"} 1\n"
+      "rfidsim_fleet_feed_visibility_lag_seconds_bucket{facility=\"3\",le=\"+Inf\"} 1\n"
+      "rfidsim_fleet_feed_visibility_lag_seconds_sum{facility=\"3\"} 1.5\n"
+      "rfidsim_fleet_feed_visibility_lag_seconds_count{facility=\"3\"} 1\n"
+      "# rfidsim_fleet_feed_visibility_lag_seconds{facility=\"3\",quantile=\"0.5\"} 1.41421356\n"
+      "# rfidsim_fleet_feed_visibility_lag_seconds{facility=\"3\",quantile=\"0.95\"} 1.93187266\n"
+      "# rfidsim_fleet_feed_visibility_lag_seconds{facility=\"3\",quantile=\"0.99\"} 1.98618499\n";
+  EXPECT_EQ(text, expected);
+}
+
 TEST(LabelTest, GlobalShorthandsResolveLabelledChildren) {
   Counter& c = counter("obs_test.labelled", {{"k", "v"}});
   EXPECT_EQ(&c, &registry().counter("obs_test.labelled", {{"k", "v"}}));

@@ -1,0 +1,135 @@
+// Freshness-side monitoring: the event-time low-watermark stall detector.
+// All of this is always-on arithmetic (the feedback-free contract), so the
+// same assertions hold with obs hooks on, off, or compiled out.
+#include "obs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfidsim::obs {
+namespace {
+
+WatermarkObservation mark(double watermark_s, double window_end_s) {
+  WatermarkObservation obs;
+  obs.watermark_s = watermark_s;
+  obs.window_end_s = window_end_s;
+  return obs;
+}
+
+TEST(WatermarkMonitorTest, AdvancingWatermarkNeverAlerts) {
+  ReliabilityMonitor monitor;
+  for (int pass = 0; pass < 20; ++pass) {
+    const double end = 10.0 * (pass + 1);
+    monitor.observe_watermark(mark(end - 0.5, end));
+  }
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_FALSE(monitor.watermark_stalled());
+  EXPECT_EQ(monitor.watermark_stall_streak(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.watermark_s(), 199.5);
+  EXPECT_DOUBLE_EQ(monitor.watermark_age_s(), 0.5);
+}
+
+TEST(WatermarkMonitorTest, AgeIsInfiniteUntilAnythingMerges) {
+  ReliabilityMonitor monitor;
+  EXPECT_TRUE(std::isinf(monitor.watermark_age_s()));
+  EXPECT_LT(monitor.watermark_s(), 0.0);
+  // A pass that merged nothing (watermark still negative) keeps it so.
+  monitor.observe_watermark(mark(-1.0, 10.0));
+  EXPECT_TRUE(std::isinf(monitor.watermark_age_s()));
+  // The first merge makes the age finite.
+  monitor.observe_watermark(mark(15.0, 20.0));
+  EXPECT_DOUBLE_EQ(monitor.watermark_age_s(), 5.0);
+}
+
+TEST(WatermarkMonitorTest, StallFiresAfterExactlyStallPassesAndLatches) {
+  MonitorConfig config;
+  config.watermark_stall_passes = 3;
+  ReliabilityMonitor monitor(config);
+  // Healthy prefix: five advancing passes.
+  for (int pass = 0; pass < 5; ++pass) {
+    const double end = 10.0 * (pass + 1);
+    monitor.observe_watermark(mark(end - 1.0, end));
+  }
+  ASSERT_TRUE(monitor.alerts().empty());
+  // The uplink goes dark: windows keep moving, the watermark sits at 49.
+  for (int pass = 5; pass < 12; ++pass) {
+    monitor.observe_watermark(mark(49.0, 10.0 * (pass + 1)));
+  }
+  // Latched: a seven-pass outage is one alert, not seven.
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  const Alert& alert = monitor.alerts()[0];
+  EXPECT_EQ(alert.type, AlertType::kWatermarkStalled);
+  EXPECT_EQ(alert.pass, 7u);  // Stalled passes 5, 6, 7 -> fires on the third.
+  EXPECT_EQ(alert.reader, -1);
+  EXPECT_DOUBLE_EQ(alert.value, 3.0);      // Streak at firing time.
+  EXPECT_DOUBLE_EQ(alert.threshold, 3.0);  // = watermark_stall_passes.
+  EXPECT_EQ(alert.detector, "watermark");
+  EXPECT_TRUE(monitor.watermark_stalled());
+  EXPECT_EQ(monitor.watermark_stall_streak(), 7u);
+  // Detection latency is stall_passes - 1 passes past the onset (onset
+  // itself is the first non-advancing pass).
+  EXPECT_EQ(alert.pass - 5u, config.watermark_stall_passes - 1);
+}
+
+TEST(WatermarkMonitorTest, AlertReArmsAfterTheWatermarkAdvances) {
+  MonitorConfig config;
+  config.watermark_stall_passes = 2;
+  ReliabilityMonitor monitor(config);
+  monitor.observe_watermark(mark(9.0, 10.0));
+  monitor.observe_watermark(mark(9.0, 20.0));
+  monitor.observe_watermark(mark(9.0, 30.0));
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  // Recovery: fresh events reach stored truth, the latch clears...
+  monitor.observe_watermark(mark(39.0, 40.0));
+  EXPECT_FALSE(monitor.watermark_stalled());
+  EXPECT_EQ(monitor.watermark_stall_streak(), 0u);
+  // ...and a second outage fires a second alert.
+  monitor.observe_watermark(mark(39.0, 50.0));
+  monitor.observe_watermark(mark(39.0, 60.0));
+  ASSERT_EQ(monitor.alerts().size(), 2u);
+  EXPECT_EQ(monitor.alerts()[1].pass, 5u);
+}
+
+TEST(WatermarkMonitorTest, StationaryWindowSaysNothingAboutFreshness) {
+  MonitorConfig config;
+  config.watermark_stall_passes = 2;
+  ReliabilityMonitor monitor(config);
+  monitor.observe_watermark(mark(9.0, 10.0));
+  // Re-observing the same window must not accumulate stall passes: no
+  // new window, no claim the feed failed to fill it.
+  monitor.observe_watermark(mark(9.0, 10.0));
+  monitor.observe_watermark(mark(9.0, 10.0));
+  monitor.observe_watermark(mark(9.0, 10.0));
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.watermark_stall_streak(), 0u);
+}
+
+TEST(WatermarkMonitorTest, FirstAlertLookupAndTypeName) {
+  EXPECT_STREQ(alert_type_name(AlertType::kWatermarkStalled), "watermark_stalled");
+  ReliabilityMonitor monitor;  // Default stall threshold: 3 passes.
+  for (int pass = 0; pass < 6; ++pass) {
+    monitor.observe_watermark(mark(1.0, 10.0 * (pass + 1)));
+  }
+  const Alert* alert = monitor.first_alert(AlertType::kWatermarkStalled);
+  ASSERT_NE(alert, nullptr);
+  EXPECT_EQ(alert, monitor.first_alert(AlertType::kWatermarkStalled, -1));
+  EXPECT_EQ(monitor.first_alert(AlertType::kSilence), nullptr);
+}
+
+TEST(WatermarkMonitorTest, ResetReturnsToTheVirginState) {
+  ReliabilityMonitor monitor;
+  for (int pass = 0; pass < 6; ++pass) {
+    monitor.observe_watermark(mark(1.0, 10.0 * (pass + 1)));
+  }
+  ASSERT_TRUE(monitor.watermark_stalled());
+  monitor.reset();
+  EXPECT_FALSE(monitor.watermark_stalled());
+  EXPECT_EQ(monitor.watermark_stall_streak(), 0u);
+  EXPECT_LT(monitor.watermark_s(), 0.0);
+  EXPECT_TRUE(std::isinf(monitor.watermark_age_s()));
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+}  // namespace
+}  // namespace rfidsim::obs

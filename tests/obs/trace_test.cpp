@@ -164,6 +164,23 @@ TEST_F(TraceTest, ChromeTraceJsonShape) {
   EXPECT_EQ(json.find("e+"), std::string::npos) << "ts must not be scientific";
 }
 
+TEST_F(TraceTest, RingWrapTalliesDroppedSpans) {
+  // clear_trace() in SetUp zeroed the tallies; overflow this thread's ring
+  // by exactly five spans.
+  for (std::size_t i = 0; i < kTraceRingCapacity + 5; ++i) {
+    const TraceSpan span("wrap");
+  }
+  if (kCompiledOut) {
+    EXPECT_EQ(trace_dropped_spans(), 0u);
+    return;
+  }
+  EXPECT_EQ(trace_dropped_spans(), 5u);
+  EXPECT_EQ(trace_snapshot().size(), kTraceRingCapacity);
+  // A clear re-arms the tally along with the rings.
+  clear_trace();
+  EXPECT_EQ(trace_dropped_spans(), 0u);
+}
+
 TEST_F(TraceTest, ClearTraceEmptiesEveryRing) {
   { const TraceSpan span("gone"); }
   std::thread t([] { const TraceSpan span("gone-too"); });
