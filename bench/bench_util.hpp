@@ -10,8 +10,10 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/attribution.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/provenance.hpp"
 #include "obs/structured_log.hpp"
 #include "obs/trace.hpp"
@@ -65,6 +67,13 @@ inline void print_table(const TextTable& table) {
 ///                          (obs::provenance_log()).
 ///   --flight-dump <path>   Flight-recorder ring dump (JSON lines), written
 ///                          atomically at end of run.
+///   --profile-dump <path>  Folded-stack sampling-profiler dump
+///                          (flamegraph.pl input). Starts the SIGPROF
+///                          sampler for the whole run; Linux-only (the
+///                          dump is written empty elsewhere).
+///   --attribution-dump <path>  Per-phase stage-attribution report (JSON;
+///                          see EXPERIMENTS.md). Enables the deterministic
+///                          phase timers for the whole run.
 ///   --obs-off              Run with observability disabled (overhead/
 ///                          differential experiments).
 ///   --threads <n>          Worker-thread request for benches with a
@@ -109,6 +118,10 @@ class Session {
         take_value(provenance_path_);
       } else if (arg == "--flight-dump") {
         take_value(flight_path_);
+      } else if (arg == "--profile-dump") {
+        take_value(profile_path_);
+      } else if (arg == "--attribution-dump") {
+        take_value(attribution_path_);
       } else if (arg == "--obs-off") {
         obs::set_enabled(false);
       } else if (arg == "--threads") {
@@ -122,6 +135,15 @@ class Session {
     if (!log_path_.empty()) {
       log_stream_.open(log_path_);
       obs::structured_log().set_sink(&log_stream_);
+    }
+    // RFIDSIM_OBS=prof is the flag-free way to ask for both profiling
+    // layers; an explicit dump path requests just its own layer.
+    if (!attribution_path_.empty() || !profile_path_.empty() ||
+        obs::profile_requested()) {
+      obs::prof::set_attribution_enabled(true);
+    }
+    if (!profile_path_.empty() || obs::profile_requested()) {
+      profiling_ = obs::prof::start();
     }
   }
 
@@ -150,6 +172,44 @@ class Session {
                   provenance_path_.c_str(),
                   static_cast<unsigned long long>(obs::provenance_log().recorded()),
                   static_cast<unsigned long long>(obs::provenance_log().dropped()));
+    }
+    if (profiling_) {
+      obs::prof::stop();
+      if (profile_path_.empty()) {
+        // stderr: RFIDSIM_OBS=prof alone must leave stdout byte-identical
+        // to an obs-off run (CI cmp-gates exactly that).
+        std::fprintf(stderr,
+                     "sampling profiler: %llu samples (%llu ring-dropped), no "
+                     "--profile-dump path given\n",
+                     static_cast<unsigned long long>(obs::prof::samples_recorded()),
+                     static_cast<unsigned long long>(obs::prof::samples_dropped()));
+      }
+    }
+    if (!profile_path_.empty()) {
+      // Written even when sampling never started (non-Linux, obs off): an
+      // empty folded dump is a readable statement that nothing fired.
+      if (obs::prof::dump_profile(profile_path_)) {
+        std::printf("wrote folded profile to %s (%llu samples, %llu "
+                    "ring-dropped)\n",
+                    profile_path_.c_str(),
+                    static_cast<unsigned long long>(obs::prof::samples_recorded()),
+                    static_cast<unsigned long long>(obs::prof::samples_dropped()));
+      } else {
+        std::fprintf(stderr, "bench: could not write profile dump to %s\n",
+                     profile_path_.c_str());
+      }
+    }
+    if (obs::prof::attribution_enabled()) {
+      obs::prof::publish_attribution_metrics();
+      if (!attribution_path_.empty()) {
+        if (obs::prof::dump_attribution(attribution_path_)) {
+          std::printf("wrote attribution report to %s\n",
+                      attribution_path_.c_str());
+        } else {
+          std::fprintf(stderr, "bench: could not write attribution report to %s\n",
+                       attribution_path_.c_str());
+        }
+      }
     }
     if (!flight_path_.empty()) {
       if (obs::dump_flight_recorder(flight_path_)) {
@@ -182,6 +242,9 @@ class Session {
   std::string log_path_;
   std::string provenance_path_;
   std::string flight_path_;
+  std::string profile_path_;
+  std::string attribution_path_;
+  bool profiling_ = false;
   std::ofstream log_stream_;
   std::vector<std::string> positional_;
 };

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -382,6 +383,16 @@ int main(int argc, char** argv) {
     std::printf("obs differential: event streams %s\n\n",
                 obs_matches_disabled ? "IDENTICAL with obs on/off"
                                      : "MISMATCH (obs fed back into the sim, BUG)");
+  }
+
+  // Stage attribution (--attribution-dump / RFIDSIM_OBS=prof): where did
+  // the wall clock of everything above actually go? This is the measured
+  // answer to the ROADMAP's "portal sim dominates" assertion — portal-sim
+  // vs path-eval vs store-merge shares, from the deterministic phase
+  // timers, printed alongside the table they explain.
+  if (obs::prof::attribution_enabled()) {
+    obs::prof::write_attribution_report(std::cout);
+    std::printf("\n");
   }
 
   TextTable t({"benchmark", "wall (s)", "cells", "vs baseline"});

@@ -70,6 +70,28 @@ void record_watermark_metrics(const FeedPassResult& result, FacilityId facility,
   }
 }
 
+/// End-to-end batch latency: uploader send -> watermark-visible. A batch
+/// becomes queryable when its pass's merge completes, which in simulated
+/// time is the later of its backend arrival and the pass window close (the
+/// watermark only advances at pass granularity). Observed per batch — the
+/// p50/p95/p99 the exposition derives are what BENCH_FLEET regresses on.
+void record_visibility_metrics(const FeedPassResult& result, FacilityId facility,
+                               double window_end_s) {
+  const std::string label = std::to_string(facility);
+  obs::Histogram& latency = obs::registry().histogram(
+      "fleet.batch.visibility_latency_seconds", {{"facility", label}},
+      obs::HistogramSpec{1e-3, 4.0, 16});
+  for (const FacilityBatch& batch : result.batches) {
+    const double visible_s = std::max(window_end_s, batch.arrival_time_s);
+    latency.observe(visible_s - batch.sent_time_s);
+    if (batch.batch_id != 0) {
+      obs::provenance_log().record({batch.batch_id, obs::BatchHop::kVisible,
+                                    batch.facility, batch.events.size(),
+                                    visible_s});
+    }
+  }
+}
+
 }  // namespace
 
 FacilityFeed::FacilityFeed(FeedConfig config)
@@ -204,6 +226,7 @@ FeedPassResult FacilityFeed::ingest_pass(TrackingStore& store,
   if (obs::hooks_enabled()) {
     record_watermark_metrics(result, config_.facility, watermark_s_,
                              watermark_age_s());
+    record_visibility_metrics(result, config_.facility, window_end_s);
   }
   return result;
 }

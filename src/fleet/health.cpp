@@ -72,6 +72,11 @@ void write_health_json(std::ostream& out, const FleetHealth& health) {
       << ",\"duplicates\":" << health.store.duplicates
       << ",\"repairs\":" << health.store.repairs
       << ",\"late_batches\":" << health.store.late_batches << "}"
+      << ",\"obs\":{\"provenance_dropped\":" << health.provenance_dropped
+      << ",\"flight_dump_attempts\":" << health.flight_dump_attempts
+      << ",\"flight_dump_failures\":" << health.flight_dump_failures
+      << ",\"crash_handler_installed\":"
+      << (health.crash_handler_installed ? "true" : "false") << "}"
       << ",\"per_facility\":[";
   bool first = true;
   for (const FacilityHealth& f : health.per_facility) {
@@ -125,6 +130,27 @@ void write_health_prometheus(std::ostream& out, const FleetHealth& health) {
       << "rfidsim_fleet_health_min_watermark_seconds ";
   put_prom_double(out, health.min_watermark_s);
   out << "\n";
+
+  out << "# HELP rfidsim_fleet_health_provenance_dropped_records Provenance "
+         "ring-wrap losses (telemetry self-health).\n"
+      << "# TYPE rfidsim_fleet_health_provenance_dropped_records gauge\n"
+      << "rfidsim_fleet_health_provenance_dropped_records "
+      << health.provenance_dropped << "\n";
+  out << "# HELP rfidsim_fleet_health_flight_dump_attempts Explicit flight-"
+         "recorder dumps attempted.\n"
+      << "# TYPE rfidsim_fleet_health_flight_dump_attempts gauge\n"
+      << "rfidsim_fleet_health_flight_dump_attempts "
+      << health.flight_dump_attempts << "\n";
+  out << "# HELP rfidsim_fleet_health_flight_dump_failures Flight-recorder "
+         "dumps that could not be written.\n"
+      << "# TYPE rfidsim_fleet_health_flight_dump_failures gauge\n"
+      << "rfidsim_fleet_health_flight_dump_failures "
+      << health.flight_dump_failures << "\n";
+  out << "# HELP rfidsim_fleet_health_crash_handler_installed 1 when a fatal-"
+         "signal flight dump path is armed.\n"
+      << "# TYPE rfidsim_fleet_health_crash_handler_installed gauge\n"
+      << "rfidsim_fleet_health_crash_handler_installed "
+      << (health.crash_handler_installed ? 1 : 0) << "\n";
 
   out << "# HELP rfidsim_fleet_health_watermark_seconds Per-facility "
          "event-time low-watermark.\n"

@@ -59,6 +59,15 @@ struct FleetHealth {
   /// Min per-facility watermark: the fleet-wide freshness floor. -1 when
   /// any facility (or the whole fleet) has merged nothing yet.
   double min_watermark_s = -1.0;
+  /// Observability self-health: is the telemetry pipeline itself losing
+  /// data, and can the crash black box reach the disk? Populated from the
+  /// process-wide obs counters; all-zero under -DRFIDSIM_OBS=OFF. Only
+  /// mode-invariant tallies appear here — the snapshot stays byte-identical
+  /// whether hooks are on or off, like every other field.
+  std::uint64_t provenance_dropped = 0;    ///< Provenance ring-wrap losses.
+  std::uint64_t flight_dump_attempts = 0;  ///< Explicit flight dumps tried.
+  std::uint64_t flight_dump_failures = 0;  ///< ...that failed to be written.
+  bool crash_handler_installed = false;
   std::vector<FacilityHealth> per_facility;  ///< Ascending by facility id.
 };
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/provenance.hpp"
 
 namespace rfidsim::fleet {
 
@@ -46,6 +48,14 @@ FleetHealth FleetService::health_snapshot() const {
   health.tags = store_.tag_count();
   health.sightings = store_.sighting_count();
   health.store = store_.stats();
+  // Telemetry self-health. Deliberately only the mode-invariant tallies:
+  // drop/failure counters sit at zero unless something is actually wrong,
+  // so the snapshot stays byte-identical with hooks on, off, or compiled
+  // out (held by tests/fleet/health_test.cpp).
+  health.provenance_dropped = obs::provenance_log().dropped();
+  health.flight_dump_attempts = obs::flight_dump_attempts();
+  health.flight_dump_failures = obs::flight_dump_failures();
+  health.crash_handler_installed = obs::crash_dump_path()[0] != '\0';
   health.per_facility.reserve(feeds_.size());
   bool watermark_known = !feeds_.empty();
   double min_watermark = std::numeric_limits<double>::infinity();

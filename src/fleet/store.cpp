@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/error.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -159,6 +161,14 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
     std::vector<std::uint32_t> offsets;     ///< [shard, shard+1) event range.
   };
   std::vector<RoutedBatch> routed(batches.size());
+  // Phase markers sit on this orchestrating thread: parallel_for blocks
+  // until its cells drain, so the route/merge self-times are the phases'
+  // wall-clock spans and the call counts stay thread-count-independent.
+  // Phase markers sit on this orchestrating thread: parallel_for blocks
+  // until its cells drain, so the route/merge self-times are the phases'
+  // wall-clock spans and the call counts stay thread-count-independent.
+  std::optional<obs::prof::ScopedPhase> phase;
+  phase.emplace(obs::prof::Phase::kStoreRoute);
   sweep::parallel_for(batches.size(), options, [&](std::size_t b) {
     const FacilityBatch& batch = batches[b];
     RoutedBatch& rb = routed[b];
@@ -182,10 +192,12 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
                                   static_cast<std::uint32_t>(ev.antenna_index)}};
     }
   });
+  phase.reset();
 
   // Phase 2 — merge: shard s folds in its slice of every batch, in batch
   // order. Cell s touches only shards_[s]; no two cells share a timeline,
   // so the parallel merge is race-free and order-deterministic.
+  phase.emplace(obs::prof::Phase::kStoreMerge);
   sweep::parallel_for(shard_count, options, [&](std::size_t s) {
     Shard& shard = shards_[s];
     bool touched = false;
@@ -200,6 +212,7 @@ void TrackingStore::ingest(const std::vector<FacilityBatch>& batches) {
     // changed", and counters did change).
     if (touched) ++shard.version;
   });
+  phase.reset();
 
   stats_.batches += batches.size();
   const bool hooked = obs::hooks_enabled();

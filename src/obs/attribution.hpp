@@ -1,0 +1,119 @@
+// rfidsim::obs::prof — deterministic stage attribution.
+//
+// Named phase timers answering "where does a run's wall-clock go": RAII
+// ScopedPhase markers wrap the simulator's coarse stages (path evaluation,
+// portal simulation, Gen 2 inventory, event-log append, store routing,
+// store merge) and accumulate *self time* per phase — time inside a child
+// phase is charged to the child, never double-counted in the parent. The
+// per-run attribution report turns the totals into per-stage shares, which
+// is what lets the ROADMAP's "thread scaling is portal-simulation-bound"
+// claim be quantified instead of asserted.
+//
+// Determinism contract (the attribution determinism test pins this):
+//   - Phase *names* and *enter counts* are pure functions of the workload —
+//     markers sit on the orchestrating thread of each stage, so a run at 1
+//     thread and a run at 8 threads enter every phase the same number of
+//     times.
+//   - *Seconds* are wall-clock and therefore machine-dependent; reports
+//     separate the two so tests can compare the deterministic fields alone.
+//
+// Feedback-free, like every obs layer: markers never touch simulated
+// state, are gated on one relaxed atomic load when disabled (the default),
+// and compile out entirely under -DRFIDSIM_OBS=OFF. Attribution is opt-in
+// (RFIDSIM_OBS=prof, --attribution-dump, or set_attribution_enabled) so
+// default runs pay only the disabled-hook load, held under the <1%
+// microbench budget.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rfidsim::obs::prof {
+
+/// The fixed stage vocabulary. A closed enum (not free-form strings) keeps
+/// the report order stable and the hot-path marker a couple of array
+/// indexes.
+enum class Phase : std::uint8_t {
+  kPathEval = 0,       ///< PathEvaluator::evaluate_all per antenna round.
+  kPortalSim = 1,      ///< PortalSimulator::run outside the named children.
+  kGen2Inventory = 2,  ///< InventoryEngine::run_round per reader round.
+  kEventLogAppend = 3, ///< Singulation results appended to the event log.
+  kStoreRoute = 4,     ///< TrackingStore ingest phase 1 (shard routing).
+  kStoreMerge = 5,     ///< TrackingStore ingest phase 2 (shard merge).
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+/// Stable lower-snake name ("path_eval", "portal_sim", ...).
+const char* phase_name(Phase phase);
+
+namespace detail {
+std::atomic<bool>& attribution_flag();
+}  // namespace detail
+
+/// True when ScopedPhase should record: attribution was opted into AND obs
+/// hooks are on. One relaxed load each; constant false when compiled out.
+inline bool attribution_hooks_enabled() {
+#ifdef RFIDSIM_OBS_DISABLED
+  return false;
+#else
+  return detail::attribution_flag().load(std::memory_order_relaxed) &&
+         hooks_enabled();
+#endif
+}
+
+bool attribution_enabled();
+void set_attribution_enabled(bool on);
+
+/// RAII phase marker. Maintains a per-thread phase stack; on entry the
+/// elapsed wall time since the last stack transition is charged to the
+/// enclosing phase (self-time accounting), on exit to this phase.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_ = false;
+};
+
+/// Accumulated totals of one phase since the last reset.
+struct PhaseTotals {
+  std::uint64_t calls = 0;   ///< ScopedPhase entries (deterministic).
+  double self_seconds = 0.0; ///< Exclusive wall time (machine-dependent).
+};
+
+PhaseTotals phase_totals(Phase phase);
+
+/// Zeroes every phase's totals.
+void reset_attribution();
+
+/// Publishes the totals as labelled registry metrics:
+/// obs.attribution.phase_calls{phase="..."} (counter-valued gauge) and
+/// obs.attribution.self_seconds{phase="..."}.
+void publish_attribution_metrics();
+
+/// Human-readable report: one row per phase (calls, self seconds, share of
+/// the phase-covered total) plus the derived stage groups the ROADMAP
+/// argues about — portal simulation (portal_sim + gen2_inventory +
+/// event_log_append), path evaluation, and store merge (store_route +
+/// store_merge).
+void write_attribution_report(std::ostream& out);
+
+/// The same report as one JSON object ('\n'-terminated), deterministic key
+/// order; seconds/shares are wall-clock fields, calls are deterministic.
+void write_attribution_json(std::ostream& out);
+
+/// Writes the JSON report to `path` atomically (tmp + rename). Returns
+/// false if the file could not be written.
+bool dump_attribution(const std::string& path);
+
+}  // namespace rfidsim::obs::prof

@@ -214,15 +214,34 @@ void write_flight_dump(std::ostream& out, const char* reason) {
   }
 }
 
+namespace {
+std::atomic<std::uint64_t> g_dump_attempts{0};
+std::atomic<std::uint64_t> g_dump_failures{0};
+}  // namespace
+
+std::uint64_t flight_dump_attempts() {
+  return g_dump_attempts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t flight_dump_failures() {
+  return g_dump_failures.load(std::memory_order_relaxed);
+}
+
 bool dump_flight_recorder(const std::string& path) {
+  g_dump_attempts.fetch_add(1, std::memory_order_relaxed);
+  const auto fail = [] {
+    g_dump_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
+    if (!out) return fail();
     write_flight_dump(out);
-    if (!out) return false;
+    if (!out) return fail();
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
+  return true;
 }
 
 void clear_flight_recorder() {

@@ -60,6 +60,13 @@ std::vector<FlightRecord> flight_snapshot();
 std::uint64_t flight_recorded();  ///< Records accepted (monotonic).
 std::uint64_t flight_dropped();   ///< Records overwritten by ring wrap.
 
+/// Explicit-dump bookkeeping, surfaced in FleetService::health_snapshot():
+/// a fleet whose black box cannot reach the disk should say so *before*
+/// the crash that needed it. Counts dump_flight_recorder() calls only (the
+/// signal handler cannot update counters it might race).
+std::uint64_t flight_dump_attempts();
+std::uint64_t flight_dump_failures();
+
 /// Writes the dump (meta line + one JSON object per record, schema in
 /// EXPERIMENTS.md) to `out`.
 void write_flight_dump(std::ostream& out, const char* reason = "explicit");

@@ -32,6 +32,11 @@ std::atomic<bool>& trace_flag() {
   return flag;
 }
 
+std::atomic<bool>& profile_flag() {
+  static std::atomic<bool> flag{initial_mode().profile};
+  return flag;
+}
+
 }  // namespace detail
 
 EnvMode env_mode(const char* value) {
@@ -43,8 +48,17 @@ EnvMode env_mode(const char* value) {
     mode.trace = false;
   } else if (v == "trace") {
     mode.trace = true;
+  } else if (v == "prof") {
+    mode.profile = true;
   }
   return mode;
+}
+
+bool profile_requested() {
+  return detail::profile_flag().load(std::memory_order_relaxed);
+}
+void set_profile_requested(bool on) {
+  detail::profile_flag().store(on, std::memory_order_relaxed);
 }
 
 bool enabled() { return detail::metrics_flag().load(std::memory_order_relaxed); }

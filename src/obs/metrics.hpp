@@ -76,12 +76,20 @@ void set_trace_enabled(bool on);
 struct EnvMode {
   bool metrics = true;
   bool trace = false;
+  bool profile = false;
 };
 
 /// "off"/"0"/"false" disable everything; "trace" additionally enables
-/// span recording; anything else (including unset) means metrics on,
-/// tracing off.
+/// span recording; "prof" additionally requests the sampling profiler and
+/// stage attribution (bench::Session starts them — see obs/prof.hpp);
+/// anything else (including unset) means metrics on, tracing off.
 EnvMode env_mode(const char* value);
+
+/// True when RFIDSIM_OBS=prof asked for profiling + attribution at
+/// startup. Harness-level (bench::Session reads it once); not a hot-path
+/// gate.
+bool profile_requested();
+void set_profile_requested(bool on);
 
 /// Monotonic event counter.
 class Counter {

@@ -23,6 +23,7 @@ const char* batch_hop_name(BatchHop hop) {
     case BatchHop::kMerged: return "merged";
     case BatchHop::kCheckpointed: return "checkpointed";
     case BatchHop::kRestored: return "restored";
+    case BatchHop::kVisible: return "visible";
   }
   return "?";
 }

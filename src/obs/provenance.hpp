@@ -49,6 +49,7 @@ enum class BatchHop : std::uint8_t {
   kMerged = 9,       ///< Store merge applied (value = events).
   kCheckpointed = 10,  ///< Captured by a checkpoint (value = sequence).
   kRestored = 11,      ///< Restored from a checkpoint (value = sequence).
+  kVisible = 12,       ///< Watermark advanced past the batch (value = events).
 };
 
 /// Stable lower-snake name ("enqueued", "merged", ...) for dumps and logs.

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
 
 namespace rfidsim::sweep {
 
@@ -24,6 +27,25 @@ PoolMetrics& pool_metrics() {
   return m;
 }
 
+/// Per-lane accumulators, labelled by the worker's construction-time
+/// index: busy (executing tasks), idle (parked), and queue-wait (the time
+/// tasks this lane executed spent queued before dequeue). Shared across
+/// pools — lane "0" of a later pool accumulates onto lane "0" of an
+/// earlier one, the same convention the reader-labelled portal metrics
+/// use.
+struct LaneMetrics {
+  obs::Gauge& busy_s;
+  obs::Gauge& idle_s;
+  obs::Gauge& wait_s;
+
+  explicit LaneMetrics(const std::string& lane)
+      : busy_s(obs::gauge("sweep.pool.lane_busy_seconds", {{"lane", lane}})),
+        idle_s(obs::gauge("sweep.pool.lane_idle_seconds", {{"lane", lane}})),
+        wait_s(obs::gauge("sweep.pool.lane_queue_wait_seconds", {{"lane", lane}})) {}
+};
+
+thread_local std::size_t t_lane = ThreadPool::kNotALane;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -32,7 +54,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -47,14 +69,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const bool record = obs::hooks_enabled();
+  PendingTask pending{std::move(task), record ? obs::trace_now_ns() : 0};
   std::size_t depth;
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(pending));
     ++in_flight_;
     depth = queue_.size();
   }
-  if (obs::hooks_enabled()) {
+  if (record) {
     pool_metrics().tasks.add(1);
     pool_metrics().queue_depth.set(static_cast<double>(depth));
   }
@@ -66,27 +90,52 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::current_lane() { return t_lane; }
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  t_lane = lane;
+  obs::prof::register_thread(static_cast<std::uint32_t>(lane));
+  LaneMetrics* lane_metrics = nullptr;  // Registered on first recorded pass.
+  const std::string lane_label = std::to_string(lane);
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     std::size_t depth;
     const bool record = obs::hooks_enabled();
+    if (record && lane_metrics == nullptr) {
+      lane_metrics = new LaneMetrics(lane_label);  // Refs are process-lived.
+    }
     const auto park = std::chrono::steady_clock::now();
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue.
+      if (queue_.empty()) {  // stopping_ with a drained queue.
+        delete lane_metrics;
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
       depth = queue_.size();
     }
+    const auto dequeue = std::chrono::steady_clock::now();
     if (record) {
       pool_metrics().queue_depth.set(static_cast<double>(depth));
-      pool_metrics().idle_s.add(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - park)
+      const double idle = std::chrono::duration<double>(dequeue - park).count();
+      pool_metrics().idle_s.add(idle);
+      lane_metrics->idle_s.add(idle);
+      if (task.enqueue_ns != 0) {
+        const std::uint64_t now_ns = obs::trace_now_ns();
+        if (now_ns > task.enqueue_ns) {
+          lane_metrics->wait_s.add(
+              static_cast<double>(now_ns - task.enqueue_ns) * 1e-9);
+        }
+      }
+    }
+    task.fn();
+    if (record && lane_metrics != nullptr) {
+      lane_metrics->busy_s.add(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - dequeue)
               .count());
     }
-    task();
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -6,10 +6,17 @@
 // ordering promises — determinism is the sweep layer's job (every cell
 // derives all of its randomness from its own index, never from which
 // worker runs it or when).
+//
+// Lanes: each worker owns a stable lane id — its index in the workers_
+// vector, fixed at pool construction and reused for the pool's lifetime.
+// Per-lane metrics (sweep.pool.lane_*_seconds{lane="N"}) and profiler
+// sample tags both key off this id, so an attribution report and a folded
+// profile dump name the same thread the same way.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -21,6 +28,10 @@ namespace rfidsim::sweep {
 /// Fixed set of worker threads consuming a FIFO task queue.
 class ThreadPool {
  public:
+  /// Lane id reported by current_lane() on threads that are not pool
+  /// workers (the orchestrating thread, test mains).
+  static constexpr std::size_t kNotALane = static_cast<std::size_t>(-1);
+
   /// Starts `threads` workers; 0 means the hardware concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -41,11 +52,23 @@ class ThreadPool {
   /// been dequeued).
   void wait_idle();
 
+  /// The calling thread's lane id: the worker's construction-time index
+  /// for pool workers, kNotALane everywhere else. Stable for the worker's
+  /// whole life — metric labels and profiler dumps agree on it.
+  static std::size_t current_lane();
+
  private:
-  void worker_loop();
+  /// A queued task plus its enqueue stamp, so the executing lane can
+  /// attribute the task's time in queue (submit -> dequeue) to itself.
+  struct PendingTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  void worker_loop(std::size_t lane);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<PendingTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rf/link_budget.hpp"
@@ -150,7 +151,10 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
   // the flat order evaluate_all produces. The kernel also hands back the
   // per-tag world positions, saving the shadow sampler its own pose
   // derivations (bit-identical to Entity::tag_position by contract).
-  evaluator_.evaluate_all(antenna, t_s, terms_scratch_);
+  {
+    const obs::prof::ScopedPhase phase(obs::prof::Phase::kPathEval);
+    evaluator_.evaluate_all(antenna, t_s, terms_scratch_);
+  }
   const std::vector<Vec3>& tag_positions = evaluator_.tag_positions();
   for (std::size_t i = 0; i < tags_.size(); ++i) {
     const rf::PathTerms& terms = terms_scratch_[i];
@@ -216,16 +220,23 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
   }
 
   auto links = build_links(rt, antenna, t, rng, rt.tag_states, extra_loss_db);
-  const gen2::InventoryRoundResult round = rt.engine.run_round(rt.tag_states, links, t, rng);
+  gen2::InventoryRoundResult round;
+  {
+    const obs::prof::ScopedPhase phase(obs::prof::Phase::kGen2Inventory);
+    round = rt.engine.run_round(rt.tag_states, links, t, rng);
+  }
 
-  for (std::size_t idx : round.singulated) {
-    ReadEvent ev;
-    ev.tag = scene_.entities[tags_[idx].entity].tags()[tags_[idx].tag].id;
-    ev.time_s = t + round.duration_s;  // Reported at end of round, as real readers do.
-    ev.reader_index = r;
-    ev.antenna_index = antenna;
-    ev.rssi = links[idx].rx_power;
-    log.push_back(ev);
+  {
+    const obs::prof::ScopedPhase phase(obs::prof::Phase::kEventLogAppend);
+    for (std::size_t idx : round.singulated) {
+      ReadEvent ev;
+      ev.tag = scene_.entities[tags_[idx].entity].tags()[tags_[idx].tag].id;
+      ev.time_s = t + round.duration_s;  // Reported at end of round, as real readers do.
+      ev.reader_index = r;
+      ev.antenna_index = antenna;
+      ev.rssi = links[idx].rx_power;
+      log.push_back(ev);
+    }
   }
 
   if (obs::hooks_enabled()) {
@@ -268,6 +279,7 @@ constexpr std::uint64_t kFaultStreamLabel = 0xFA1757ULL;
 
 EventLog PortalSimulator::run(Rng& rng) {
   const obs::TraceSpan span("sys.portal.run");
+  const obs::prof::ScopedPhase phase(obs::prof::Phase::kPortalSim);
   if (obs::hooks_enabled()) portal_metrics().passes.add(1);
   stats_ = PortalRunStats{};
   stats_.per_reader.resize(readers_.size());

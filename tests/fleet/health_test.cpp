@@ -77,14 +77,28 @@ TEST(FleetHealthTest, EmptyServiceReportsAnUnknownWatermark) {
   EXPECT_EQ(health.min_watermark_s, -1.0);
   EXPECT_TRUE(health.per_facility.empty());
 
+  // Byte-exact writer golden on a default-constructed document (the live
+  // snapshot's obs tallies depend on what earlier tests in this binary
+  // dumped; the writer's format must not).
   std::ostringstream json;
-  write_health_json(json, health);
+  write_health_json(json, FleetHealth{});
   EXPECT_EQ(json.str(),
             "{\"facilities\":0,\"tags\":0,\"sightings\":0,\"alerts_total\":0,"
             "\"stalled_facilities\":0,\"min_watermark_s\":-1.000000,"
             "\"store\":{\"batches\":0,\"events\":0,\"accepted\":0,"
             "\"duplicates\":0,\"repairs\":0,\"late_batches\":0},"
+            "\"obs\":{\"provenance_dropped\":0,\"flight_dump_attempts\":0,"
+            "\"flight_dump_failures\":0,\"crash_handler_installed\":false},"
             "\"per_facility\":[]}\n");
+
+  // The live snapshot carries the telemetry self-health section too.
+  std::ostringstream live;
+  write_health_json(live, health);
+  EXPECT_NE(live.str().find("\"obs\":{\"provenance_dropped\":"),
+            std::string::npos);
+  EXPECT_EQ(health.provenance_dropped, obs::provenance_log().dropped());
+  EXPECT_EQ(health.flight_dump_attempts, obs::flight_dump_attempts());
+  EXPECT_EQ(health.flight_dump_failures, obs::flight_dump_failures());
 }
 
 /// One healthy facility, one whose uplink is dark from the start: the
@@ -220,6 +234,13 @@ TEST(FleetHealthTest, PrometheusExpositionKeepsInfinitiesScrapeable) {
             std::string::npos);
   EXPECT_NE(text.find("rfidsim_fleet_health_watermark_seconds{facility=\"" +
                       std::to_string(healthy) + "\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rfidsim_fleet_health_provenance_dropped_records "
+                      "gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rfidsim_fleet_health_flight_dump_failures "),
+            std::string::npos);
+  EXPECT_NE(text.find("rfidsim_fleet_health_crash_handler_installed "),
             std::string::npos);
 }
 

@@ -215,5 +215,20 @@ TEST(FlightRecorderInstallTest, InstallRecordsTheDumpPath) {
 
 #endif  // unix && !tsan
 
+TEST_F(FlightRecorderTest, DumpStatusCountersTrackAttemptsAndFailures) {
+  const std::uint64_t attempts = flight_dump_attempts();
+  const std::uint64_t failures = flight_dump_failures();
+  const std::string ok_path = "flight_dump_status.jsonl";
+  EXPECT_TRUE(dump_flight_recorder(ok_path));
+  EXPECT_EQ(flight_dump_attempts(), attempts + 1);
+  EXPECT_EQ(flight_dump_failures(), failures);
+  // A dump into a directory that does not exist must fail loudly — and the
+  // failure tally is what health_snapshot() surfaces fleet-wide.
+  EXPECT_FALSE(dump_flight_recorder("no_such_dir/flight_dump_status.jsonl"));
+  EXPECT_EQ(flight_dump_attempts(), attempts + 2);
+  EXPECT_EQ(flight_dump_failures(), failures + 1);
+  std::remove(ok_path.c_str());
+}
+
 }  // namespace
 }  // namespace rfidsim::obs
