@@ -56,7 +56,7 @@ void BM_InventoryRound(benchmark::State& state) {
     std::vector<gen2::TagState> states(n);
     std::vector<gen2::TagLink> links(n);
     for (std::size_t i = 0; i < n; ++i) {
-      states[i].set_powered(true, t, gen2::Session::S0);
+      states[i].set_powered(true, t);
       links[i].powered = true;
       links[i].rx_power = DbmPower(-55.0);
     }

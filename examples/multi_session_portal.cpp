@@ -1,0 +1,105 @@
+// Multi-session portal: protocol redundancy without extra hardware.
+//
+// The paper's fix for missed reads is physical redundancy — more tags per
+// object, more antennas (§4). The gen2::reliable subsystem adds knobs
+// that need no new hardware on the object: run the SAME portal pass as K
+// independent inventories on distinct Gen 2 sessions (each session keeps
+// its own inventoried flag on the tag, so the passes don't blind each
+// other), fuse the K read sets into per-tag confidence, or upgrade the
+// reader to multi-packet reception (M simultaneous decodes per slot).
+// This example runs a dock-door pallet through three configurations and
+// then shows what session fusion buys at the identification layer.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "gen2/reliable/fusion.hpp"
+#include "gen2/reliable/multi_session.hpp"
+#include "reliability/calibration.hpp"
+#include "reliability/estimator.hpp"
+#include "reliability/scenarios.hpp"
+
+using namespace rfidsim;
+using namespace rfidsim::reliability;
+using namespace rfidsim::gen2::reliable;
+
+int main() {
+  const CalibrationProfile cal = CalibrationProfile::paper2006();
+  constexpr std::uint64_t kSeed = 606;
+  constexpr std::size_t kPasses = 24;
+
+  // [1] The same dock-door rig, three reader configurations. The portal
+  // picks its inventory strategy from ReaderConfig — no scene changes.
+  std::printf("Dock-door portal, one front tag per case, %zu passes:\n\n",
+              kPasses);
+  TextTable t({"reader configuration", "tracking reliability"});
+  sys::InventoryStrategy three_sessions;
+  three_sessions.mode = sys::InventoryMode::kMultiSession;
+  three_sessions.sessions = {gen2::Session::S1, gen2::Session::S2,
+                             gen2::Session::S3};
+  const struct {
+    const char* label;
+    sys::InventoryStrategy strategy;
+    int mpr;
+  } rows[] = {
+      {"conventional (K=1 session, M=1)", sys::InventoryStrategy{}, 1},
+      {"K=3 sessions, interleaved", three_sessions, 1},
+      {"M=2 multi-packet reception", sys::InventoryStrategy{}, 2},
+  };
+  for (const auto& r : rows) {
+    ObjectScenarioOptions opt;
+    opt.tag_faces = {scene::BoxFace::Front};
+    opt.portal.antenna_count = 2;
+    opt.portal.strategy = r.strategy;
+    opt.portal.mpr_capacity = r.mpr;
+    const double rel = measure_tracking_reliability(
+        make_object_tracking_scenario(opt, cal), kPasses, kSeed);
+    t.add_row({r.label, percent(rel)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  // [2] What the K passes buy at the identification layer: run a lossy
+  // 12-tag pallet through a 3-session inventory and fuse. A tag seen by
+  // one session might be a ghost read; a tag seen by all three is there.
+  std::printf("\n3-session inventory over a lossy 12-tag pallet:\n\n");
+  MultiSessionConfig cfg;
+  cfg.sessions = {gen2::Session::S1, gen2::Session::S2, gen2::Session::S3};
+  cfg.rounds_per_session = 2;
+  MultiSessionInventory inventory(cfg);
+
+  std::vector<gen2::TagState> states(12);
+  std::vector<gen2::TagLink> links(12);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i].set_powered(true, 0.0);
+    links[i].powered = true;
+    // The far half of the pallet reads much worse than the near half.
+    links[i].reply_decode_probability = i < 6 ? 0.95 : 0.45;
+    links[i].rx_power = DbmPower(-55.0);
+  }
+  Rng rng(kSeed);
+  const MultiSessionResult sweep = inventory.run(states, links, 0.0, rng);
+
+  FusionConfig fusion_cfg;
+  fusion_cfg.sessions = {SessionModel{gen2::Session::S1, 0.7, 0.01},
+                         SessionModel{gen2::Session::S2, 0.7, 0.01},
+                         SessionModel{gen2::Session::S3, 0.7, 0.01}};
+  const SessionFusion fusion(fusion_cfg);
+  const FusionResult fused = fusion.fuse(sweep.sessions_seen);
+
+  TextTable verdicts({"tag", "link", "sessions seen (of 3)", "confidence",
+                      "verdict"});
+  for (const auto& v : fused.verdicts) {
+    verdicts.add_row({"tag " + std::to_string(v.tag),
+                      v.tag < 6 ? "good" : "poor",
+                      std::to_string(v.sessions_seen),
+                      percent(v.confidence), v.present ? "present" : "miss"});
+  }
+  std::fputs(verdicts.render().c_str(), stdout);
+  std::printf(
+      "\nfused any-of detection: %zu/%zu tags; independence model predicts\n"
+      "R_C = 1 - (1 - p)^3 = %s per tag at p = 70%% per session.\n",
+      fused.detected, fused.verdicts.size(),
+      percent(fusion.fused_detection_probability()).c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "gen2/inventory.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -12,7 +13,7 @@ namespace {
 
 /// Per-round registry hooks: aggregate adds once per round, never per slot,
 /// so the MAC loop itself stays untouched.
-void record_round_metrics(const InventoryRoundResult& result) {
+void record_round_metrics(const InventoryRoundResult& result, Session session) {
   static const struct Metrics {
     obs::Counter& rounds = obs::counter("gen2.rounds");
     obs::Counter& total_slots = obs::counter("gen2.total_slots");
@@ -20,6 +21,7 @@ void record_round_metrics(const InventoryRoundResult& result) {
     obs::Counter& collision_slots = obs::counter("gen2.collision_slots");
     obs::Counter& success_slots = obs::counter("gen2.success_slots");
     obs::Counter& singulations = obs::counter("gen2.singulations");
+    obs::Counter& mpr_decodes = obs::counter("gen2.mpr_decodes");
     obs::Histogram& duration = obs::histogram(
         "gen2.round_duration_seconds",
         // Rounds run ~1 ms (empty) to ~1 s (huge populations).
@@ -32,8 +34,20 @@ void record_round_metrics(const InventoryRoundResult& result) {
   m.collision_slots.add(result.collision_slots);
   m.success_slots.add(result.success_slots);
   m.singulations.add(result.singulated.size());
+  m.mpr_decodes.add(result.mpr_decodes);
   m.duration.observe(result.duration_s);
   m.final_q.set(result.final_q);
+  // Per-session singulation attribution ({session="s0".."s3"} children of
+  // the plain gen2.sessions family): which redundancy axis the reads came
+  // from. All four children resolved once — the round loop never takes
+  // the registry lock.
+  static const std::array<obs::Counter*, 4> session_counters = {
+      &obs::counter("gen2.sessions", {{"session", "s0"}}),
+      &obs::counter("gen2.sessions", {{"session", "s1"}}),
+      &obs::counter("gen2.sessions", {{"session", "s2"}}),
+      &obs::counter("gen2.sessions", {{"session", "s3"}}),
+  };
+  session_counters[static_cast<std::size_t>(session)]->add(result.singulated.size());
 }
 
 }  // namespace
@@ -72,8 +86,12 @@ InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
   }
 
   std::size_t slots_remaining = static_cast<std::size_t>(1) << q;
+  const std::size_t mpr = config_.mpr_capacity < 1
+                              ? 1
+                              : static_cast<std::size_t>(config_.mpr_capacity);
 
   std::vector<std::size_t> repliers;
+  std::vector<std::size_t> winners;
   while (slots_remaining > 0 && result.total_slots < config_.q.max_slots_per_round) {
     ++result.total_slots;
     --slots_remaining;
@@ -88,13 +106,20 @@ InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
       ++result.empty_slots;
       qfp_ = clamp_q(qfp_ - config_.q.step_empty);
     } else {
-      // Determine whether the slot is decodable: exactly one reply, or one
-      // reply that out-powers the rest by the capture threshold.
-      std::size_t winner = repliers.front();
-      bool decodable = repliers.size() == 1;
-      if (!decodable) {
+      // Determine which replies are decodable: all of them when the reader
+      // can separate up to `mpr` simultaneous packets and the slot carries
+      // no more than that; otherwise only a reply that out-powers the rest
+      // by the capture threshold. For mpr == 1 this is exactly the legacy
+      // single-reply logic — same branches, same RNG draw order — which is
+      // what keeps every pre-MPR bench byte-identical (and is pinned by
+      // the MprBitIdentity test).
+      winners.clear();
+      if (repliers.size() <= mpr) {
+        winners = repliers;
+      } else {
         double best = -1e18;
         double second = -1e18;
+        std::size_t winner = repliers.front();
         for (std::size_t i : repliers) {
           const double p = links[i].rx_power.value();
           if (p > best) {
@@ -105,30 +130,37 @@ InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
             second = p;
           }
         }
-        decodable = best - second >= config_.capture_threshold_db;
+        if (best - second >= config_.capture_threshold_db) winners.push_back(winner);
       }
 
-      bool singulated = false;
-      if (decodable) {
+      std::size_t slot_successes = 0;
+      for (std::size_t w : winners) {
         // RN16 decode, then ACK (a command, jammable), then EPC decode.
-        const TagLink& link = links[winner];
+        // Each decoded reply runs its own legs: MPR separates the
+        // backscatter, but the reader still ACKs every tag individually.
+        const TagLink& link = links[w];
         const bool rn16_ok = rng.bernoulli(link.reply_decode_probability);
         const bool ack_ok = rn16_ok && !rng.bernoulli(config_.command_jam_probability);
         const bool epc_ok = ack_ok && rng.bernoulli(link.reply_decode_probability);
         if (epc_ok) {
-          states[winner].on_acknowledged(t_s);
-          result.singulated.push_back(winner);
+          states[w].on_acknowledged(t_s);
+          result.singulated.push_back(w);
           result.duration_s += config_.timing.singulation_s;
-          ++result.success_slots;
-          singulated = true;
+          ++slot_successes;
         }
       }
 
-      if (!singulated) {
+      if (slot_successes > 0) {
+        ++result.success_slots;
+        // Reads in a slot that decoded >= 2 simultaneous replies exist
+        // only because of MPR; a conventional reader would have lost the
+        // whole slot to the collision.
+        if (winners.size() >= 2) result.mpr_decodes += slot_successes;
+      } else {
         result.duration_s += config_.timing.collided_slot_s;
         ++result.collision_slots;
         qfp_ = clamp_q(qfp_ + config_.q.step_collision);
-        // Losers (and a failed winner) redraw into the remaining frame.
+        // Losers (and failed winners) redraw into the remaining frame.
         const int q_now = static_cast<int>(std::lround(qfp_));
         for (std::size_t i : repliers) states[i].on_reply_lost(q_now, rng);
       }
@@ -174,7 +206,7 @@ InventoryRoundResult InventoryEngine::run_round(std::vector<TagState>& states,
   }
 
   result.final_q = qfp_;
-  if (obs::hooks_enabled()) record_round_metrics(result);
+  if (obs::hooks_enabled()) record_round_metrics(result, config_.session);
   return result;
 }
 

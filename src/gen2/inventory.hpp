@@ -55,6 +55,16 @@ struct InventoryConfig {
   /// reader practice when the application wants RSSI tracked across a
   /// whole pass (e.g. zone filtering) instead of one read per tag.
   bool dual_target = false;
+  /// Multi-packet reception capability: the maximum number of simultaneous
+  /// tag replies the reader can separate and decode in one slot (Pudasaini
+  /// et al.). 1 is a conventional reader — slots with two or more replies
+  /// are collisions unless the capture effect saves the strongest — and
+  /// the engine is then bit-identical to the pre-MPR implementation (same
+  /// code path, same RNG draw order; enforced by test). With M >= 2 a slot
+  /// carrying up to M replies decodes them all, each reply still running
+  /// its own RN16 -> ACK -> EPC legs; slots with more than M replies fall
+  /// back to the capture check.
+  int mpr_capacity = 1;
 };
 
 /// Outcome of one inventory round.
@@ -63,7 +73,11 @@ struct InventoryRoundResult {
   std::size_t total_slots = 0;
   std::size_t empty_slots = 0;
   std::size_t collision_slots = 0;
-  std::size_t success_slots = 0;
+  std::size_t success_slots = 0;  ///< Slots with at least one decode.
+  /// Successful decodes that happened in slots carrying two or more
+  /// simultaneously-decoded replies — the reads only a multi-packet-
+  /// reception reader gets. Always 0 when mpr_capacity == 1.
+  std::size_t mpr_decodes = 0;
   double duration_s = 0.0;
   double final_q = 0.0;
 };

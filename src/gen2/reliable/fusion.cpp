@@ -1,0 +1,100 @@
+#include "gen2/reliable/fusion.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/attribution.hpp"
+
+namespace rfidsim::gen2::reliable {
+
+SessionFusion::SessionFusion(FusionConfig config) : config_(std::move(config)) {
+  require(!config_.sessions.empty(), "SessionFusion: need at least one session");
+  require(config_.prior > 0.0 && config_.prior < 1.0,
+          "SessionFusion: prior must be in (0, 1)");
+  for (const SessionModel& m : config_.sessions) {
+    require(m.detection_rate >= 0.0 && m.detection_rate <= 1.0,
+            "SessionFusion: detection_rate must be in [0, 1]");
+    require(m.false_positive_rate >= 0.0 && m.false_positive_rate < 1.0,
+            "SessionFusion: false_positive_rate must be in [0, 1)");
+    require(m.false_positive_rate <= m.detection_rate,
+            "SessionFusion: false_positive_rate must not exceed detection_rate");
+  }
+}
+
+double SessionFusion::fused_detection_probability() const {
+  double miss = 1.0;
+  for (const SessionModel& m : config_.sessions) miss *= 1.0 - m.detection_rate;
+  return 1.0 - miss;
+}
+
+double SessionFusion::posterior(std::size_t seen) const {
+  const std::size_t k = config_.sessions.size();
+  if (seen > k) seen = k;
+  // Exchangeable-session likelihood: with only the COUNT of positive
+  // sessions available, use the mean rates — exact when the K models are
+  // identical (the simulator's usual case), a tight approximation
+  // otherwise (the count is then not a sufficient statistic).
+  double p = 0.0;
+  double f = 0.0;
+  for (const SessionModel& m : config_.sessions) {
+    p += m.detection_rate;
+    f += m.false_positive_rate;
+  }
+  p /= static_cast<double>(k);
+  f /= static_cast<double>(k);
+
+  // P(count | present) vs P(count | absent), binomial kernels (the common
+  // binomial coefficient cancels in the ratio).
+  const double miss = static_cast<double>(k - seen);
+  const double present_lik = std::pow(p, static_cast<double>(seen)) *
+                             std::pow(1.0 - p, miss);
+  const double absent_lik = std::pow(f, static_cast<double>(seen)) *
+                            std::pow(1.0 - f, miss);
+  // std::pow(0, 0) == 1, so f == 0 with seen == 0 degrades gracefully;
+  // f == 0 with seen > 0 zeroes absent_lik and the posterior saturates.
+  const double num = config_.prior * present_lik;
+  const double den = num + (1.0 - config_.prior) * absent_lik;
+  if (den <= 0.0) {
+    // Both hypotheses assign zero probability to the observation (e.g.
+    // p == 1 but seen < K): the observation contradicts the model; fall
+    // back to the prior rather than divide by zero.
+    return config_.prior;
+  }
+  return num / den;
+}
+
+bool SessionFusion::decide(std::size_t seen, double confidence) const {
+  switch (config_.rule) {
+    case FusionRule::kAnyOf: return seen >= 1;
+    case FusionRule::kMajority: return 2 * seen > config_.sessions.size();
+    case FusionRule::kWeighted: return confidence >= config_.confidence_threshold;
+  }
+  return false;
+}
+
+FusionResult SessionFusion::fuse(const std::vector<std::size_t>& sessions_seen) const {
+  obs::prof::ScopedPhase phase(obs::prof::Phase::kGen2Fusion);
+
+  FusionResult result;
+  result.fused_detection_probability = fused_detection_probability();
+  result.verdicts.reserve(sessions_seen.size());
+
+  // The posterior depends only on the count, so precompute the K + 1
+  // possible values instead of running std::pow per tag.
+  const std::size_t k = config_.sessions.size();
+  std::vector<double> posterior_by_count(k + 1);
+  for (std::size_t c = 0; c <= k; ++c) posterior_by_count[c] = posterior(c);
+
+  for (std::size_t tag = 0; tag < sessions_seen.size(); ++tag) {
+    TagVerdict v;
+    v.tag = tag;
+    v.sessions_seen = sessions_seen[tag] > k ? k : sessions_seen[tag];
+    v.confidence = posterior_by_count[v.sessions_seen];
+    v.present = decide(v.sessions_seen, v.confidence);
+    if (v.present) ++result.detected;
+    result.verdicts.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace rfidsim::gen2::reliable

@@ -1,0 +1,105 @@
+// Session fusion: turning K per-session read sets into one decision.
+//
+// Following Jacobsen et al. ("Reliable Identification of RFID Tags Using
+// Multiple Independent Reader Sessions"): each of the K session passes is
+// a noisy binary detector of every tag's presence. Under per-session
+// detection rate p_k (true positive) and false-positive rate f_k (ghost
+// reads: cross-portal leakage, EPC decode errors that alias to a valid
+// ID), the posterior that a tag is present given the subset S of sessions
+// that read it is a likelihood-ratio test
+//
+//     P(present | S) = prior * prod L_k  /  (prior * prod L_k + (1-prior) )
+//     with L_k = p_k / f_k for k in S, (1-p_k)/(1-f_k) otherwise
+//
+// and the fusion RULES are thresholds on that statistic: any-of (declare
+// present if any session saw the tag — maximizes detection, the DSN
+// paper's R_C = 1 - prod(1-p_k) regime), majority (> K/2 sessions — cuts
+// false positives at the cost of detection), and weighted (the full
+// likelihood test with a confidence threshold — dominates both when the
+// rates are known). This module is estimator-side only: it consumes read
+// sets, never touches tag state, and is marked with its own obs phase
+// (gen2_fusion) for stage attribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gen2/session.hpp"
+
+namespace rfidsim::gen2::reliable {
+
+/// Decision rule fusing K per-session detections.
+enum class FusionRule {
+  kAnyOf,     ///< Present iff >= 1 session read the tag.
+  kMajority,  ///< Present iff > K/2 sessions read the tag.
+  kWeighted,  ///< Present iff the Bayes posterior >= confidence_threshold.
+};
+
+/// Detector model of one session pass.
+struct SessionModel {
+  Session session = Session::S0;
+  /// P(session reads tag | tag present in the read zone).
+  double detection_rate = 0.9;
+  /// P(session reads tag | tag absent). Must be < detection_rate for the
+  /// likelihood ratio to point the right way; zero is allowed (any read
+  /// becomes decisive) and is the common simulator case.
+  double false_positive_rate = 0.0;
+};
+
+struct FusionConfig {
+  std::vector<SessionModel> sessions;  ///< One entry per pass, K = size().
+  FusionRule rule = FusionRule::kAnyOf;
+  /// Prior P(tag present) before any session reports. 0.5 makes the
+  /// weighted rule a pure likelihood-ratio test.
+  double prior = 0.5;
+  /// kWeighted declares presence when the posterior reaches this.
+  double confidence_threshold = 0.9;
+};
+
+/// Fused verdict for one tag.
+struct TagVerdict {
+  std::size_t tag = 0;
+  std::size_t sessions_seen = 0;  ///< How many of the K passes read it.
+  bool present = false;           ///< The configured rule's decision.
+  double confidence = 0.0;        ///< Bayes posterior P(present | reads).
+};
+
+/// Fused verdicts for a population.
+struct FusionResult {
+  std::vector<TagVerdict> verdicts;  ///< One per tag index, ascending.
+  std::size_t detected = 0;          ///< Verdicts with present == true.
+  /// The independence-model prediction of the any-of detection rate,
+  /// R_C = 1 - prod_k (1 - p_k): what the ablation compares measurements
+  /// against.
+  double fused_detection_probability = 0.0;
+};
+
+/// Stateless fusion estimator over per-session read sets.
+class SessionFusion {
+ public:
+  explicit SessionFusion(FusionConfig config);
+
+  /// Fuses the per-session observation counts: `sessions_seen[tag]` is how
+  /// many of the K passes read that tag (MultiSessionResult::sessions_seen
+  /// feeds this directly). The count collapses WHICH sessions saw the tag
+  /// into how many, so the posterior uses the count-weighted likelihood
+  /// (exact when the K models are identical, the simulator's usual case;
+  /// a tight approximation otherwise).
+  FusionResult fuse(const std::vector<std::size_t>& sessions_seen) const;
+
+  /// Posterior P(present) for a tag seen by `seen` of the K sessions.
+  /// Monotone nondecreasing in `seen` whenever every p_k > f_k.
+  double posterior(std::size_t seen) const;
+
+  /// 1 - prod_k (1 - p_k): the analytical any-of fused detection rate.
+  double fused_detection_probability() const;
+
+  const FusionConfig& config() const { return config_; }
+
+ private:
+  bool decide(std::size_t seen, double confidence) const;
+
+  FusionConfig config_;
+};
+
+}  // namespace rfidsim::gen2::reliable

@@ -1,0 +1,97 @@
+// Multi-session inventory: redundant independent reader passes.
+//
+// Jacobsen et al., "Reliable Identification of RFID Tags Using Multiple
+// Independent Reader Sessions": a single inventory pass misses tags with
+// probability (1 - P); K passes whose misses are independent miss with
+// probability prod_k (1 - P_k) — the DSN paper's R_C model with SESSIONS
+// as the redundancy axis instead of tags or antennas. Gen 2 makes the
+// passes non-interfering for free: each session S0-S3 carries its own
+// inventoried flag, so a tag read on S1 still answers the S2 and S3
+// passes. This orchestrator runs K passes over one shared population on
+// distinct sessions, either sequentially (pass k completes before pass
+// k+1 starts) or interleaved (rounds rotate across sessions), on one
+// shared simulation clock so per-session flag persistence (S1's powered
+// decay included) behaves exactly as it would in hardware.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gen2/inventory.hpp"
+
+namespace rfidsim::gen2::reliable {
+
+/// How the K per-session passes share the reader's air time.
+enum class SessionSchedule {
+  /// Run every round of session k before the first round of session k+1.
+  /// Earlier sessions' flags age while later passes run — with S1 in the
+  /// mix, a long tail pass can watch pass 1's flags decay and re-answer.
+  kSequential,
+  /// Rotate: one round on each session in turn, K times over. Spreads
+  /// each session's rounds across the whole dwell, which is what a portal
+  /// wants when the population is moving through the read zone.
+  kInterleaved,
+};
+
+/// Configuration of one multi-session inventory sweep.
+struct MultiSessionConfig {
+  /// Session/target of `base` are overridden per pass; everything else
+  /// (timing, Q algorithm, capture, jamming, mpr_capacity) applies to
+  /// every pass.
+  InventoryConfig base{};
+  /// The sessions to run, one pass each; K = sessions.size(). Distinct
+  /// sessions are what makes the passes independent — duplicates are
+  /// allowed but the repeated pass sees the earlier pass's flags.
+  std::vector<Session> sessions = {Session::S1, Session::S2, Session::S3};
+  SessionSchedule schedule = SessionSchedule::kInterleaved;
+  /// Inventory rounds per session per sweep.
+  std::size_t rounds_per_session = 3;
+};
+
+/// What one session's pass observed.
+struct SessionPassResult {
+  Session session = Session::S0;
+  /// Distinct tag indices singulated on this session, ascending.
+  std::vector<std::size_t> read_tags;
+  std::size_t rounds = 0;
+  std::size_t singulations = 0;  ///< Including re-reads within the pass.
+  std::size_t mpr_decodes = 0;
+  double duration_s = 0.0;
+};
+
+/// Outcome of one multi-session sweep.
+struct MultiSessionResult {
+  std::vector<SessionPassResult> per_session;  ///< In config order.
+  double total_duration_s = 0.0;
+  /// For each tag index (size = population), the number of sessions whose
+  /// pass read it at least once: the fusion estimator's raw input.
+  std::vector<std::size_t> sessions_seen;
+};
+
+/// Runs K independent per-session inventory passes over a shared tag
+/// population. Deterministic given the RNG seed; the engines' Qfp state
+/// persists across sweeps exactly like a real reader's firmware.
+class MultiSessionInventory {
+ public:
+  explicit MultiSessionInventory(MultiSessionConfig config);
+
+  /// Runs one sweep starting at simulation time `t_s`. `states` persists
+  /// across sweeps (per-session flags, power); the caller sets power via
+  /// TagState::set_powered, as with InventoryEngine. The sweep advances
+  /// an internal clock from t_s by each round's duration — sessions see
+  /// flag decay mid-sweep.
+  MultiSessionResult run(std::vector<TagState>& states,
+                         const std::vector<TagLink>& links, double t_s, Rng& rng);
+
+  const MultiSessionConfig& config() const { return config_; }
+  std::size_t session_count() const { return engines_.size(); }
+  /// Resets every per-session engine's Qfp (new pass, rebooted reader).
+  void reset_q();
+
+ private:
+  MultiSessionConfig config_;
+  std::vector<InventoryEngine> engines_;  ///< One per configured session.
+};
+
+}  // namespace rfidsim::gen2::reliable

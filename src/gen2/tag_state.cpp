@@ -2,18 +2,41 @@
 
 namespace rfidsim::gen2 {
 
-void TagState::set_powered(bool powered, double t_s, Session session) {
+namespace {
+
+constexpr Session kAllSessions[] = {Session::S0, Session::S1, Session::S2,
+                                    Session::S3};
+
+}  // namespace
+
+void TagState::set_powered(bool powered, double t_s) {
   if (powered == powered_) return;
   powered_ = powered;
   if (powered) {
-    // Regaining power: if the flag's persistence expired while dark, it
-    // reverted to A. Resolve that now so subsequent queries see it.
-    if (flag_ == InventoriedFlag::B && flag_set_time_s_ >= 0.0) {
-      const double dark_since = power_loss_time_s_;
-      const double persistence = flag_persistence_s(session);
-      if (session == Session::S0 || t_s - dark_since > persistence) {
-        flag_ = InventoriedFlag::A;
+    // Regaining power: any flag whose persistence expired while the tag
+    // was dark has reverted to A. Resolve that now, per session, so
+    // subsequent queries (and the pure flag() math, which must not
+    // resurrect a decayed flag after repower) see it.
+    for (const Session s : kAllSessions) {
+      const std::size_t i = index(s);
+      if (flags_[i] != InventoriedFlag::B) continue;
+      bool decayed = false;
+      switch (s) {
+        case Session::S0:
+          // No persistence: any power loss clears it.
+          decayed = true;
+          break;
+        case Session::S1:
+          // Decays from the set time regardless of power.
+          decayed = t_s - flag_set_time_s_[i] > flag_persistence_s(s);
+          break;
+        case Session::S2:
+        case Session::S3:
+          // Persist while powered; the dark interval is what counts.
+          decayed = t_s - power_loss_time_s_ > flag_persistence_s(s);
+          break;
       }
+      if (decayed) flags_[i] = InventoriedFlag::A;
     }
     state_ = TagProtocolState::Ready;
   } else {
@@ -32,6 +55,7 @@ void TagState::draw_slot(int q, Rng& rng) {
 void TagState::on_query(int q, InventoriedFlag target, Session session, double t_s,
                         Rng& rng) {
   if (!powered_) return;
+  round_session_ = session;
   if (flag(t_s, session) != target) {
     state_ = TagProtocolState::Ready;
     return;
@@ -61,13 +85,18 @@ void TagState::on_query_rep() {
 void TagState::on_acknowledged(double t_s) {
   if (!powered_ || state_ != TagProtocolState::Reply) return;
   state_ = TagProtocolState::Acknowledged;
-  // Spec behaviour: singulation TOGGLES the inventoried flag (so a
-  // B-targeted round hands the tag back to A).
-  if (flag_ == InventoriedFlag::A) {
-    flag_ = InventoriedFlag::B;
-    flag_set_time_s_ = t_s;
+  // Spec behaviour: singulation TOGGLES the inventoried flag of the
+  // session this round runs on (so a B-targeted round hands the tag back
+  // to A). The other sessions' flags are untouched. The toggle acts on
+  // the EFFECTIVE flag — a stored B whose persistence already lapsed
+  // (S1's powered decay) is an A, so acknowledging it sets B afresh
+  // rather than "toggling" the stale value.
+  const std::size_t i = index(round_session_);
+  if (flag(t_s, round_session_) == InventoriedFlag::A) {
+    flags_[i] = InventoriedFlag::B;
+    flag_set_time_s_[i] = t_s;
   } else {
-    flag_ = InventoriedFlag::A;
+    flags_[i] = InventoriedFlag::A;
   }
 }
 
@@ -77,12 +106,28 @@ void TagState::on_reply_lost(int q, Rng& rng) {
 }
 
 InventoriedFlag TagState::flag(double t_s, Session session) const {
-  if (flag_ == InventoriedFlag::A) return InventoriedFlag::A;
-  if (!powered_) {
-    const double persistence = flag_persistence_s(session);
-    if (session == Session::S0 || t_s - power_loss_time_s_ > persistence) {
-      return InventoriedFlag::A;
-    }
+  const std::size_t i = index(session);
+  if (flags_[i] == InventoriedFlag::A) return InventoriedFlag::A;
+  switch (session) {
+    case Session::S0:
+      // Zero persistence: the flag only holds while the tag is energized.
+      return powered_ ? InventoriedFlag::B : InventoriedFlag::A;
+    case Session::S1:
+      // The S1 timer runs from the moment the flag was set, powered or
+      // not — a continuously-energized S1 tag re-enters inventory once
+      // its window lapses (spec 6.3.2.4; this is what makes S1 the
+      // "repeated-census" session).
+      return t_s - flag_set_time_s_[i] > flag_persistence_s(session)
+                 ? InventoriedFlag::A
+                 : InventoriedFlag::B;
+    case Session::S2:
+    case Session::S3:
+      // Indefinite persistence while powered; the decay clock only runs
+      // in the dark.
+      if (!powered_ && t_s - power_loss_time_s_ > flag_persistence_s(session)) {
+        return InventoriedFlag::A;
+      }
+      return InventoriedFlag::B;
   }
   return InventoriedFlag::B;
 }

@@ -1,12 +1,17 @@
 // Gen 2 tag-side protocol state machine.
 //
 // Implements the inventory-relevant subset of the EPC C1G2 tag states:
-// Ready -> Arbitrate -> Reply -> Acknowledged, with a per-session
-// inventoried flag. Power-sensitive behaviour matters: a tag that browns
-// out forgets its slot counter, and an S0 flag resets on power loss —
-// both visible in continuous-mode portal traces.
+// Ready -> Arbitrate -> Reply -> Acknowledged, with one inventoried flag
+// PER SESSION (S0-S3) — the four flags are independent, which is what lets
+// two readers (or one reader running redundant passes) inventory the same
+// population on different sessions without stepping on each other's
+// progress. Power-sensitive behaviour matters: a tag that browns out
+// forgets its slot counter, an S0 flag resets on power loss, S1 decays on
+// its own timer regardless of power, and S2/S3 persist indefinitely while
+// energized.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -23,22 +28,29 @@ enum class TagProtocolState {
   Acknowledged,  ///< ACKed; has sent PC/EPC/CRC.
 };
 
-/// Tag-side state machine for the inventory rounds of one session.
+/// Tag-side state machine for inventory rounds. The protocol state
+/// (arbitration) is shared — a tag participates in one round at a time —
+/// but the inventoried flags are kept per session, as the spec requires.
 class TagState {
  public:
   TagState() = default;
 
   /// Powers the tag on/off at simulation time `t_s`. Power loss drops the
-  /// tag out of any round in progress; an S0 inventoried flag resets
-  /// immediately and persistent sessions start their decay timer.
-  void set_powered(bool powered, double t_s, Session session);
+  /// tag out of any round in progress; the S0 inventoried flag resets
+  /// immediately and the persistent sessions start their decay timers.
+  /// Regaining power resolves any decay that completed while dark, for
+  /// every session at once (power is session-agnostic).
+  void set_powered(bool powered, double t_s);
 
   /// True if the tag currently holds energy.
   bool powered() const { return powered_; }
 
-  /// Handles a Query targeting flag `target`: a powered tag whose flag
-  /// matches draws a slot in [0, 2^q - 1] and enters Arbitrate (or Reply
-  /// if it drew zero). A mismatched tag stays silent.
+  /// Handles a Query targeting flag `target` on `session`: a powered tag
+  /// whose flag for that session matches draws a slot in [0, 2^q - 1] and
+  /// enters Arbitrate (or Reply if it drew zero). A mismatched tag stays
+  /// silent. The tag latches `session` as the session of the round in
+  /// progress (the spec's Query carries it), so a later ACK toggles the
+  /// right flag.
   void on_query(int q, InventoriedFlag target, Session session, double t_s, Rng& rng);
 
   /// Handles a QueryAdjust: redraw the slot with the new q.
@@ -52,30 +64,43 @@ class TagState {
   bool replying() const { return state_ == TagProtocolState::Reply; }
 
   /// Handles a successful ACK of this tag's RN16: the tag transmits its
-  /// EPC, toggles its inventoried flag, and leaves the round.
+  /// EPC, toggles the inventoried flag of the session the current round
+  /// runs on, and leaves the round. Flags of the other sessions are
+  /// untouched — session independence is the whole point.
   void on_acknowledged(double t_s);
 
   /// The reader failed to ACK (collision or decode loss): tag returns to
   /// Arbitrate with a fresh slot draw at the current q.
   void on_reply_lost(int q, Rng& rng);
 
-  /// Current inventoried flag at time `t_s`, accounting for persistence
-  /// decay while unpowered.
+  /// Current inventoried flag of `session` at time `t_s`, accounting for
+  /// persistence decay: S0 holds only while powered, S1 decays on a timer
+  /// from the moment the flag was set REGARDLESS of power (the spec's
+  /// "0.5-5 s nominal" applies to energized tags too), S2/S3 persist
+  /// indefinitely while powered and decay after their window once dark.
   InventoriedFlag flag(double t_s, Session session) const;
+
+  /// Session of the round this tag is currently (or was last) engaged in.
+  Session round_session() const { return round_session_; }
 
   TagProtocolState state() const { return state_; }
   std::uint32_t slot_counter() const { return slot_counter_; }
 
  private:
+  static constexpr std::size_t index(Session s) { return static_cast<std::size_t>(s); }
   void draw_slot(int q, Rng& rng);
 
   TagProtocolState state_ = TagProtocolState::Unpowered;
   bool powered_ = false;
   std::uint32_t slot_counter_ = 0;
-  InventoriedFlag flag_ = InventoriedFlag::A;
-  /// Time the flag was last set to B (for persistence decay).
-  double flag_set_time_s_ = -1e18;
-  /// Time power was lost (persistence decay reference while unpowered).
+  /// Session carried by the Query of the round in progress.
+  Session round_session_ = Session::S0;
+  /// One inventoried flag per session S0-S3.
+  std::array<InventoriedFlag, 4> flags_{InventoriedFlag::A, InventoriedFlag::A,
+                                        InventoriedFlag::A, InventoriedFlag::A};
+  /// Time each session's flag was last set to B (persistence reference).
+  std::array<double, 4> flag_set_time_s_{-1e18, -1e18, -1e18, -1e18};
+  /// Time power was lost (S2/S3 persistence reference while unpowered).
   double power_loss_time_s_ = -1e18;
 };
 

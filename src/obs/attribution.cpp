@@ -66,6 +66,7 @@ const char* phase_name(Phase phase) {
     case Phase::kEventLogAppend: return "event_log_append";
     case Phase::kStoreRoute: return "store_route";
     case Phase::kStoreMerge: return "store_merge";
+    case Phase::kGen2Fusion: return "gen2_fusion";
   }
   return "unknown";
 }
@@ -136,7 +137,8 @@ namespace {
 struct ReportData {
   std::array<PhaseTotals, kPhaseCount> phases;
   double covered_s = 0.0;
-  double portal_s = 0.0;     ///< portal_sim + gen2_inventory + event_log_append.
+  double portal_s = 0.0;     ///< portal_sim + gen2_inventory + event_log_append
+                             ///< + gen2_fusion.
   double path_eval_s = 0.0;
   double store_merge_s = 0.0; ///< store_route + store_merge.
 };
@@ -152,7 +154,8 @@ ReportData gather() {
   data.portal_s =
       data.phases[static_cast<std::size_t>(Phase::kPortalSim)].self_seconds +
       data.phases[static_cast<std::size_t>(Phase::kGen2Inventory)].self_seconds +
-      data.phases[static_cast<std::size_t>(Phase::kEventLogAppend)].self_seconds;
+      data.phases[static_cast<std::size_t>(Phase::kEventLogAppend)].self_seconds +
+      data.phases[static_cast<std::size_t>(Phase::kGen2Fusion)].self_seconds;
   data.store_merge_s =
       data.phases[static_cast<std::size_t>(Phase::kStoreRoute)].self_seconds +
       data.phases[static_cast<std::size_t>(Phase::kStoreMerge)].self_seconds;

@@ -45,8 +45,9 @@ enum class Phase : std::uint8_t {
   kEventLogAppend = 3, ///< Singulation results appended to the event log.
   kStoreRoute = 4,     ///< TrackingStore ingest phase 1 (shard routing).
   kStoreMerge = 5,     ///< TrackingStore ingest phase 2 (shard merge).
+  kGen2Fusion = 6,     ///< SessionFusion estimate over per-session read sets.
 };
-inline constexpr std::size_t kPhaseCount = 6;
+inline constexpr std::size_t kPhaseCount = 7;
 
 /// Stable lower-snake name ("path_eval", "portal_sim", ...).
 const char* phase_name(Phase phase);
@@ -104,8 +105,8 @@ void publish_attribution_metrics();
 /// Human-readable report: one row per phase (calls, self seconds, share of
 /// the phase-covered total) plus the derived stage groups the ROADMAP
 /// argues about — portal simulation (portal_sim + gen2_inventory +
-/// event_log_append), path evaluation, and store merge (store_route +
-/// store_merge).
+/// event_log_append + gen2_fusion), path evaluation, and store merge
+/// (store_route + store_merge).
 void write_attribution_report(std::ostream& out);
 
 /// The same report as one JSON object ('\n'-terminated), deterministic key

@@ -81,6 +81,8 @@ sys::PortalConfig make_portal_config(const CalibrationProfile& cal,
     sys::ReaderConfig rc;
     rc.radio = cal.radio;
     rc.inventory = cal.inventory;
+    rc.inventory.mpr_capacity = options.mpr_capacity;
+    rc.strategy = options.strategy;
     rc.antenna_dwell_s = cal.antenna_dwell_s;
     rc.channel = channels[r];
     rc.dense_reader_mode = options.dense_reader_mode;

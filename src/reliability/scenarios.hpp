@@ -44,6 +44,14 @@ struct PortalOptions {
   /// per gen2::ReaderInterference.
   std::size_t reader_count = 1;
   bool dense_reader_mode = false;
+  /// Inventory strategy applied to every reader. The default
+  /// (kSingleSession) is the legacy single-engine path, byte-identical to
+  /// pre-strategy builds; kMultiSession turns on the gen2::reliable
+  /// session-redundancy axis.
+  sys::InventoryStrategy strategy{};
+  /// Multi-packet-reception capability M applied to every reader (1 =
+  /// conventional reader, byte-identical default; see gen2::reliable).
+  int mpr_capacity = 1;
 };
 
 /// Fig. 2 — read range. 20 tags in a plane grid (12.5 cm x 20 cm pitch)

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
@@ -21,6 +22,12 @@ struct ReadEvent {
   std::size_t reader_index = 0;
   std::size_t antenna_index = 0;  ///< Index into the scene's antenna list.
   DbmPower rssi{-60.0};
+  /// Gen 2 session (0-3) of the inventory round that produced the read.
+  /// Real readers report this in their event metadata; the session-fusion
+  /// estimator (gen2::reliable) groups reads by it. Not serialized to the
+  /// middleware CSV (the 2006-era trace format predates it), so existing
+  /// archived-trace goldens are unaffected.
+  std::uint8_t session = 0;
 };
 
 /// The chronological stream of reads from one simulation run.

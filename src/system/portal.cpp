@@ -96,15 +96,45 @@ PortalSimulator::PortalSimulator(const scene::Scene& scene, PortalConfig config)
                        interference.command_jam_probability(rf_states[r], others),
                    0.0, 1.0);
 
+    // Per-session engines for the multi-session strategy, built from the
+    // same interference-adjusted config so each session pass sees the same
+    // RF environment as the single-session baseline.
+    std::vector<gen2::InventoryEngine> session_engines;
+    if (rc.strategy.mode == InventoryMode::kMultiSession) {
+      require(!rc.strategy.sessions.empty(),
+              "PortalSimulator: multi-session strategy needs at least one session");
+      session_engines.reserve(rc.strategy.sessions.size());
+      for (gen2::Session s : rc.strategy.sessions) {
+        gen2::InventoryConfig per_session = inv;
+        per_session.session = s;
+        session_engines.emplace_back(per_session);
+      }
+    }
+
     readers_.push_back(ReaderRuntime{
         .config = rc,
         .mux = AntennaMux(rc.antenna_indices, rc.antenna_dwell_s),
         .engine = gen2::InventoryEngine(inv),
+        .session_engines = std::move(session_engines),
         .tag_states = std::vector<gen2::TagState>(tags_.size()),
         .clock_s = config_.start_time_s,
         .jam_probability = inv.command_jam_probability,
     });
   }
+}
+
+gen2::InventoryEngine& PortalSimulator::select_engine(ReaderRuntime& rt, double t_s) {
+  if (rt.session_engines.empty()) return rt.engine;
+  const std::size_t k = rt.session_engines.size();
+  if (rt.config.strategy.interleaved) {
+    return rt.session_engines[rt.round_index % k];
+  }
+  // Sequential: the pass is partitioned into K equal time segments, one
+  // session each — session k's flags age (S1 decays) while k+1 runs.
+  const double span = config_.end_time_s - config_.start_time_s;
+  const double frac = span > 0.0 ? (t_s - config_.start_time_s) / span : 0.0;
+  auto idx = static_cast<std::size_t>(std::max(frac, 0.0) * static_cast<double>(k));
+  return rt.session_engines[std::min(idx, k - 1)];
 }
 
 double PortalSimulator::sample_shadow(std::size_t antenna, std::size_t tag_index,
@@ -175,7 +205,7 @@ std::vector<gen2::TagLink> PortalSimulator::build_links(
         sample_shadow(antenna, i, tag_positions[i], rng) + pass_offset_db_[i] -
         extra_loss_db;
     const bool powered = fwd.margin.value() + shadow > 0.0;
-    states[i].set_powered(powered, t_s, rt.config.inventory.session);
+    states[i].set_powered(powered, t_s);
 
     gen2::TagLink& link = links[i];
     link.powered = powered;
@@ -203,6 +233,7 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
     }
     rt.clock_s = up;
     rt.engine.reset_q();
+    for (auto& e : rt.session_engines) e.reset_q();
     return;
   }
 
@@ -220,14 +251,17 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
   }
 
   auto links = build_links(rt, antenna, t, rng, rt.tag_states, extra_loss_db);
+  gen2::InventoryEngine& engine = select_engine(rt, t);
+  ++rt.round_index;
   gen2::InventoryRoundResult round;
   {
     const obs::prof::ScopedPhase phase(obs::prof::Phase::kGen2Inventory);
-    round = rt.engine.run_round(rt.tag_states, links, t, rng);
+    round = engine.run_round(rt.tag_states, links, t, rng);
   }
 
   {
     const obs::prof::ScopedPhase phase(obs::prof::Phase::kEventLogAppend);
+    const auto session = static_cast<std::uint8_t>(engine.config().session);
     for (std::size_t idx : round.singulated) {
       ReadEvent ev;
       ev.tag = scene_.entities[tags_[idx].entity].tags()[tags_[idx].tag].id;
@@ -235,6 +269,7 @@ void PortalSimulator::run_reader_round(std::size_t r, EventLog& log, Rng& rng) {
       ev.reader_index = r;
       ev.antenna_index = antenna;
       ev.rssi = links[idx].rx_power;
+      ev.session = session;
       log.push_back(ev);
     }
   }
@@ -292,6 +327,8 @@ EventLog PortalSimulator::run(Rng& rng) {
   for (auto& rt : readers_) {
     rt.clock_s = config_.start_time_s;
     rt.engine.reset_q();
+    for (auto& e : rt.session_engines) e.reset_q();
+    rt.round_index = 0;
     std::fill(rt.tag_states.begin(), rt.tag_states.end(), gen2::TagState{});
   }
 
@@ -346,6 +383,8 @@ EventLog PortalSimulator::run_single_round(double t_s, Rng& rng) {
   for (std::size_t r = 0; r < readers_.size(); ++r) {
     readers_[r].clock_s = t_s;
     readers_[r].engine.reset_q();
+    for (auto& e : readers_[r].session_engines) e.reset_q();
+    readers_[r].round_index = 0;
     std::fill(readers_[r].tag_states.begin(), readers_[r].tag_states.end(),
               gen2::TagState{});
     run_reader_round(r, log, rng);

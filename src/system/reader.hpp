@@ -15,12 +15,39 @@
 
 namespace rfidsim::sys {
 
+/// Which inventory strategy a reader runs over a pass.
+enum class InventoryMode {
+  /// Every round uses `ReaderConfig::inventory` verbatim — the pre-
+  /// multi-session behaviour, byte-identical by construction (the single
+  /// engine is the same object on the same code path).
+  kSingleSession,
+  /// Rounds are spread over `InventoryStrategy::sessions`: K independent
+  /// per-session passes against one shared tag population, the
+  /// gen2::reliable redundancy axis. Each read event carries its session.
+  kMultiSession,
+};
+
+/// Multi-session scheduling knobs (ignored under kSingleSession).
+struct InventoryStrategy {
+  InventoryMode mode = InventoryMode::kSingleSession;
+  /// Sessions the reader rotates through; K = sessions.size(). The
+  /// session/target of `ReaderConfig::inventory` is overridden per pass.
+  std::vector<gen2::Session> sessions = {gen2::Session::S1, gen2::Session::S2,
+                                         gen2::Session::S3};
+  /// true: rotate sessions round-by-round (interleaved — each session's
+  /// rounds spread across the whole dwell). false: partition the pass
+  /// into K equal time segments, one session each (sequential — session
+  /// k's flags age while k+1 runs).
+  bool interleaved = true;
+};
+
 /// Static configuration of one reader.
 struct ReaderConfig {
   /// Scene antenna indices this reader drives (TDMA round-robin).
   std::vector<std::size_t> antenna_indices;
   rf::RadioParams radio{};
   gen2::InventoryConfig inventory{};
+  InventoryStrategy strategy{};
   /// RF channel this reader occupies (see gen2::ReaderInterference).
   int channel = 0;
   bool dense_reader_mode = false;

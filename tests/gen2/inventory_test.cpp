@@ -19,7 +19,7 @@ struct Population {
     states.resize(n);
     links.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      states[i].set_powered(true, 0.0, Session::S0);
+      states[i].set_powered(true, 0.0);
       links[i].powered = true;
       links[i].reply_decode_probability = decode_probability;
       links[i].rx_power = DbmPower(-55.0);
@@ -81,7 +81,7 @@ TEST(InventoryTest, UnpoweredTagsNeverRead) {
   InventoryEngine engine(quiet_config());
   Population pop(4);
   pop.links[2].powered = false;
-  pop.states[2].set_powered(false, 0.0, Session::S0);
+  pop.states[2].set_powered(false, 0.0);
   Rng rng(5);
   std::vector<bool> seen(4, false);
   for (int round = 0; round < 6; ++round) {

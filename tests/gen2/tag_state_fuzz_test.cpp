@@ -22,7 +22,7 @@ TEST_P(TagStateFuzz, RandomCommandSequencesKeepInvariants) {
     const int q = static_cast<int>(rng.uniform_int(0, 8));
     switch (rng.uniform_int(0, 6)) {
       case 0:
-        tag.set_powered(rng.bernoulli(0.7), t, session);
+        tag.set_powered(rng.bernoulli(0.7), t);
         break;
       case 1:
         tag.on_query(q, rng.bernoulli(0.5) ? InventoriedFlag::A : InventoriedFlag::B,
@@ -60,6 +60,129 @@ TEST_P(TagStateFuzz, RandomCommandSequencesKeepInvariants) {
     // 4. The flag query never crashes and returns a valid value.
     const InventoriedFlag f = tag.flag(t, session);
     ASSERT_TRUE(f == InventoriedFlag::A || f == InventoriedFlag::B);
+  }
+}
+
+// Session-independence fuzz: random commands across ALL FOUR sessions,
+// with the one invariant that makes multi-session redundancy sound —
+// a session's flag moves A -> B only through an ACK of a round that ran
+// on that very session. Decay (B -> A) is time-driven and may happen to
+// any session at any step; spontaneous A -> B must never.
+TEST_P(TagStateFuzz, CrossSessionFlagIsolation) {
+  Rng rng(GetParam() + 0x5e55u);
+  TagState tag;
+  double t = 0.0;
+  std::array<InventoriedFlag, 4> before{};
+
+  for (int step = 0; step < 2000; ++step) {
+    // Steps up to 0.3 s apart so S1's 1 s window decays mid-sequence.
+    t += rng.uniform(0.0, 0.3);
+    const auto session = static_cast<Session>(rng.uniform_int(0, 3));
+    const int q = static_cast<int>(rng.uniform_int(0, 6));
+    for (int s = 0; s < 4; ++s) before[s] = tag.flag(t, static_cast<Session>(s));
+
+    const int command = static_cast<int>(rng.uniform_int(0, 6));
+    switch (command) {
+      case 0:
+        tag.set_powered(rng.bernoulli(0.7), t);
+        break;
+      case 1:
+        tag.on_query(q, rng.bernoulli(0.5) ? InventoriedFlag::A : InventoriedFlag::B,
+                     session, t, rng);
+        break;
+      case 2:
+        tag.on_query_adjust(q, rng);
+        break;
+      case 3:
+        tag.on_query_rep();
+        break;
+      case 4:
+        tag.on_acknowledged(t);
+        break;
+      case 5:
+        tag.on_reply_lost(q, rng);
+        break;
+      default:
+        break;
+    }
+
+    for (int s = 0; s < 4; ++s) {
+      const InventoriedFlag after = tag.flag(t, static_cast<Session>(s));
+      if (before[s] == InventoriedFlag::A && after == InventoriedFlag::B) {
+        ASSERT_EQ(command, 4) << "flag set outside an acknowledge";
+        ASSERT_EQ(tag.round_session(), static_cast<Session>(s))
+            << "S" << s << " flag set by a round on session "
+            << static_cast<int>(tag.round_session());
+      }
+    }
+  }
+}
+
+// Persistence windows across power cycles, against a reference model of
+// the last ACK / power-loss times: the implementation's per-session decay
+// must match the spec arithmetic for every session simultaneously.
+TEST_P(TagStateFuzz, PersistenceWindowsMatchReferenceModel) {
+  Rng rng(GetParam() + 0xd1eu);
+  TagState tag;
+  double t = 0.0;
+  // Reference model state: B-set time per session (-inf = never/decayed
+  // to A), plus the time power was last lost.
+  std::array<double, 4> set_time{-1e18, -1e18, -1e18, -1e18};
+  std::array<bool, 4> is_b{};
+  double dark_since = -1e18;
+  bool powered = false;
+
+  auto model_flag = [&](int s, double now) {
+    if (!is_b[s]) return InventoriedFlag::A;
+    const auto session = static_cast<Session>(s);
+    const double window = flag_persistence_s(session);
+    switch (session) {
+      case Session::S0:
+        return powered ? InventoriedFlag::B : InventoriedFlag::A;
+      case Session::S1:
+        return now - set_time[s] > window ? InventoriedFlag::A : InventoriedFlag::B;
+      default:  // S2/S3: indefinite while powered, window once dark.
+        if (!powered && now - dark_since > window) return InventoriedFlag::A;
+        return InventoriedFlag::B;
+    }
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    t += rng.uniform(0.0, 0.4);
+    const auto session = static_cast<Session>(rng.uniform_int(0, 3));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const bool on = rng.bernoulli(0.6);
+        if (powered && !on) dark_since = t;
+        if (!powered && on) {
+          // Repower resolves any decay completed while dark.
+          for (int s = 0; s < 4; ++s) {
+            if (model_flag(s, t) == InventoriedFlag::A) is_b[s] = false;
+          }
+        }
+        powered = on;
+        tag.set_powered(on, t);
+        break;
+      }
+      case 1: {
+        // Full forced singulation on `session` when its flag matches A.
+        tag.on_query(0, InventoriedFlag::A, session, t, rng);
+        if (tag.replying()) {
+          tag.on_acknowledged(t);
+          const int s = static_cast<int>(session);
+          is_b[s] = true;
+          set_time[s] = t;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    for (int s = 0; s < 4; ++s) {
+      ASSERT_EQ(tag.flag(t, static_cast<Session>(s)), model_flag(s, t))
+          << "session " << s << " at t=" << t << " step " << step;
+    }
   }
 }
 

@@ -15,7 +15,7 @@ TEST(TagStateTest, StartsUnpowered) {
 
 TEST(TagStateTest, PowerOnEntersReady) {
   TagState tag;
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   EXPECT_TRUE(tag.powered());
   EXPECT_EQ(tag.state(), TagProtocolState::Ready);
 }
@@ -30,7 +30,7 @@ TEST(TagStateTest, UnpoweredTagIgnoresQuery) {
 TEST(TagStateTest, QueryWithQZeroRepliesImmediately) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
   EXPECT_TRUE(tag.replying());
   EXPECT_EQ(tag.slot_counter(), 0u);
@@ -40,7 +40,7 @@ TEST(TagStateTest, SlotCounterWithinFrame) {
   Rng rng(7);
   for (int trial = 0; trial < 50; ++trial) {
     TagState tag;
-    tag.set_powered(true, 0.0, Session::S0);
+    tag.set_powered(true, 0.0);
     tag.on_query(3, InventoriedFlag::A, Session::S0, 0.0, rng);
     EXPECT_LT(tag.slot_counter(), 8u);
   }
@@ -49,7 +49,7 @@ TEST(TagStateTest, SlotCounterWithinFrame) {
 TEST(TagStateTest, QueryRepCountsDownToReply) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   // Force a draw until nonzero slot.
   for (int attempt = 0; attempt < 100; ++attempt) {
     tag.on_query(4, InventoriedFlag::A, Session::S0, 0.0, rng);
@@ -67,7 +67,7 @@ TEST(TagStateTest, QueryRepCountsDownToReply) {
 TEST(TagStateTest, AcknowledgeTogglesFlagAndLeavesRound) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S1);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
   ASSERT_TRUE(tag.replying());
   tag.on_acknowledged(0.0);
@@ -83,7 +83,7 @@ TEST(TagStateTest, AcknowledgeTogglesFlagAndLeavesRound) {
 
 TEST(TagStateTest, AcknowledgeRequiresReplyState) {
   TagState tag;
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   tag.on_acknowledged(0.0);  // Not replying: no-op.
   EXPECT_EQ(tag.state(), TagProtocolState::Ready);
 }
@@ -91,7 +91,7 @@ TEST(TagStateTest, AcknowledgeRequiresReplyState) {
 TEST(TagStateTest, ReplyLostRedraws) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
   ASSERT_TRUE(tag.replying());
   tag.on_reply_lost(4, rng);
@@ -102,9 +102,9 @@ TEST(TagStateTest, ReplyLostRedraws) {
 TEST(TagStateTest, PowerLossDropsOutOfRound) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   tag.on_query(4, InventoriedFlag::A, Session::S0, 0.0, rng);
-  tag.set_powered(false, 1.0, Session::S0);
+  tag.set_powered(false, 1.0);
   EXPECT_EQ(tag.state(), TagProtocolState::Unpowered);
   EXPECT_EQ(tag.slot_counter(), 0u);
 }
@@ -112,14 +112,14 @@ TEST(TagStateTest, PowerLossDropsOutOfRound) {
 TEST(TagStateTest, S0FlagResetsOnPowerLoss) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S0);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S0, 0.0, rng);
   tag.on_acknowledged(0.0);
   EXPECT_EQ(tag.flag(0.1, Session::S0), InventoriedFlag::B);
-  tag.set_powered(false, 0.2, Session::S0);
+  tag.set_powered(false, 0.2);
   // S0 persistence is zero: immediately back to A.
   EXPECT_EQ(tag.flag(0.21, Session::S0), InventoriedFlag::A);
-  tag.set_powered(true, 0.3, Session::S0);
+  tag.set_powered(true, 0.3);
   tag.on_query(0, InventoriedFlag::A, Session::S0, 0.3, rng);
   EXPECT_TRUE(tag.replying());
 }
@@ -127,10 +127,10 @@ TEST(TagStateTest, S0FlagResetsOnPowerLoss) {
 TEST(TagStateTest, S1FlagPersistsThroughShortPowerLoss) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S1);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
   tag.on_acknowledged(0.0);
-  tag.set_powered(false, 0.1, Session::S1);
+  tag.set_powered(false, 0.1);
   // Within the 1 s persistence window: still B.
   EXPECT_EQ(tag.flag(0.5, Session::S1), InventoriedFlag::B);
   // Beyond it: decayed to A.
@@ -140,18 +140,18 @@ TEST(TagStateTest, S1FlagPersistsThroughShortPowerLoss) {
 TEST(TagStateTest, S1FlagDecayResolvedAtRepower) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S1);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
   tag.on_acknowledged(0.0);
-  tag.set_powered(false, 0.1, Session::S1);
-  tag.set_powered(true, 5.0, Session::S1);  // Long dark period.
+  tag.set_powered(false, 0.1);
+  tag.set_powered(true, 5.0);  // Long dark period.
   EXPECT_EQ(tag.flag(5.0, Session::S1), InventoriedFlag::A);
 }
 
 TEST(TagStateTest, AcknowledgeTogglesFlagBothWays) {
   TagState tag;
   Rng rng(1);
-  tag.set_powered(true, 0.0, Session::S1);
+  tag.set_powered(true, 0.0);
   tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
   tag.on_acknowledged(0.0);
   EXPECT_EQ(tag.flag(0.0, Session::S1), InventoriedFlag::B);
@@ -160,6 +160,81 @@ TEST(TagStateTest, AcknowledgeTogglesFlagBothWays) {
   ASSERT_TRUE(tag.replying());
   tag.on_acknowledged(0.1);
   EXPECT_EQ(tag.flag(0.1, Session::S1), InventoriedFlag::A);
+}
+
+TEST(TagStateTest, S1FlagDecaysWhilePowered) {
+  // Regression: S1 persistence (0.5-5 s nominal) applies REGARDLESS of
+  // power — a continuously-energized tag's B flag still reverts to A once
+  // the window elapses. The pre-fix implementation only started the decay
+  // timer on power loss, so a tag parked in the read zone never reverted.
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  EXPECT_EQ(tag.flag(0.5, Session::S1), InventoriedFlag::B);
+  // Never unpowered, yet past the window the flag has decayed.
+  EXPECT_EQ(tag.flag(1.5, Session::S1), InventoriedFlag::A);
+  // And an A-targeted query re-engages it without any power cycle.
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 1.5, rng);
+  EXPECT_TRUE(tag.replying());
+}
+
+TEST(TagStateTest, S1DecayClockRestartsOnEachAcknowledge) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0);
+  tag.on_query(0, InventoriedFlag::A, Session::S1, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  // Re-singulated on the B target at 0.8 s: the persistence reference
+  // moves, so at 1.5 s the flag (now A) is 0.7 s old, not 1.5 s.
+  tag.on_query(0, InventoriedFlag::B, Session::S1, 0.8, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_acknowledged(0.8);
+  EXPECT_EQ(tag.flag(1.5, Session::S1), InventoriedFlag::A);
+  // S1 decay always lands on A, so the toggled-to-A flag stays A forever.
+  EXPECT_EQ(tag.flag(10.0, Session::S1), InventoriedFlag::A);
+}
+
+TEST(TagStateTest, SessionsCarryIndependentFlags) {
+  // Singulating on S2 must not disturb S1/S3 flags (and vice versa):
+  // that independence is what makes multi-session redundancy work.
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0);
+  tag.on_query(0, InventoriedFlag::A, Session::S2, 0.0, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_acknowledged(0.0);
+  EXPECT_EQ(tag.flag(0.1, Session::S2), InventoriedFlag::B);
+  EXPECT_EQ(tag.flag(0.1, Session::S0), InventoriedFlag::A);
+  EXPECT_EQ(tag.flag(0.1, Session::S1), InventoriedFlag::A);
+  EXPECT_EQ(tag.flag(0.1, Session::S3), InventoriedFlag::A);
+  // The S3 pass still finds the tag on target A.
+  tag.on_query(0, InventoriedFlag::A, Session::S3, 0.1, rng);
+  ASSERT_TRUE(tag.replying());
+  tag.on_acknowledged(0.1);
+  EXPECT_EQ(tag.flag(0.2, Session::S3), InventoriedFlag::B);
+  EXPECT_EQ(tag.flag(0.2, Session::S2), InventoriedFlag::B);
+  EXPECT_EQ(tag.flag(0.2, Session::S1), InventoriedFlag::A);
+}
+
+TEST(TagStateTest, S2FlagPersistsWhilePoweredAndDecaysDark) {
+  TagState tag;
+  Rng rng(1);
+  tag.set_powered(true, 0.0);
+  tag.on_query(0, InventoriedFlag::A, Session::S2, 0.0, rng);
+  tag.on_acknowledged(0.0);
+  // Powered: indefinite persistence, far beyond the S1 window.
+  EXPECT_EQ(tag.flag(100.0, Session::S2), InventoriedFlag::B);
+  // Dark within the persistence window: still B.
+  tag.set_powered(false, 100.0);
+  EXPECT_EQ(tag.flag(101.0, Session::S2), InventoriedFlag::B);
+  // Dark past the window: decayed.
+  EXPECT_EQ(tag.flag(110.0, Session::S2), InventoriedFlag::A);
+  // Repower resolves the decay.
+  tag.set_powered(true, 110.0);
+  tag.on_query(0, InventoriedFlag::A, Session::S2, 110.0, rng);
+  EXPECT_TRUE(tag.replying());
 }
 
 TEST(SessionTest, PersistenceConstants) {

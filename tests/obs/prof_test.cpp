@@ -55,6 +55,7 @@ constexpr bool kCompiledOut = false;
 constexpr std::array<Phase, kPhaseCount> kAllPhases = {
     Phase::kPathEval,      Phase::kPortalSim,  Phase::kGen2Inventory,
     Phase::kEventLogAppend, Phase::kStoreRoute, Phase::kStoreMerge,
+    Phase::kGen2Fusion,
 };
 
 /// Saves and restores the global obs + attribution switches around a test.
@@ -88,6 +89,7 @@ TEST(ProfPhaseTest, PhaseNamesAreStable) {
   EXPECT_STREQ(phase_name(Phase::kEventLogAppend), "event_log_append");
   EXPECT_STREQ(phase_name(Phase::kStoreRoute), "store_route");
   EXPECT_STREQ(phase_name(Phase::kStoreMerge), "store_merge");
+  EXPECT_STREQ(phase_name(Phase::kGen2Fusion), "gen2_fusion");
 }
 
 TEST(ProfPhaseTest, EnvModeProfRequestsProfiling) {
